@@ -1,0 +1,29 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) examples/reproduce_all.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/miniqmc_demo.py -n 48 -s 1
+	$(PYTHON) examples/memory_and_energy.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis reports build dist

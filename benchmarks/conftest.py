@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+Makes the sibling ``harness`` module importable and forces -s-style
+output so the regenerated tables/figures are visible in the bench log.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,62 @@
+"""Figure 3 — Jastrow functors of Ni and O ions and up/down electron
+spins for the NiO supercell.
+
+Regenerates the four curves (u-u/d-d like-spin, u-d unlike-spin two-body
+functors; Ni and O one-body functors) and checks their qualitative
+features against the figure: cusps, signs, decay to zero at the cutoff.
+"""
+
+import numpy as np
+import pytest
+
+from harness import get_system, heading, row
+from repro.core.version import CodeVersion
+from repro.workloads.builder import make_j1_functors, make_j2_functors
+from repro.workloads.catalog import NIO32
+from repro.particles.species import SpeciesSet
+
+
+@pytest.fixture(scope="module")
+def functors():
+    rcut = 3.8  # ~ Wigner-Seitz radius of the NiO-32 supercell
+    j2 = make_j2_functors(NIO32, rcut)
+    sp = SpeciesSet()
+    for s in NIO32.species:
+        sp.add(s.name, s.zstar)
+    j1 = make_j1_functors(NIO32, sp, rcut)
+    return j2, j1, sp
+
+
+def test_fig3_curves(functors, benchmark):
+    j2, j1, sp = functors
+    heading("Figure 3: Jastrow functors for the NiO supercell")
+    grid = np.linspace(0.0, 3.8, 9)
+    row("r (bohr)", *[f"{r:.2f}" for r in grid])
+    like = j2[(0, 0)]
+    unlike = j2[(0, 1)]
+    row("u-u / d-d", *[f"{v:.3f}" for v in like.evaluate_v(grid)])
+    row("u-d", *[f"{v:.3f}" for v in unlike.evaluate_v(grid)])
+    ni = j1[sp.index("Ni")]
+    ox = j1[sp.index("O")]
+    row("Ni", *[f"{v:.3f}" for v in ni.evaluate_v(grid)])
+    row("O", *[f"{v:.3f}" for v in ox.evaluate_v(grid)])
+
+    # Qualitative shape assertions matching the figure:
+    # e-e functors positive (correlation hole), decaying, exact cusps.
+    assert like.evaluate_v(np.array([0.0]))[0] > 0
+    assert unlike.evaluate_v(np.array([0.0]))[0] > \
+        like.evaluate_v(np.array([0.0]))[0] * 0.9
+    assert like.cusp == pytest.approx(-0.25)
+    assert unlike.cusp == pytest.approx(-0.5)
+    # One-body functors negative (electron-ion attraction), Ni deeper than O.
+    assert ni.evaluate_v(np.array([0.0]))[0] < ox.evaluate_v(
+        np.array([0.0]))[0] < 0
+    # All vanish smoothly at the cutoff.
+    for f in (like, unlike, ni, ox):
+        assert abs(f.evaluate_v(np.array([3.79999]))[0]) < 1e-3
+        assert f.evaluate_v(np.array([4.5]))[0] == 0.0
+
+    # Benchmark: vectorized functor evaluation over a large row.
+    r = np.random.default_rng(0).uniform(0, 5.0, 4096)
+    result = benchmark(lambda: like.evaluate_vgl(r))
+    assert np.all(np.isfinite(result[0]))

@@ -1,0 +1,89 @@
+"""Figure 9 — memory usage on the KNL processor, all four benchmarks.
+
+Regenerates the O(N^2) memory savings bars (Ref vs Current at the KNL
+run configuration) from the analytic model, plus the per-walker message
+size reduction quoted in Sec. 8 (22.5 MB for NiO-64's J2 state).
+"""
+
+import pytest
+
+from harness import heading, row
+from repro.core.version import CodeVersion
+from repro.memory.model import GB, MemoryModel
+from repro.workloads.catalog import NIO64, WORKLOADS
+
+KNL_THREADS, KNL_WALKERS = 128, 1024
+
+
+def test_fig9_memory_bars(benchmark):
+    heading("Figure 9: memory usage on KNL (GB), Ref vs Current")
+    row("workload", "Ref", "Current", "saved")
+    saved = {}
+    bars = {}
+    for name, wl in WORKLOADS.items():
+        m = MemoryModel(wl)
+        ref = m.breakdown(CodeVersion.REF, KNL_THREADS, KNL_WALKERS).total_gb
+        cur = m.breakdown(CodeVersion.CURRENT, KNL_THREADS,
+                          KNL_WALKERS).total_gb
+        saved[name] = ref - cur
+        row(name, f"{ref:.1f}", f"{cur:.1f}", f"{saved[name]:.1f}")
+        bars[f"{name} Ref"] = ref
+        bars[f"{name} Cur"] = cur
+
+    from repro.viz import bar_chart
+    print(bar_chart(list(bars), list(bars.values()), unit=" GB"))
+
+    # Savings grow with electron count (O(N^2) walker state dominates).
+    assert saved["NiO-64"] > saved["NiO-32"] > saved["Graphite"]
+    # NiO-64: ~36 GB saved; Current under the BG/Q node's 16 GB.
+    assert 28.0 < saved["NiO-64"] < 42.0
+    m64 = MemoryModel(NIO64)
+    assert m64.breakdown(CodeVersion.CURRENT, KNL_THREADS,
+                         KNL_WALKERS).total_gb < 16.0
+
+    benchmark(lambda: MemoryModel(NIO64).breakdown(
+        CodeVersion.CURRENT, KNL_THREADS, KNL_WALKERS).total_gb)
+
+
+def test_walker_message_size_reduction(benchmark):
+    """'The memory-reduction algorithms in Jastrow reduce the Walker
+    message size by 22.5 MB for the NiO-64 problem' (Sec. 8)."""
+    n = NIO64.n_electrons
+    j2_ref_bytes = 5 * n * n * 8          # U + dU(3) + d2U, double
+    j2_cur_bytes = 5 * n * 8
+    reduction_mb = (j2_ref_bytes - j2_cur_bytes) / (1024.0 ** 2)
+    print(f"\n  J2 walker-message reduction for NiO-64: "
+          f"{reduction_mb:.1f} MB (paper: 22.5 MB)")
+    assert reduction_mb == pytest.approx(22.5, rel=0.02)
+    benchmark(lambda: (5 * n * n * 8 - 5 * n * 8) / 1024.0 ** 2)
+
+
+def test_message_reduction_visible_in_live_buffers(benchmark):
+    """The reduction shows up in real serialized walker buffers too."""
+    import numpy as np
+    from harness import get_system
+    from repro.containers.buffer import WalkerBuffer
+
+    sys_ = get_system("NiO-32")
+    n = None
+    sizes = {}
+    for v in (CodeVersion.REF, CodeVersion.CURRENT):
+        parts = sys_.build(v)
+        n = parts.n_electrons
+        parts.twf.evaluate_log(parts.electrons)
+        buf = WalkerBuffer(dtype=np.float64)
+        parts.twf.register_data(parts.electrons, buf)
+        sizes[v] = buf.nbytes
+    # Ref carries the 5N^2 J2 matrices; Current only scalars + inverses.
+    j2_bytes = 5 * n * n * 8
+    assert sizes[CodeVersion.REF] - sizes[CodeVersion.CURRENT] >= \
+        0.9 * j2_bytes
+    parts = sys_.build(CodeVersion.CURRENT)
+    parts.twf.evaluate_log(parts.electrons)
+
+    def serialize():
+        buf = WalkerBuffer(dtype=np.float64)
+        parts.twf.register_data(parts.electrons, buf)
+        return buf.nbytes
+
+    benchmark.pedantic(serialize, rounds=3, iterations=1)

@@ -1,0 +1,65 @@
+"""Figure 10 — energy usage of the NiO-32 benchmark on KNL.
+
+Power-vs-time traces for Ref and Current runs from the energy model (the
+turbostat substitute), driven by the measured Ref/Current time ratio.
+Reproduces the figure's observations: power is flat in the 210-215 W
+band during DMC for both builds, so the energy reduction (excluding
+init/warmup) matches the speedup.
+"""
+
+import numpy as np
+import pytest
+
+from harness import heading, measure
+from repro.core.version import CodeVersion
+from repro.perfmodel.energy import EnergyModel
+from repro.perfmodel.hardware import KNL
+
+
+def test_fig10_energy(benchmark):
+    ref = measure("NiO-32", CodeVersion.REF)
+    cur = measure("NiO-32", CodeVersion.CURRENT)
+    speedup = ref.seconds_per_sweep / cur.seconds_per_sweep
+
+    # Model a production-scale run: Current takes 600 s of DMC.
+    init_s = 120.0
+    t_cur = 600.0
+    t_ref = t_cur * speedup
+    em = EnergyModel(KNL, sample_period_s=5.0)
+    tr_ref = em.trace(init_s, t_ref, label="Ref")
+    tr_cur = em.trace(init_s, t_cur, label="Current")
+
+    heading("Figure 10: NiO-32 energy on KNL (modeled traces, measured "
+            "speedup)")
+    print(f"  measured speedup Ref->Current: {speedup:.2f}x")
+    for tr, t_dmc in ((tr_ref, t_ref), (tr_cur, t_cur)):
+        dmc_w = tr.watts[tr.times >= init_s]
+        print(f"  {tr.label:<8s} runtime {init_s + t_dmc:7.0f} s   "
+              f"DMC power {dmc_w.min():.0f}-{dmc_w.max():.0f} W   "
+              f"energy {tr.energy_joules / 1e3:.0f} kJ")
+
+    from repro.viz import line_chart
+    # Render the power traces on a shared time axis (pad Current's trace
+    # with zeros after its run ends, as the figure effectively shows).
+    n = len(tr_ref.times)
+    cur_watts = np.zeros(n)
+    idx = np.searchsorted(tr_ref.times, tr_cur.times[-1])
+    cur_watts[:idx] = np.interp(tr_ref.times[:idx], tr_cur.times,
+                                tr_cur.watts)
+    print(line_chart({"Ref": tr_ref.watts, "Current": cur_watts},
+                     x=tr_ref.times, height=10,
+                     title="  power (W) vs time (s)"))
+
+    # Claim 1: DMC-phase power sits in a narrow band for both runs
+    # (the paper's 210-215 W).
+    for tr in (tr_ref, tr_cur):
+        dmc_w = tr.watts[tr.times >= init_s]
+        assert dmc_w.max() - dmc_w.min() < 0.05 * KNL.power_watts
+        assert abs(dmc_w.mean() - KNL.power_watts) < 0.02 * KNL.power_watts
+
+    # Claim 2: energy reduction ~ speedup (excluding init/warmup).
+    ratio = EnergyModel.energy_ratio(tr_ref, tr_cur, init_ref=init_s,
+                                     init_cur=init_s)
+    assert ratio == pytest.approx(speedup, rel=0.05)
+
+    benchmark(lambda: em.trace(init_s, t_cur).energy_joules)

@@ -1,0 +1,101 @@
+"""Kernel-level benchmarks via the miniapps (Sec. 7.1).
+
+Times each hot-spot class in isolation, Ref vs optimized flavor — the
+same comparisons the paper's miniapps were built for.
+"""
+
+import numpy as np
+import pytest
+
+from harness import heading, row
+from repro.miniapps.minidist import run_minidist
+from repro.miniapps.minijastrow import run_minijastrow
+from repro.miniapps.minispline import run_minispline
+
+
+class TestDistTableKernels:
+    def test_bench_ref(self, benchmark):
+        benchmark.pedantic(lambda: run_minidist(n=96, steps=1,
+                                                flavors=("ref",)),
+                           rounds=2, iterations=1)
+
+    def test_bench_soa(self, benchmark):
+        benchmark.pedantic(lambda: run_minidist(n=96, steps=1,
+                                                flavors=("soa",)),
+                           rounds=3, iterations=1)
+
+    def test_bench_otf(self, benchmark):
+        benchmark.pedantic(lambda: run_minidist(n=96, steps=1,
+                                                flavors=("otf",)),
+                           rounds=3, iterations=1)
+
+    def test_speedup_report(self, benchmark):
+        res = benchmark.pedantic(lambda: run_minidist(n=96, steps=2),
+                                 rounds=1, iterations=1)
+        heading("minidist: AA+AB sweep seconds by flavor (N=96)")
+        for f, s in res.seconds.items():
+            row(f, f"{s:.4f}s", f"{res.seconds['ref'] / s:.1f}x")
+        assert res.seconds["ref"] > 3.0 * res.seconds["soa"]
+        assert res.seconds["ref"] > 3.0 * res.seconds["otf"]
+
+
+class TestJastrowKernels:
+    def test_bench_ref(self, benchmark):
+        benchmark.pedantic(lambda: run_minijastrow(n=96, steps=1),
+                           rounds=2, iterations=1)
+
+    def test_speedup_report(self, benchmark):
+        res = benchmark.pedantic(lambda: run_minijastrow(n=96, steps=2),
+                                 rounds=1, iterations=1)
+        heading("minijastrow: J1+J2 sweep seconds by flavor (N=96)")
+        for f, s in res.seconds.items():
+            row(f, f"{s:.4f}s", f"{res.seconds['ref'] / s:.1f}x")
+        assert res.seconds["ref"] > 2.0 * res.seconds["otf"]
+
+
+class TestSplineKernels:
+    def test_bench_multi_v(self, benchmark):
+        from repro.lattice.cell import CrystalLattice
+        from repro.spo.sposet import build_planewave_spline
+        lat = CrystalLattice.cubic(10.0)
+        spline = build_planewave_spline(lat, 96, (20, 20, 20))
+        r = np.array([1.2, 3.4, 5.6])
+        benchmark(lambda: spline.multi_v(r))
+
+    def test_bench_multi_vgh(self, benchmark):
+        from repro.lattice.cell import CrystalLattice
+        from repro.spo.sposet import build_planewave_spline
+        lat = CrystalLattice.cubic(10.0)
+        spline = build_planewave_spline(lat, 96, (20, 20, 20))
+        r = np.array([1.2, 3.4, 5.6])
+        benchmark(lambda: spline.multi_vgh(r))
+
+    def test_speedup_report(self, benchmark):
+        res = benchmark.pedantic(
+            lambda: run_minispline(norb=96, grid=16, points=60),
+            rounds=1, iterations=1)
+        heading("minispline: per-orbital (ref) vs multi (SoA), norb=96")
+        for k, s in res.seconds.items():
+            row(k, f"{s:.4f}s")
+        assert res.seconds["v_ref"] > 5.0 * res.seconds["v_multi"]
+        assert res.seconds["vgh_ref"] > 3.0 * res.seconds["vgh_multi"]
+
+
+class TestDetUpdateKernel:
+    @pytest.mark.parametrize("n", [64, 128])
+    def test_bench_sherman_morrison(self, benchmark, n):
+        """The BLAS2 rank-1 update the paper's Sec. 8.4 worries about."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(n, n)) + 2 * np.eye(n)
+        a_inv = np.linalg.inv(a)
+        v = rng.normal(size=n)
+
+        def sm_update():
+            out = a_inv.copy()
+            vAinv = v @ out
+            vAinv[3] -= 1.0
+            rho = v @ out[:, 3]
+            out -= np.outer(out[:, 3], vAinv) / rho
+            return out
+
+        benchmark(sm_update)

@@ -1,0 +1,50 @@
+"""NLPP kernel benchmark — the ratio-only pressure of Eq. 7's V_NL term.
+
+Non-local pseudopotentials turn every measurement into a burst of
+wavefunction ratio evaluations (12 quadrature points per in-range
+electron-ion pair), hitting DistTable, Jastrow and Bspline-v.  This
+bench measures that path for Ref vs Current and confirms the quadrature
+cost scales with the number of in-range pairs.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from harness import get_system, heading, row
+from repro.core.version import CodeVersion
+
+
+def _nlpp_term(parts):
+    return [t for t in parts.ham.terms if t.name == "NonLocalECP"][0]
+
+
+def test_nlpp_ratio_path(benchmark):
+    heading("NLPP kernel: full V_NL evaluation (12-pt quadrature ratios)")
+    times = {}
+    values = {}
+    for version in (CodeVersion.REF, CodeVersion.CURRENT):
+        sys_ = get_system("NiO-32", with_nlpp=True)
+        parts = sys_.build(version, value_dtype=np.float64)
+        parts.twf.evaluate_log(parts.electrons)
+        term = _nlpp_term(parts)
+        t0 = time.perf_counter()
+        values[version] = term.evaluate(parts.electrons, parts.twf)
+        times[version] = time.perf_counter() - t0
+        row(version.label, f"{times[version]:.4f}s",
+            f"V_NL={values[version]:+.4f}")
+
+    # Same physics from both builds (same seeded quadrature rotation).
+    assert values[CodeVersion.CURRENT] == pytest.approx(
+        values[CodeVersion.REF], rel=1e-6, abs=1e-9)
+    # The ratio path speeds up with the transformation too.
+    assert times[CodeVersion.REF] > times[CodeVersion.CURRENT]
+
+    sys_ = get_system("NiO-32", with_nlpp=True)
+    parts = sys_.build(CodeVersion.CURRENT, value_dtype=np.float64)
+    parts.twf.evaluate_log(parts.electrons)
+    term = _nlpp_term(parts)
+    benchmark.pedantic(
+        lambda: term.evaluate(parts.electrons, parts.twf),
+        rounds=2, iterations=1)

@@ -1,0 +1,49 @@
+"""Table 1 — workload properties.
+
+Regenerates every row of Table 1 from the workload catalog plus the
+analytic memory model (the B-spline GB row), and benchmarks system
+synthesis at bench scale.
+"""
+
+import pytest
+
+from harness import get_system, heading, row
+from repro.core.version import CodeVersion
+from repro.memory.model import MemoryModel
+from repro.workloads.catalog import WORKLOADS
+
+
+def test_table1_rows(benchmark):
+    heading("Table 1: Workloads used in this work and their key properties")
+    names = list(WORKLOADS)
+    row("", *names)
+    row("N", *[WORKLOADS[n].n_electrons for n in names])
+    row("Nion", *[WORKLOADS[n].n_ions for n in names])
+    row("Nion/unit cell", *[WORKLOADS[n].ions_per_cell for n in names])
+    row("# of unit cells", *[WORKLOADS[n].n_cells for n in names])
+    row("Ion types (Z*)", *[",".join(
+        f"{s.name}({s.zstar:.0f})" for s in WORKLOADS[n].species)
+        for n in names])
+    row("# of unique SPOs", *[WORKLOADS[n].unique_spos for n in names])
+    row("FFT grid", *["x".join(map(str, WORKLOADS[n].fft_grid))
+                      for n in names])
+    row("B-spline GB (paper)", *[f"{WORKLOADS[n].bspline_gb_paper:.1f}"
+                                 for n in names])
+    row("B-spline GB (model)", *[
+        f"{MemoryModel(WORKLOADS[n]).table1_bspline_gb():.2f}"
+        for n in names])
+
+    # The model must reproduce the paper's B-spline sizes within 10%.
+    for n in names:
+        model = MemoryModel(WORKLOADS[n]).table1_bspline_gb()
+        paper = WORKLOADS[n].bspline_gb_paper
+        assert model == pytest.approx(paper, rel=0.10), n
+
+    # Benchmark: building the NiO-32 system at bench scale.
+    sys_ = get_system("NiO-32")
+
+    def build():
+        return sys_.build(CodeVersion.CURRENT)
+
+    parts = benchmark(build)
+    assert parts.n_electrons > 0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Observe the Jastrow correlation hole in g(r) — physics, end to end.
+
+Samples |Psi|^2 with and without the two-body Jastrow factor and
+accumulates the electron-electron pair-correlation function from the
+distance tables (the very tables Sec. 7.5 keeps in memory for
+measurement reuse).  With J2 on, same- and opposite-spin electrons
+avoid each other — the correlation hole at small r — and the structure
+factor is suppressed at small k.
+
+Run:  python examples/correlation_functions.py
+"""
+
+import numpy as np
+
+from repro.core import CodeVersion, QmcSystem
+from repro.drivers.vmc import VMCDriver
+from repro.estimators import (
+    PairCorrelationEstimator, StructureFactorEstimator,
+)
+from repro.viz import line_chart
+
+
+def sample_gofr(with_jastrow: bool, steps: int = 60):
+    system = QmcSystem.from_workload("NiO-32", scale=0.125, seed=11,
+                                     with_nlpp=False)
+    parts = system.build(CodeVersion.CURRENT, value_dtype=np.float64)
+    twf = parts.twf
+    if not with_jastrow:
+        # Determinants only: drop J1/J2 from the product.
+        from repro.wavefunction.trialwf import TrialWaveFunction
+        twf = TrialWaveFunction([c for c in twf.components
+                                 if getattr(c, "name", "") == "Det"])
+    drv = VMCDriver(parts.electrons, twf, parts.ham,
+                    np.random.default_rng(3), timestep=0.4)
+    twf.evaluate_log(parts.electrons)
+    gofr = PairCorrelationEstimator(parts.lattice, parts.n_electrons,
+                                    nbins=24)
+    sofk = StructureFactorEstimator(parts.lattice, parts.n_electrons,
+                                    nk=10)
+    for step in range(steps):
+        drv.sweep()
+        if step >= steps // 3:  # discard warmup
+            parts.electrons.update_tables()
+            gofr.accumulate(parts.electrons)
+            sofk.accumulate(parts.electrons)
+    return gofr, sofk
+
+
+def main() -> None:
+    print("sampling with J1*J2*D... ", flush=True)
+    g_j, s_j = sample_gofr(True)
+    print("sampling determinants only... ", flush=True)
+    g_d, s_d = sample_gofr(False)
+
+    r = g_j.bin_centers
+    print(line_chart({"with Jastrow": g_j.gofr(),
+                      "det only": g_d.gofr()},
+                     x=r, height=14,
+                     title="electron-electron g(r)"))
+    hole_j = float(np.mean(g_j.gofr()[r < 1.2]))
+    hole_d = float(np.mean(g_d.gofr()[r < 1.2]))
+    print(f"\n  g(r<1.2) with Jastrow: {hole_j:.3f}   det only: "
+          f"{hole_d:.3f}")
+    print("  -> the Jastrow digs the correlation hole" if hole_j < hole_d
+          else "  (statistics too short to resolve the hole this run)")
+
+    print("\nstructure factor S(k), smallest shells:")
+    for km, sj, sd in zip(s_j.kmags[:6], s_j.sofk()[:6], s_d.sofk()[:6]):
+        print(f"  |k|={km:5.2f}   S_J={sj:6.3f}   S_det={sd:6.3f}")
+
+
+if __name__ == "__main__":
+    main()

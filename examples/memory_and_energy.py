@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Memory footprints (Figs. 8/9, Table 1) and energy traces (Fig. 10).
+
+Prints the analytic footprint of every workload under every build
+configuration at the paper's KNL run parameters, then models the
+Fig. 10 power-vs-time comparison from a measured Ref/Current speedup.
+
+Run:  python examples/memory_and_energy.py
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
+                                "benchmarks"))
+
+from harness import measure  # noqa: E402
+from repro.core.version import CodeVersion  # noqa: E402
+from repro.memory.model import MemoryModel  # noqa: E402
+from repro.perfmodel.energy import EnergyModel  # noqa: E402
+from repro.perfmodel.hardware import KNL  # noqa: E402
+from repro.workloads.catalog import WORKLOADS  # noqa: E402
+
+
+def main() -> None:
+    print("== memory footprints on KNL (128 threads, 1024 walkers) ==")
+    for name, wl in WORKLOADS.items():
+        model = MemoryModel(wl)
+        print(f"\n{name}  (B-spline table, Table 1: "
+              f"{wl.bspline_gb_paper} GB paper / "
+              f"{model.table1_bspline_gb():.2f} GB model)")
+        for version in CodeVersion:
+            b = model.breakdown(version, 128, 1024)
+            print(f"  {b.format_row()}")
+
+    print("\n== Fig. 10: energy on KNL, NiO-32 ==")
+    print("measuring Ref/Current speedup (short runs)...")
+    ref = measure("NiO-32", CodeVersion.REF)
+    cur = measure("NiO-32", CodeVersion.CURRENT)
+    speedup = ref.seconds_per_sweep / cur.seconds_per_sweep
+    em = EnergyModel(KNL, sample_period_s=5.0)
+    t_cur, init = 600.0, 120.0
+    tr_ref = em.trace(init, t_cur * speedup, label="Ref")
+    tr_cur = em.trace(init, t_cur, label="Current")
+    for tr in (tr_ref, tr_cur):
+        print(f"  {tr.label:<8s} mean power {tr.mean_watts:6.1f} W  "
+              f"energy {tr.energy_joules / 1e3:8.1f} kJ")
+    ratio = EnergyModel.energy_ratio(tr_ref, tr_cur, init, init)
+    print(f"  energy reduction (excl. init): {ratio:.2f}x  "
+          f"vs speedup {speedup:.2f}x  -> commensurate, as in Fig. 10")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Optimize the two-body Jastrow — where Fig. 3's functors come from.
+
+Samples configurations from |Psi|^2, then minimizes the variance of the
+local energy over the Jastrow decay parameters with the configurations
+held fixed (correlated sampling).  Finishes by printing the optimized
+functor curves, Fig. 3 style, and the DMC efficiency gain
+(kappa = 1/(sigma^2 tau_corr T_MC), Sec. 3).
+
+Run:  python examples/optimize_jastrow.py
+"""
+
+import numpy as np
+
+from repro.core import CodeVersion, QmcSystem
+from repro.optimize import JastrowOptimizer
+
+
+def main() -> None:
+    system = QmcSystem.from_workload("Graphite", scale=1 / 16, seed=3,
+                                     with_nlpp=False)
+    parts = system.build(CodeVersion.CURRENT, value_dtype=np.float64)
+    opt = JastrowOptimizer(parts, np.random.default_rng(7), n_samples=10)
+
+    print("sampling configurations from |Psi|^2 ...")
+    opt.sample_configurations()
+
+    print("optimizing (decay_like, decay_unlike) from a bad start ...")
+    res = opt.optimize(x0=(3.0, 3.0), max_iterations=40)
+    print(f"  {res.summary()}")
+    print(f"  parameters: {res.initial_params} -> "
+          f"{np.round(res.final_params, 3)}")
+
+    # kappa scales with 1/variance at fixed tau and time.
+    gain = res.initial_variance / max(res.final_variance, 1e-12)
+    print(f"  implied DMC-efficiency gain at fixed throughput: "
+          f"{gain:.2f}x")
+
+    print("\noptimized functors (Fig. 3 style):")
+    like = opt._j2.functors[(0, 0)]
+    unlike = opt._j2.functors[(0, 1)]
+    grid = np.linspace(0.0, like.rcut, 9)
+    print("  r:    " + " ".join(f"{r:6.2f}" for r in grid))
+    print("  u-u:  " + " ".join(f"{v:6.3f}" for v in like.evaluate_v(grid)))
+    print("  u-d:  " + " ".join(f"{v:6.3f}"
+                                for v in unlike.evaluate_v(grid)))
+
+
+if __name__ == "__main__":
+    main()

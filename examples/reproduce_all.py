@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure and write a combined report.
+
+Runs the full benchmark suite (each harness prints its regenerated
+table/figure and asserts the paper's qualitative claims) and collects
+the output into ``reports/reproduction_report.txt``.
+
+Run:  python examples/reproduce_all.py [--fast]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+HARNESSES = [
+    "benchmarks/test_table1_workloads.py",
+    "benchmarks/test_fig01_strong_scaling.py",
+    "benchmarks/test_fig02_hotspots.py",
+    "benchmarks/test_fig03_jastrow_functors.py",
+    "benchmarks/test_fig07_roofline.py",
+    "benchmarks/test_fig08_speedup_memory.py",
+    "benchmarks/test_fig09_memory.py",
+    "benchmarks/test_fig10_energy.py",
+    "benchmarks/test_table2_speedups.py",
+    "benchmarks/test_sec82_hyperthreading.py",
+    "benchmarks/test_sec82_bandwidth.py",
+    "benchmarks/test_ablation_delayed_update.py",
+    "benchmarks/test_ablation_steps.py",
+    "benchmarks/test_ablation_tiled_spline.py",
+    "benchmarks/test_kernels.py",
+    "benchmarks/test_kernels_nlpp.py",
+]
+
+FAST_SET = HARNESSES[:9]  # the paper's tables/figures only
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fast", action="store_true",
+                    help="tables/figures only (skip ablations/kernels)")
+    ap.add_argument("--out", default="reports/reproduction_report.txt")
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    os.makedirs(os.path.join(repo, os.path.dirname(args.out) or "."),
+                exist_ok=True)
+    targets = FAST_SET if args.fast else HARNESSES
+
+    cmd = [sys.executable, "-m", "pytest", *targets,
+           "-s", "-q", "--benchmark-disable"]
+    print("running:", " ".join(cmd))
+    proc = subprocess.run(cmd, cwd=repo, capture_output=True, text=True)
+    report = proc.stdout + "\n" + proc.stderr
+    out_path = os.path.join(repo, args.out)
+    with open(out_path, "w") as f:
+        f.write(report)
+    print(report[-2000:])
+    print(f"\nfull report: {out_path}")
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

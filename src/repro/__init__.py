@@ -1,0 +1,28 @@
+"""repro — a Python reproduction of the SC'17 QMCPACK optimization paper.
+
+This package implements a complete continuum quantum Monte Carlo (QMC)
+engine modeled on QMCPACK/miniQMC, in three selectable code versions:
+
+* ``CodeVersion.REF`` — the array-of-structures (AoS), store-everything
+  reference implementation (QMCPACK 3.0.0 style, Sec. 6 of the paper);
+* ``CodeVersion.REF_MP`` — the reference with mixed precision enabled;
+* ``CodeVersion.CURRENT`` — the optimized structure-of-arrays (SoA)
+  implementation with forward updates, compute-on-the-fly Jastrows and
+  distance rows, and expanded single precision (Sec. 7).
+
+The public API lives in :mod:`repro.core`; the substrates (particles,
+distance tables, splines, Jastrow factors, determinants, Hamiltonians,
+drivers, simulated cluster, performance models) live in their own
+subpackages and can be used directly.
+
+Quickstart::
+
+    from repro.core import QmcSystem, CodeVersion, run_dmc
+    sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=7)
+    result = run_dmc(sys_, steps=20, walkers=8, version=CodeVersion.CURRENT)
+    print(result.throughput)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Container abstractions mirroring QMCPACK's particle-attribute storage.
+
+Two data layouts coexist, exactly as in the paper:
+
+* **AoS** (array of structures): a Python list of :class:`TinyVector`
+  objects, the analogue of ``Vector<TinyVector<T,D>>``.  Operating on it
+  requires per-element interpreted loops — this is the "scalar code" of
+  the reference implementation.
+* **SoA** (structure of arrays): :class:`VectorSoaContainer`, the analogue
+  of ``VectorSoaContainer<T,D>`` / ``Rsoa[D][Np]``, a padded, cache-aligned
+  transposed layout on which NumPy kernels (our stand-in for SIMD units)
+  operate one contiguous row at a time.
+
+:class:`WalkerBuffer` reproduces the anonymous ``Buffer<T>`` each Walker
+carries to checkpoint the internal state of the wavefunction components
+between particle-by-particle sweeps.
+"""
+
+from repro.containers.aligned import CACHE_LINE_BYTES, aligned_empty, padded_size
+from repro.containers.tinyvector import TinyVector
+from repro.containers.vsc import VectorSoaContainer
+from repro.containers.buffer import WalkerBuffer
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "aligned_empty",
+    "padded_size",
+    "TinyVector",
+    "VectorSoaContainer",
+    "WalkerBuffer",
+]

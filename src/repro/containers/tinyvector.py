@@ -1,0 +1,80 @@
+"""``TinyVector<T,D>`` — the AoS element type of the reference code.
+
+A deliberately scalar object: arithmetic happens component by component in
+interpreted Python, exactly the abstraction-penalty pattern the paper's
+reference profile exhibits (Sec. 6.1).  The optimized code path never
+touches this class inside hot loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+
+class TinyVector:
+    """A fixed-dimension Cartesian vector stored as plain Python floats."""
+
+    __slots__ = ("x",)
+
+    def __init__(self, components: Iterable[float]):
+        self.x = [float(c) for c in components]
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def zeros(cls, d: int) -> "TinyVector":
+        return cls([0.0] * d)
+
+    # -- protocol -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.x)
+
+    def __getitem__(self, i: int) -> float:
+        return self.x[i]
+
+    def __setitem__(self, i: int, v: float) -> None:
+        self.x[i] = float(v)
+
+    def __repr__(self) -> str:
+        return f"TinyVector({self.x})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TinyVector):
+            return NotImplemented
+        return self.x == other.x
+
+    def __hash__(self):
+        return hash(tuple(self.x))
+
+    # -- arithmetic (scalar, component-wise) -----------------------------------
+    def __add__(self, other: "TinyVector") -> "TinyVector":
+        return TinyVector(a + b for a, b in zip(self.x, other.x))
+
+    def __sub__(self, other: "TinyVector") -> "TinyVector":
+        return TinyVector(a - b for a, b in zip(self.x, other.x))
+
+    def __mul__(self, s: float) -> "TinyVector":
+        return TinyVector(a * s for a in self.x)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, s: float) -> "TinyVector":
+        return TinyVector(a / s for a in self.x)
+
+    def __neg__(self) -> "TinyVector":
+        return TinyVector(-a for a in self.x)
+
+    def dot(self, other: "TinyVector") -> float:
+        return sum(a * b for a, b in zip(self.x, other.x))
+
+    def norm2(self) -> float:
+        return sum(a * a for a in self.x)
+
+    def norm(self) -> float:
+        return math.sqrt(self.norm2())
+
+    def copy(self) -> "TinyVector":
+        return TinyVector(self.x)

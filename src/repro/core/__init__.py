@@ -1,0 +1,21 @@
+"""Public API: code versions, system construction, run helpers.
+
+This is the paper's contribution surface: the same physics built in the
+REF (AoS, store-everything, double precision), REF_MP (mixed precision
+on the reference algorithms) and CURRENT (SoA + forward update +
+compute-on-the-fly + expanded single precision) configurations, with one
+switch::
+
+    from repro.core import QmcSystem, CodeVersion, run_dmc
+    sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=3)
+    res = run_dmc(sys_, version=CodeVersion.CURRENT, walkers=8, steps=10)
+    print(res.summary())
+"""
+
+from repro.core.version import CodeVersion, VersionConfig, VERSION_CONFIGS
+from repro.core.system import QmcSystem, run_vmc, run_dmc
+
+__all__ = [
+    "CodeVersion", "VersionConfig", "VERSION_CONFIGS",
+    "QmcSystem", "run_vmc", "run_dmc",
+]

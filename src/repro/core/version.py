@@ -1,0 +1,70 @@
+"""Code-version presets bundling every flavor knob (Sec. 6-7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.precision.policy import FULL, MIXED, PrecisionPolicy
+
+
+class CodeVersion(Enum):
+    """The three build configurations the paper benchmarks."""
+
+    #: QMCPACK 3.0.0, QMC_MIXED_PRECISION=0: AoS objects, packed-triangle
+    #: distance tables, 5N^2 stored Jastrow state, double precision
+    #: everywhere except the B-spline SPO table.
+    REF = "ref"
+
+    #: The same algorithms with QMC_MIXED_PRECISION=1: key data in single
+    #: precision, ensemble quantities still double.
+    REF_MP = "ref+mp"
+
+    #: The fully transformed code: SoA containers, forward update,
+    #: compute-on-the-fly distance rows and Jastrows, multi-orbital SPO
+    #: evaluation, expanded single precision.
+    CURRENT = "current"
+
+    @property
+    def label(self) -> str:
+        return {"ref": "Ref", "ref+mp": "Ref+MP", "current": "Current"}[
+            self.value]
+
+
+@dataclass(frozen=True)
+class VersionConfig:
+    """Concrete flavor selection for one CodeVersion."""
+
+    table_flavor_aa: str
+    table_flavor_ab: str
+    jastrow_flavor: str
+    spo_layout: str
+    value_dtype: object
+    spline_dtype: object
+    precision: PrecisionPolicy
+    #: roofline SIMD-efficiency table key ('ref' or 'current')
+    simd_profile: str
+
+
+VERSION_CONFIGS = {
+    CodeVersion.REF: VersionConfig(
+        table_flavor_aa="ref", table_flavor_ab="ref",
+        jastrow_flavor="ref", spo_layout="ref",
+        value_dtype=np.float64, spline_dtype=np.float32,
+        precision=FULL, simd_profile="ref",
+    ),
+    CodeVersion.REF_MP: VersionConfig(
+        table_flavor_aa="ref", table_flavor_ab="ref",
+        jastrow_flavor="ref", spo_layout="ref",
+        value_dtype=np.float32, spline_dtype=np.float32,
+        precision=MIXED, simd_profile="ref",
+    ),
+    CodeVersion.CURRENT: VersionConfig(
+        table_flavor_aa="otf", table_flavor_ab="soa",
+        jastrow_flavor="otf", spo_layout="soa",
+        value_dtype=np.float32, spline_dtype=np.float32,
+        precision=MIXED, simd_profile="current",
+    ),
+}

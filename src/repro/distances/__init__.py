@@ -1,0 +1,39 @@
+"""Distance tables — the paper's top hot spot and its central optimization.
+
+Electron–electron (**AA**, symmetric) and electron–ion (**AB**) tables in
+the flavors of Fig. 6:
+
+* ``ref`` — the QMCPACK 3.0.0 baseline: AoS scalar arithmetic; AA stores
+  the packed upper triangle, updated row+column on acceptance (Fig. 6a).
+* ``soa`` — full ``N x Np`` per-row storage over SoA positions with the
+  **forward update**: on acceptance, write row k contiguously and update
+  only the k' > k column entries needed by future moves (Fig. 6b).
+* ``otf`` — **compute-on-the-fly**: recompute row k (vectorized) from the
+  current positions immediately before the move, eliminating the strided
+  column update entirely; the O(N²) storage is retained and refreshed in
+  full for the Hamiltonian (Sec. 7.5).
+
+All flavors expose the same consumer API: ``temp_r``/``temp_dr`` for the
+proposed position and ``dist_row(k)``/``disp_row(k)`` for the current one.
+Displacement convention: ``disp_row(k)[:, i] = min_image(r_i - r_k)``.
+"""
+
+from repro.distances.base import BIG_DISTANCE, DistanceTable
+from repro.distances.aa_ref import DistanceTableAARef
+from repro.distances.aa_soa import DistanceTableAASoA
+from repro.distances.aa_otf import DistanceTableAAOtf
+from repro.distances.ab_ref import DistanceTableABRef
+from repro.distances.ab_soa import DistanceTableABSoA
+from repro.distances.factory import create_aa_table, create_ab_table
+
+__all__ = [
+    "BIG_DISTANCE",
+    "DistanceTable",
+    "DistanceTableAARef",
+    "DistanceTableAASoA",
+    "DistanceTableAAOtf",
+    "DistanceTableABRef",
+    "DistanceTableABSoA",
+    "create_aa_table",
+    "create_ab_table",
+]

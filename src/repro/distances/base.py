@@ -1,0 +1,53 @@
+"""Common distance-table interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: Sentinel stored on the AA diagonal so finite-cutoff functors and
+#: 1/r kernels mask the self-interaction out without branching.
+BIG_DISTANCE = 1.0e30
+
+
+class DistanceTable(ABC):
+    """Abstract distance table attached to a target ParticleSet.
+
+    Life cycle per Monte Carlo step (PbyP sweep):
+
+    * :meth:`evaluate` — full recompute from the target's positions
+      (walker load, and again before measurements);
+    * :meth:`move` — fill ``temp_r``/``temp_dr`` for a proposed position
+      of particle ``k`` (flavors may also refresh the current row);
+    * :meth:`update` — commit the temporaries after acceptance.
+    """
+
+    #: profile category this table reports to ("DistTable-AA"/"DistTable-AB")
+    category: str = "DistTable"
+
+    @abstractmethod
+    def evaluate(self, P) -> None:
+        """Recompute the whole table from P's current positions."""
+
+    @abstractmethod
+    def move(self, P, rnew: np.ndarray, k: int) -> None:
+        """Compute temporary distances from proposed position ``rnew`` of
+        particle ``k`` to every source."""
+
+    @abstractmethod
+    def update(self, k: int) -> None:
+        """Accept the proposed move of particle ``k``."""
+
+    @abstractmethod
+    def dist_row(self, k: int):
+        """Distances from the *current* position of target ``k`` to sources."""
+
+    @abstractmethod
+    def disp_row(self, k: int):
+        """Displacements r_source - r_k from the current position of ``k``."""
+
+    @property
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Bytes of per-walker table storage (for the memory model)."""

@@ -1,0 +1,32 @@
+"""Flavor selection for distance tables, keyed by code version strings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.aa_otf import DistanceTableAAOtf
+from repro.distances.aa_ref import DistanceTableAARef
+from repro.distances.aa_soa import DistanceTableAASoA
+from repro.distances.ab_ref import DistanceTableABRef
+from repro.distances.ab_soa import DistanceTableABSoA
+
+
+def create_aa_table(n: int, lattice, flavor: str = "otf", dtype=np.float64):
+    """Create an electron-electron table: 'ref', 'soa' or 'otf'."""
+    if flavor == "ref":
+        return DistanceTableAARef(n, lattice)
+    if flavor == "soa":
+        return DistanceTableAASoA(n, lattice, dtype=dtype)
+    if flavor == "otf":
+        return DistanceTableAAOtf(n, lattice, dtype=dtype)
+    raise ValueError(f"unknown AA table flavor {flavor!r}")
+
+
+def create_ab_table(source, n_target: int, lattice, flavor: str = "soa",
+                    dtype=np.float64):
+    """Create an electron-ion table: 'ref' or 'soa'."""
+    if flavor == "ref":
+        return DistanceTableABRef(source, n_target, lattice)
+    if flavor in ("soa", "otf"):
+        return DistanceTableABSoA(source, n_target, lattice, dtype=dtype)
+    raise ValueError(f"unknown AB table flavor {flavor!r}")

@@ -1,0 +1,146 @@
+"""Shared PbyP sweep machinery for the QMC drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.estimators.scalar import EstimatorManager
+from repro.particles.walker import Walker
+from repro.precision.policy import FULL, PrecisionPolicy
+
+
+class QMCDriverBase:
+    """Owns the per-thread compute objects and the drift-diffusion sweep.
+
+    Parameters
+    ----------
+    P, twf, ham:
+        The electron ParticleSet (with tables attached), trial
+        wavefunction and Hamiltonian.
+    timestep:
+        Monte Carlo time step tau.
+    use_drift:
+        Importance-sampled moves (r' = r + tau*grad log Psi + chi) with
+        the Green's-function detailed-balance correction, vs plain
+        symmetric Gaussian moves.
+    precision:
+        PrecisionPolicy controlling the periodic from-scratch recompute
+        of per-walker state (mixed precision needs it; Sec. 7.2).
+    """
+
+    #: cap on the drift displacement per move, in units of sqrt(tau)
+    DRIFT_CAP = 2.0
+
+    def __init__(self, P, twf, ham, rng: np.random.Generator,
+                 timestep: float = 0.5, use_drift: bool = True,
+                 precision: PrecisionPolicy = FULL):
+        self.P = P
+        self.twf = twf
+        self.ham = ham
+        self.rng = rng
+        self.tau = float(timestep)
+        self.use_drift = use_drift
+        self.precision = precision
+        self.n_accept = 0
+        self.n_moves = 0
+        #: per-walker scalar accumulation (E_L, components, acceptance)
+        self.estimators = EstimatorManager()
+
+    # -- walkers ----------------------------------------------------------------------
+    def create_walkers(self, nw: int, jitter: float = 0.05) -> List[Walker]:
+        """Spawn walkers around the current configuration and initialize
+        their buffers (register + first from-scratch evaluation)."""
+        walkers = []
+        base = self.P.R.copy()
+        for _ in range(nw):
+            w = Walker.from_positions(
+                base + jitter * self.rng.normal(size=base.shape),
+                dtype=self.precision.value_dtype)
+            self.P.load_walker(w)
+            logpsi = self.twf.evaluate_log(self.P)
+            self.twf.register_data(self.P, w.buffer)
+            self.twf.update_buffer(self.P, w.buffer)
+            el = self.ham.evaluate(self.P, self.twf)
+            w.properties["logpsi"] = logpsi
+            w.properties["local_energy"] = el
+            walkers.append(w)
+        return walkers
+
+    def load_walker(self, w: Walker, recompute: bool = False) -> None:
+        self.P.load_walker(w)
+        if recompute:
+            self.twf.evaluate_log(self.P)
+        else:
+            self.twf.copy_from_buffer(self.P, w.buffer)
+
+    def store_walker(self, w: Walker) -> float:
+        """Measure E_L at the sweep's final configuration and store state."""
+        self.P.update_tables()
+        self.twf.evaluate_gl(self.P)
+        el = self.ham.evaluate(self.P, self.twf)
+        self.twf.update_buffer(self.P, w.buffer)
+        self.P.store_walker(w)
+        w.properties["local_energy"] = el
+        self.estimators.accumulate("LocalEnergy", el, w.weight)
+        for name, v in self.ham.last_components.items():
+            self.estimators.accumulate(name, v, w.weight)
+        return el
+
+    # -- the drift-diffusion sweep (Alg. 1, L4-L10) ---------------------------------------
+    def sweep(self) -> int:
+        """One PbyP pass over all electrons; returns acceptance count."""
+        P = self.P
+        twf = self.twf
+        tau = self.tau
+        sqrt_tau = math.sqrt(tau)
+        accepted = 0
+        n = P.n
+        chi_all = self.rng.normal(scale=sqrt_tau, size=(n, 3))
+        uniforms = self.rng.uniform(size=n)
+        for k in range(n):
+            chi = chi_all[k]
+            if self.use_drift:
+                g_old = twf.grad(P, k)
+                drift_old = self._limited_drift(g_old)
+                rnew = P.R[k] + drift_old + chi
+            else:
+                rnew = P.R[k] + chi
+            P.make_move(k, rnew)
+            if self.use_drift:
+                rho, g_new = twf.ratio_grad(P, k)
+                drift_new = self._limited_drift(g_new)
+                # log T(R'->R) - log T(R->R'):
+                back = P.R[k] - rnew - drift_new
+                fwd = rnew - P.R[k] - drift_old
+                log_t = (-(back @ back) + (fwd @ fwd)) / (2.0 * tau)
+                A = min(1.0, rho * rho * math.exp(log_t))
+            else:
+                rho = twf.ratio(P, k)
+                A = min(1.0, rho * rho)
+            if uniforms[k] < A and rho != 0.0:
+                twf.accept_move(P, k, math.log(abs(rho)))
+                P.accept_move(k)
+                accepted += 1
+            else:
+                twf.reject_move(P, k)
+                P.reject_move(k)
+        self.n_accept += accepted
+        self.n_moves += n
+        return accepted
+
+    def _limited_drift(self, g: np.ndarray) -> np.ndarray:
+        """tau * grad, norm-capped — the standard umrigar-style limiter
+        keeping rare huge gradients from catapulting walkers."""
+        drift = self.tau * g
+        norm = float(np.linalg.norm(drift))
+        cap = self.DRIFT_CAP * math.sqrt(self.tau)
+        if norm > cap:
+            drift *= cap / norm
+        return drift
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.n_accept / self.n_moves if self.n_moves else 0.0

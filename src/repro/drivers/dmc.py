@@ -1,0 +1,154 @@
+"""Diffusion Monte Carlo driver (Alg. 1)."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List
+
+import numpy as np
+
+from repro.drivers.base import QMCDriverBase
+from repro.drivers.result import QMCResult
+from repro.particles.walker import Walker
+from repro.profiling.profiler import PROFILER
+
+
+class DMCDriver(QMCDriverBase):
+    """DMC with weights, stochastic branching and trial-energy feedback.
+
+    Branching uses the standard stochastic-rounding comb: each walker's
+    multiplicity is floor(weight + xi), capped to avoid population blow-up,
+    and the trial energy is fed back as
+    E_T = E_best - ln(Nw / N_target) / (g * tau), so a population
+    imbalance is worked off over about ``g`` generations regardless of
+    the time step.
+    """
+
+    #: hard cap on children per walker per generation
+    MAX_MULTIPLICITY = 2
+    #: generations over which the feedback restores the target population
+    FEEDBACK_GENERATIONS = 5.0
+    #: generations without a single accepted move before a walker is
+    #: considered stuck and its branching weight is damped (QMCPACK's
+    #: age-based persistent-walker control)
+    MAX_AGE = 5
+
+    def run(self, walkers: int | List[Walker] = 16, steps: int = 20,
+            profile: bool = False, label: str = "dmc",
+            target_population: int | None = None,
+            branching: str = "stochastic") -> QMCResult:
+        if branching not in ("stochastic", "comb"):
+            raise ValueError(f"unknown branching scheme {branching!r}")
+        if isinstance(walkers, int):
+            pop = self.create_walkers(walkers)
+        else:
+            pop = walkers
+        target = target_population if target_population else len(pop)
+        e_trial = float(np.mean([w.properties["local_energy"] for w in pop]))
+        e_best = e_trial
+        if profile:
+            PROFILER.start_run()
+        t0 = time.perf_counter()
+        result = QMCResult(method="DMC", steps=steps)
+        for step in range(1, steps + 1):
+            energies = []
+            weights = []
+            recompute = self.precision.should_recompute(step)
+            for w in pop:
+                el_old = w.properties["local_energy"]
+                self.load_walker(w, recompute=recompute)
+                accepted_before = self.n_accept
+                self.sweep()
+                el_new = self.store_walker(w)
+                # Age-based stuck-walker control: a walker whose sweep
+                # accepted nothing grows old; persistent walkers get
+                # their branching weight damped so they die out instead
+                # of multiplying a pathological configuration.
+                if self.n_accept == accepted_before:
+                    w.age += 1
+                else:
+                    w.age = 0
+                # Reweight (Alg. 1, L13): symmetric-rule growth estimator.
+                w.weight *= math.exp(
+                    -self.tau * (0.5 * (el_old + el_new) - e_trial))
+                if w.age > self.MAX_AGE:
+                    w.weight = min(w.weight, 0.5)
+                energies.append(el_new)
+                weights.append(w.weight)
+            weights = np.asarray(weights)
+            wsum = float(np.sum(weights))
+            e_mixed = float(np.sum(weights * np.asarray(energies)) / wsum)
+            result.energies.append(e_mixed)
+            # Branch (Alg. 1, L13) and update E_T (L14).
+            if branching == "comb":
+                pop = self._branch_comb(pop, target)
+            else:
+                pop = self._branch(pop)
+            # Track the mixed estimator closely: with a drifting E_L during
+            # equilibration a heavily-smoothed E_best starves the population.
+            e_best = 0.25 * e_best + 0.75 * e_mixed
+            feedback = 1.0 / (self.FEEDBACK_GENERATIONS * self.tau)
+            e_trial = e_best - feedback * math.log(
+                max(len(pop), 1) / target)
+            result.populations.append(len(pop))
+            result.trial_energies.append(e_trial)
+        result.elapsed = time.perf_counter() - t0
+        result.acceptance = self.acceptance_ratio
+        result.estimators = self.estimators
+        if profile:
+            result.profile = PROFILER.stop_run(label)
+        result.extra["final_population"] = len(pop)
+        return result
+
+    def _branch(self, pop: List[Walker]) -> List[Walker]:
+        """Stochastic-rounding branching; resets surviving weights to ~1."""
+        new_pop: List[Walker] = []
+        for w in pop:
+            m = int(w.weight + self.rng.uniform())
+            m = min(m, self.MAX_MULTIPLICITY)
+            if m <= 0:
+                continue
+            w.multiplicity = m
+            w.weight = 1.0
+            new_pop.append(w)
+            for _ in range(m - 1):
+                child = w.copy()
+                child.age = 0
+                new_pop.append(child)
+        if not new_pop:
+            # Population extinction guard: resurrect the last walker.
+            survivor = pop[len(pop) // 2].copy()
+            survivor.weight = 1.0
+            new_pop.append(survivor)
+        return new_pop
+
+    def _branch_comb(self, pop: List[Walker], target: int) -> List[Walker]:
+        """Stochastic reconfiguration ('comb'): resample exactly
+        ``target`` walkers with probabilities proportional to their
+        weights (systematic resampling), keeping the population constant
+        — the fixed-population alternative used by several production
+        codes.  Surviving weights reset to 1."""
+        weights = np.array([w.weight for w in pop], dtype=np.float64)
+        total = float(np.sum(weights))
+        if total <= 0:
+            survivor = pop[len(pop) // 2].copy()
+            survivor.weight = 1.0
+            return [survivor]
+        cum = np.cumsum(weights) / total
+        u0 = self.rng.uniform(0.0, 1.0 / target)
+        points = u0 + np.arange(target) / target
+        picks = np.searchsorted(cum, points)
+        new_pop: List[Walker] = []
+        used = set()
+        for idx in picks:
+            idx = int(min(idx, len(pop) - 1))
+            if idx in used:
+                child = pop[idx].copy()
+                child.age = 0
+            else:
+                child = pop[idx]
+                used.add(idx)
+            child.weight = 1.0
+            new_pop.append(child)
+        return new_pop

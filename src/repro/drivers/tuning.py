@@ -1,0 +1,67 @@
+"""Time-step tuning for VMC: hit a target acceptance ratio.
+
+Production VMC runs pick tau so the acceptance ratio sits near a target
+(commonly ~50% for plain Metropolis, higher with drift).  The tuner
+runs short probe sweeps and bisects on log(tau) — acceptance is
+monotone decreasing in tau, so bisection is safe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+
+def measure_acceptance(driver, sweeps: int = 2) -> float:
+    """Acceptance ratio of a few probe sweeps at the driver's current tau
+    (driver counters are restored afterwards; particle positions move —
+    callers tune before equilibration, as production does)."""
+    a0, m0 = driver.n_accept, driver.n_moves
+    for _ in range(sweeps):
+        driver.sweep()
+    acc = (driver.n_accept - a0) / max(driver.n_moves - m0, 1)
+    driver.n_accept, driver.n_moves = a0, m0
+    return acc
+
+
+def tune_timestep(driver, target: float = 0.5, tol: float = 0.05,
+                  tau_bounds: Tuple[float, float] = (1e-4, 10.0),
+                  max_iterations: int = 12,
+                  probe_sweeps: int = 2) -> float:
+    """Bisection on log(tau) until the acceptance is within ``tol`` of
+    ``target``.  Returns the tuned tau (also installed on the driver).
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target acceptance must be in (0, 1)")
+    lo, hi = tau_bounds
+    if lo <= 0 or hi <= lo:
+        raise ValueError("bad tau bounds")
+
+    def acc_at(tau: float) -> float:
+        driver.tau = tau
+        return measure_acceptance(driver, probe_sweeps)
+
+    # Establish a bracket: acceptance(lo) should exceed the target,
+    # acceptance(hi) should be below it.
+    a_lo = acc_at(lo)
+    if a_lo < target:
+        return lo  # even the smallest step rejects too much; give up low
+    a_hi = acc_at(hi)
+    if a_hi > target:
+        driver.tau = hi
+        return hi
+    llo, lhi = math.log(lo), math.log(hi)
+    tau = driver.tau
+    for _ in range(max_iterations):
+        mid = 0.5 * (llo + lhi)
+        tau = math.exp(mid)
+        acc = acc_at(tau)
+        if abs(acc - target) <= tol:
+            break
+        if acc > target:
+            llo = mid
+        else:
+            lhi = mid
+    driver.tau = tau
+    return tau

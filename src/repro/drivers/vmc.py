@@ -1,0 +1,49 @@
+"""Variational Monte Carlo driver."""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.drivers.base import QMCDriverBase
+from repro.drivers.result import QMCResult
+from repro.particles.walker import Walker
+from repro.profiling.profiler import PROFILER
+
+
+class VMCDriver(QMCDriverBase):
+    """Fixed-population VMC: sample |Psi_T|^2 and average E_L."""
+
+    def run(self, walkers: int | List[Walker] = 8, steps: int = 10,
+            profile: bool = False, label: str = "vmc") -> QMCResult:
+        """Run ``steps`` generations over the walker population.
+
+        ``walkers`` may be a count (walkers are spawned around the current
+        configuration) or an existing population to continue from.
+        """
+        if isinstance(walkers, int):
+            pop = self.create_walkers(walkers)
+        else:
+            pop = walkers
+        if profile:
+            PROFILER.start_run()
+        t0 = time.perf_counter()
+        result = QMCResult(method="VMC", steps=steps)
+        for step in range(1, steps + 1):
+            energies = []
+            recompute = self.precision.should_recompute(step)
+            for w in pop:
+                self.load_walker(w, recompute=recompute)
+                self.sweep()
+                energies.append(self.store_walker(w))
+                w.age += 1
+            result.energies.append(float(np.mean(energies)))
+            result.populations.append(len(pop))
+        result.elapsed = time.perf_counter() - t0
+        result.acceptance = self.acceptance_ratio
+        result.estimators = self.estimators
+        if profile:
+            result.profile = PROFILER.stop_run(label)
+        return result

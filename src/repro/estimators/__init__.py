@@ -1,0 +1,25 @@
+"""Scalar estimators: accumulation, equilibration detection, reporting.
+
+The drivers hand per-generation scalar samples (E_L, acceptance,
+population, Hamiltonian components) to an :class:`EstimatorManager`,
+which accumulates weighted block statistics, detects and discards the
+equilibration transient, and reports autocorrelation-corrected error
+bars — the machinery behind every number a production QMC run prints.
+"""
+
+from repro.estimators.scalar import (
+    EstimatorManager, ScalarEstimate, equilibration_index,
+)
+from repro.estimators.pair_correlation import (
+    PairCorrelationEstimator, SpinResolvedGofr, StructureFactorEstimator,
+)
+from repro.estimators.finite_size import (
+    corrected_potential, fit_plasmon_frequency, plasmon_frequency_rpa,
+    potential_correction,
+)
+
+__all__ = ["EstimatorManager", "ScalarEstimate", "equilibration_index",
+           "PairCorrelationEstimator", "StructureFactorEstimator",
+           "SpinResolvedGofr",
+           "plasmon_frequency_rpa", "fit_plasmon_frequency",
+           "potential_correction", "corrected_potential"]

@@ -1,0 +1,74 @@
+"""Leading-order finite-size corrections from the structure factor.
+
+Periodic QMC energies carry finite-size errors because the k-space sums
+miss the k -> 0 region.  The standard leading-order (RPA) recipe
+[Chiesa, Ceperley, Martin, Holzmann, PRL 97, 076404 (2006)] extracts
+the plasmon frequency from the measured small-k structure factor,
+
+    S(k) -> k^2 / (2 omega_p)   as  k -> 0,
+
+and corrects the potential energy by the missing k = 0 plasmon
+zero-point term,
+
+    Delta V = omega_p / 4       (hartree per simulation cell).
+
+This module implements the omega_p extraction (with the RPA value
+sqrt(4 pi n) as the analytic cross-check) and the potential correction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def plasmon_frequency_rpa(n_electrons: int, volume: float) -> float:
+    """RPA plasmon frequency omega_p = sqrt(4 pi n) in hartree a.u."""
+    if volume <= 0 or n_electrons <= 0:
+        raise ValueError("need positive electron count and volume")
+    density = n_electrons / volume
+    return math.sqrt(4.0 * math.pi * density)
+
+
+def fit_plasmon_frequency(kmags: np.ndarray, sofk: np.ndarray,
+                          kmax: float | None = None) -> float:
+    """Extract omega_p from S(k) ~ k^2/(2 omega_p) at small k.
+
+    Least-squares fit of S against k^2 through the origin over the
+    shells with |k| <= kmax (default: the smallest third of the data).
+    """
+    kmags = np.asarray(kmags, dtype=np.float64)
+    sofk = np.asarray(sofk, dtype=np.float64)
+    if kmags.size != sofk.size or kmags.size < 2:
+        raise ValueError("need matching k/S arrays with >= 2 points")
+    if kmax is None:
+        kmax = float(np.quantile(kmags, 0.34))
+    sel = kmags <= kmax
+    if np.count_nonzero(sel) < 2:
+        sel = np.argsort(kmags)[:2]
+    k2 = kmags[sel] ** 2
+    s = sofk[sel]
+    slope = float(np.sum(k2 * s) / np.sum(k2 * k2))  # S = slope * k^2
+    if slope <= 0:
+        raise ValueError("non-physical S(k) fit (slope <= 0)")
+    return 1.0 / (2.0 * slope)
+
+
+def potential_correction(omega_p: float) -> float:
+    """Chiesa leading-order potential correction: omega_p / 4 hartree per
+    simulation cell."""
+    if omega_p <= 0:
+        raise ValueError("omega_p must be positive")
+    return omega_p / 4.0
+
+
+def corrected_potential(v_total: float, kmags: np.ndarray,
+                        sofk: np.ndarray) -> tuple:
+    """Apply the correction to a measured potential energy.
+
+    Returns (corrected value, omega_p estimate, correction applied).
+    """
+    omega = fit_plasmon_frequency(kmags, sofk)
+    dv = potential_correction(omega)
+    return v_total + dv, omega, dv

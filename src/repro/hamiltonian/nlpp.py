@@ -1,0 +1,143 @@
+"""Non-local pseudopotential via spherical-shell quadrature (Sec. 3).
+
+For every (electron k, ion I) pair with r_kI inside the channel cutoff,
+the angular projector integral is approximated by a quadrature over
+points on the sphere of radius r_kI centered on the ion:
+
+    V_NL += v_l(r) * (2l+1)/(4 pi) * sum_q w_q P_l(cos theta_q)
+            * Psi(..., r_q, ...) / Psi(..., r_k, ...)
+
+Each quadrature point costs one wavefunction *ratio* (Eq. 4) — the same
+kernel as a particle move but without acceptance, which is why NLPP
+pressure shows up in the DistTable/Jastrow/Bspline-v profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.perfmodel.opcount import OPS
+from repro.profiling.profiler import PROFILER
+
+
+def sphere_quadrature(npoints: int = 12) -> tuple[np.ndarray, np.ndarray]:
+    """Quadrature directions and weights on the unit sphere.
+
+    Supports the octahedron rule (6 points) and the icosahedron vertex
+    rule (12 points) — both integrate spherical harmonics up to l=2 /
+    l=5 exactly, matching QMCPACK's standard grids.
+    """
+    if npoints == 6:
+        dirs = np.array([
+            [1, 0, 0], [-1, 0, 0],
+            [0, 1, 0], [0, -1, 0],
+            [0, 0, 1], [0, 0, -1],
+        ], dtype=np.float64)
+    elif npoints == 12:
+        phi = (1.0 + math.sqrt(5.0)) / 2.0
+        raw = []
+        for s1 in (1, -1):
+            for s2 in (1, -1):
+                raw.append([0.0, s1 * 1.0, s2 * phi])
+                raw.append([s1 * 1.0, s2 * phi, 0.0])
+                raw.append([s1 * phi, 0.0, s2 * 1.0])
+        dirs = np.array(raw, dtype=np.float64)
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    else:
+        raise ValueError(f"unsupported quadrature size {npoints}")
+    weights = np.full(len(dirs), 1.0 / len(dirs))
+    return dirs, weights
+
+
+def legendre(l: int, x):
+    """Legendre polynomial P_l, vectorized, for the low channels used."""
+    if l == 0:
+        return np.ones_like(np.asarray(x, dtype=np.float64))
+    if l == 1:
+        return np.asarray(x, dtype=np.float64)
+    if l == 2:
+        x = np.asarray(x, dtype=np.float64)
+        return 1.5 * x * x - 0.5
+    raise ValueError(f"channel l={l} not supported")
+
+
+class NonLocalPP:
+    """One non-local channel shared by a set of ions.
+
+    Radial form v_l(r) = v0 * exp(-(r/width)^2), cut off at ``rcut`` —
+    a Gaussian-localized projector with the shape of a real
+    norm-conserving PP's non-local part.
+    """
+
+    name = "NonLocalECP"
+
+    def __init__(self, ions, ion_indices: Sequence[int], l: int = 1,
+                 v0: float = 1.0, width: float = 0.8, rcut: float = 1.2,
+                 npoints: int = 12, table_index: int = 1,
+                 rng: np.random.Generator | None = None):
+        self.ions = ions
+        self.ion_indices = np.asarray(ion_indices, dtype=np.int64)
+        self.l = l
+        self.v0 = float(v0)
+        self.width = float(width)
+        self.rcut = float(rcut)
+        self.table_index = table_index
+        self.dirs, self.weights = sphere_quadrature(npoints)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def radial(self, r):
+        return self.v0 * np.exp(-np.square(np.asarray(r) / self.width))
+
+    def evaluate(self, P, twf) -> float:
+        """Sum the channel over all in-range (electron, ion) pairs.
+
+        Randomly rotating the quadrature frame per evaluation removes the
+        grid bias, as production codes do.
+        """
+        table = P.distance_tables[self.table_index]
+        rot = self._random_rotation()
+        dirs = self.dirs @ rot.T
+        total = 0.0
+        prefac = (2 * self.l + 1)
+        for k in range(P.n):
+            row_r = np.asarray(table.dist_row(k), dtype=np.float64)
+            row_dr = table.disp_row(k)
+            for I in self.ion_indices:
+                d = row_r[I]
+                if d >= self.rcut:
+                    continue
+                # Unit vector from ion to electron: -disp(k->I)/d.
+                if isinstance(row_dr, list):
+                    dv = np.array([row_dr[I][0], row_dr[I][1], row_dr[I][2]])
+                else:
+                    dv = np.asarray(row_dr[:, I], dtype=np.float64)
+                u_old = -dv / d
+                ion_pos = self.ions.R[I]
+                cosines = dirs @ u_old
+                pl = legendre(self.l, cosines)
+                with PROFILER.timer("NLPP"):
+                    OPS.record("NLPP", flops=30.0 * len(dirs),
+                               rbytes=24.0 * len(dirs), wbytes=8.0)
+                acc = 0.0
+                for q in range(len(dirs)):
+                    r_q = ion_pos + d * dirs[q]
+                    P.make_move(k, P.lattice.wrap(r_q[None, :])[0]
+                                if P.lattice.periodic else r_q)
+                    rho = twf.ratio(P, k)
+                    twf.reject_move(P, k)
+                    P.reject_move(k)
+                    acc += self.weights[q] * pl[q] * rho
+                total += float(self.radial(d)) * prefac * acc
+        return total
+
+    def _random_rotation(self) -> np.ndarray:
+        """Uniform random rotation matrix (QR of a Gaussian matrix)."""
+        m = self.rng.normal(size=(3, 3))
+        q, r = np.linalg.qr(m)
+        q *= np.sign(np.diag(r))
+        if np.linalg.det(q) < 0:
+            q[:, 0] = -q[:, 0]
+        return q

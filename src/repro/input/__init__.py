@@ -1,0 +1,22 @@
+"""Declarative run specification — the QMCPACK input-file analogue.
+
+Production QMC runs are described by an input file (XML in QMCPACK);
+here a JSON/dict document selects the workload, code version, method and
+run parameters::
+
+    {
+      "workload": "NiO-32",
+      "scale": 0.125,
+      "version": "current",
+      "method": "dmc",
+      "walkers": 16,
+      "steps": 20,
+      "timestep": 0.005
+    }
+
+``repro-run config.json`` executes it from the shell.
+"""
+
+from repro.input.spec import RunSpec, execute, load_json, parse, run_file
+
+__all__ = ["RunSpec", "parse", "execute", "load_json", "run_file"]

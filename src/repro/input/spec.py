@@ -1,0 +1,126 @@
+"""Run specification parsing, validation and execution."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.core.system import QmcSystem, run_dmc, run_vmc
+from repro.core.version import CodeVersion
+from repro.drivers.result import QMCResult
+from repro.workloads.catalog import get_workload
+
+_VERSIONS = {v.value: v for v in CodeVersion}
+_METHODS = ("vmc", "dmc")
+
+
+@dataclass
+class RunSpec:
+    """A validated run description."""
+
+    workload: str
+    method: str = "vmc"
+    version: CodeVersion = CodeVersion.CURRENT
+    scale: float = 1.0
+    seed: int = 11
+    walkers: int = 8
+    steps: int = 10
+    timestep: float = 0.3
+    use_drift: bool = True
+    with_nlpp: bool = True
+    profile: bool = False
+    run_seed: int = 99
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+def parse(doc: Dict[str, Any]) -> RunSpec:
+    """Validate a dict document into a RunSpec (unknown keys collected
+    into ``extras``; wrong values raise with actionable messages)."""
+    if "workload" not in doc:
+        raise ValueError("input must name a 'workload' "
+                         f"(one of Graphite, Be-64, NiO-32, NiO-64)")
+    workload = get_workload(str(doc["workload"])).name
+
+    method = str(doc.get("method", "vmc")).lower()
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+
+    vraw = str(doc.get("version", "current")).lower()
+    if vraw not in _VERSIONS:
+        raise ValueError(f"version must be one of {sorted(_VERSIONS)}, "
+                         f"got {vraw!r}")
+
+    def _num(key, default, lo=None, hi=None, kind=float):
+        v = kind(doc.get(key, default))
+        if lo is not None and v < lo:
+            raise ValueError(f"{key} must be >= {lo}, got {v}")
+        if hi is not None and v > hi:
+            raise ValueError(f"{key} must be <= {hi}, got {v}")
+        return v
+
+    known = {"workload", "method", "version", "scale", "seed", "walkers",
+             "steps", "timestep", "use_drift", "with_nlpp", "profile",
+             "run_seed"}
+    extras = {k: v for k, v in doc.items() if k not in known}
+
+    return RunSpec(
+        workload=workload,
+        method=method,
+        version=_VERSIONS[vraw],
+        scale=_num("scale", 1.0, lo=1e-6, hi=1.0),
+        seed=_num("seed", 11, kind=int),
+        walkers=_num("walkers", 8, lo=1, kind=int),
+        steps=_num("steps", 10, lo=1, kind=int),
+        timestep=_num("timestep", 0.3, lo=1e-9),
+        use_drift=bool(doc.get("use_drift", True)),
+        with_nlpp=bool(doc.get("with_nlpp", True)),
+        profile=bool(doc.get("profile", False)),
+        run_seed=_num("run_seed", 99, kind=int),
+        extras=extras,
+    )
+
+
+def execute(spec: RunSpec) -> QMCResult:
+    """Build the system and run the requested method."""
+    system = QmcSystem.from_workload(spec.workload, scale=spec.scale,
+                                     seed=spec.seed,
+                                     with_nlpp=spec.with_nlpp)
+    runner = run_dmc if spec.method == "dmc" else run_vmc
+    return runner(system, spec.version, walkers=spec.walkers,
+                  steps=spec.steps, timestep=spec.timestep,
+                  use_drift=spec.use_drift, profile=spec.profile,
+                  seed=spec.run_seed)
+
+
+def load_json(path: str) -> RunSpec:
+    with open(path) as f:
+        return parse(json.load(f))
+
+
+def run_file(path: str) -> QMCResult:
+    return execute(load_json(path))
+
+
+def main(argv=None) -> int:
+    """CLI: repro-run config.json [config2.json ...]"""
+    import argparse
+    ap = argparse.ArgumentParser(
+        description="run a QMC simulation from a JSON input file")
+    ap.add_argument("configs", nargs="+", help="JSON run specifications")
+    args = ap.parse_args(argv)
+    for path in args.configs:
+        spec = load_json(path)
+        print(f"== {path}: {spec.workload} {spec.method.upper()} "
+              f"({spec.version.label}) ==")
+        res = execute(spec)
+        print(res.summary())
+        if res.profile is not None:
+            print(res.profile.format_table())
+        if res.estimators is not None:
+            print(res.estimators.report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

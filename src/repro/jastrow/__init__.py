@@ -1,0 +1,26 @@
+"""Jastrow correlation factors (Eq. 3 of the paper).
+
+``log Psi_J = -sum u(r)`` with B-spline functors of finite cutoff
+(:class:`BsplineFunctor`, Fig. 3).  Each orbital comes in two flavors:
+
+* ``ref`` — the store-over-compute baseline: J2 keeps full N x N value /
+  gradient / Laplacian matrices (5 N^2 scalars per walker) updated row +
+  column on every acceptance, with scalar per-pair arithmetic;
+* ``otf`` — the optimized compute-on-the-fly version: only per-particle
+  accumulations (5 N scalars), rebuilt from the distance-table rows with
+  vectorized kernels (Sec. 7.5).
+
+Both produce identical physics; the tests assert it.
+"""
+
+from repro.jastrow.functor import BsplineFunctor
+from repro.jastrow.j2 import TwoBodyJastrowRef, TwoBodyJastrowOtf
+from repro.jastrow.j1 import OneBodyJastrowRef, OneBodyJastrowOtf
+
+__all__ = [
+    "BsplineFunctor",
+    "TwoBodyJastrowRef",
+    "TwoBodyJastrowOtf",
+    "OneBodyJastrowRef",
+    "OneBodyJastrowOtf",
+]

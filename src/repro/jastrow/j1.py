@@ -1,0 +1,231 @@
+"""One-body Jastrow orbital, reference and compute-on-the-fly flavors.
+
+log Psi_J1 = -sum_k U1_k,  U1_k = sum_I u_{s(I)}(|r_I - r_k|)
+(Eq. 8 of the paper), with one functor per ion species (Fig. 3's Ni and
+O curves).  Consumes the electron-ion (AB) distance table whose rows are
+per-electron distances to all ions.
+
+Gradient convention: grad_k = sum_I u'(d_kI) * disp(k->I) / d_kI, where
+disp(k->I) = R_I - r_k.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.jastrow.functor import BsplineFunctor
+from repro.perfmodel.opcount import OPS
+from repro.profiling.profiler import PROFILER
+
+
+class _J1Base:
+    name = "J1"
+
+    def __init__(self, n: int, ion_species_ids: np.ndarray,
+                 functors: Dict[int, BsplineFunctor], table_index: int = 1):
+        """``functors`` maps ion species id -> functor; ``table_index`` is
+        the AB table's position in the electron set's table list."""
+        self.n = n
+        self.ion_species_ids = np.asarray(ion_species_ids, dtype=np.int64)
+        self.nions = self.ion_species_ids.size
+        self.functors = dict(functors)
+        self.table_index = table_index
+        # Pre-resolved per-ion functor list for the scalar path, and
+        # per-species index masks for the vector path.
+        self._ion_functors = [self.functors[g] for g in self.ion_species_ids]
+        self._species_masks = {
+            g: np.where(self.ion_species_ids == g)[0]
+            for g in self.functors
+        }
+
+
+class OneBodyJastrowOtf(_J1Base):
+    """Optimized J1: vectorized per-species row kernels, no stored state."""
+
+    def _row_v(self, row_r: np.ndarray) -> float:
+        total = 0.0
+        for g, idx in self._species_masks.items():
+            f = self.functors[g]
+            total += float(np.sum(f.evaluate_v(
+                np.asarray(row_r, dtype=np.float64)[idx])))
+        OPS.record("J1", flops=10.0 * self.nions, rbytes=8.0 * self.nions,
+                   wbytes=8.0)
+        return total
+
+    def _row_vgl(self, row_r: np.ndarray, row_dr: np.ndarray):
+        u_sum = 0.0
+        grad = np.zeros(3)
+        lap = 0.0
+        row_r = np.asarray(row_r, dtype=np.float64)
+        row_dr = np.asarray(row_dr, dtype=np.float64)
+        for g, idx in self._species_masks.items():
+            f = self.functors[g]
+            r = row_r[idx]
+            u, du, d2u = f.evaluate_vgl(r)
+            u_sum += float(np.sum(u))
+            w = du / r
+            grad += row_dr[:, idx] @ w
+            lap -= float(np.sum(d2u + 2.0 * w))
+        OPS.record("J1", flops=20.0 * self.nions, rbytes=32.0 * self.nions,
+                   wbytes=40.0)
+        return u_sum, grad, lap
+
+    def evaluate_log(self, P) -> float:
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            logpsi = 0.0
+            for k in range(self.n):
+                u, g, l = self._row_vgl(table.dist_row(k), table.disp_row(k))
+                logpsi -= u
+                P.G[k] += g
+                P.L[k] += l
+            return logpsi
+
+    def grad(self, P, k: int) -> np.ndarray:
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            _, g, _ = self._row_vgl(table.dist_row(k), table.disp_row(k))
+            return g
+
+    def ratio(self, P, k: int) -> float:
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            u_new = self._row_v(np.asarray(table.temp_r)[: self.nions])
+            u_old = self._row_v(table.dist_row(k))
+            return math.exp(-(u_new - u_old))
+
+    def ratio_grad(self, P, k: int):
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            u_new, grad_new, _ = self._row_vgl(
+                np.asarray(table.temp_r)[: self.nions],
+                np.asarray(table.temp_dr)[:, : self.nions])
+            u_old = self._row_v(table.dist_row(k))
+            return math.exp(-(u_new - u_old)), grad_new
+
+    def accept_move(self, P, k: int) -> None:
+        pass  # stateless
+
+    def reject_move(self, P, k: int) -> None:
+        pass
+
+    def evaluate_gl(self, P) -> None:
+        """Measurement-time grad/lap recomputed from the AB table rows."""
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            for k in range(self.n):
+                _, g, l = self._row_vgl(table.dist_row(k), table.disp_row(k))
+                P.G[k] += g
+                P.L[k] += l
+
+    def register_data(self, P, buf) -> None:
+        buf.register_scalar(0.0)
+
+    def update_buffer(self, P, buf) -> None:
+        buf.put_scalar(0.0)
+
+    def copy_from_buffer(self, P, buf) -> None:
+        buf.get_scalar()
+
+    @property
+    def storage_bytes(self) -> int:
+        return 5 * self.nions * 8
+
+
+class OneBodyJastrowRef(_J1Base):
+    """Reference J1: stored per-electron value/grad/Laplacian arrays filled
+    and updated with scalar per-ion loops."""
+
+    def __init__(self, n, ion_species_ids, functors, table_index: int = 1):
+        super().__init__(n, ion_species_ids, functors, table_index)
+        self.U = np.zeros(n)
+        self.dU = np.zeros((n, 3))
+        self.d2U = np.zeros(n)
+        self._cache: dict = {}
+
+    def _scalar_row(self, row_r, row_dr):
+        """Scalar per-ion accumulation of (u, grad, lap)."""
+        u_sum = 0.0
+        gx = gy = gz = 0.0
+        lap = 0.0
+        for I in range(self.nions):
+            f = self._ion_functors[I]
+            d = row_r[I]
+            u, du, d2u = f.evaluate_vgl_scalar(d)
+            u_sum += u
+            if d < f.rcut:
+                w = du / d
+                dv = row_dr[I] if isinstance(row_dr, list) else row_dr[:, I]
+                gx += w * dv[0]
+                gy += w * dv[1]
+                gz += w * dv[2]
+                lap -= d2u + 2.0 * w
+        OPS.record("J1", flops=30.0 * self.nions, rbytes=32.0 * self.nions,
+                   wbytes=40.0)
+        return u_sum, np.array([gx, gy, gz]), lap
+
+    def evaluate_log(self, P) -> float:
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            logpsi = 0.0
+            for k in range(self.n):
+                u, g, l = self._scalar_row(table.dist_row(k),
+                                           table.disp_row(k))
+                self.U[k] = u
+                self.dU[k] = g
+                self.d2U[k] = l
+                logpsi -= u
+                P.G[k] += g
+                P.L[k] += l
+            return logpsi
+
+    def grad(self, P, k: int) -> np.ndarray:
+        return self.dU[k].copy()
+
+    def ratio(self, P, k: int) -> float:
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            u_new, g_new, l_new = self._scalar_row(table.temp_r,
+                                                   table.temp_dr)
+            self._cache[k] = (u_new, g_new, l_new)
+            return math.exp(-(u_new - self.U[k]))
+
+    def ratio_grad(self, P, k: int):
+        r = self.ratio(P, k)
+        return r, self._cache[k][1]
+
+    def accept_move(self, P, k: int) -> None:
+        u_new, g_new, l_new = self._cache.pop(k)
+        self.U[k] = u_new
+        self.dU[k] = g_new
+        self.d2U[k] = l_new
+
+    def reject_move(self, P, k: int) -> None:
+        self._cache.pop(k, None)
+
+    def evaluate_gl(self, P) -> None:
+        """Measurement-time grad/lap from the stored per-electron arrays."""
+        P.G[: self.n] += self.dU
+        P.L[: self.n] += self.d2U
+
+    def register_data(self, P, buf) -> None:
+        buf.register(self.U)
+        buf.register(self.dU)
+        buf.register(self.d2U)
+
+    def update_buffer(self, P, buf) -> None:
+        buf.put(self.U)
+        buf.put(self.dU)
+        buf.put(self.d2U)
+
+    def copy_from_buffer(self, P, buf) -> None:
+        buf.get(self.U)
+        buf.get(self.dU)
+        buf.get(self.d2U)
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.U.nbytes + self.dU.nbytes + self.d2U.nbytes

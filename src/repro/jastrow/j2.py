@@ -1,0 +1,330 @@
+"""Two-body Jastrow orbital, reference and compute-on-the-fly flavors.
+
+log Psi_J2 = -sum_{i<j} u_{s_i s_j}(r_ij), with spin-pair resolved
+functors (uu/dd like-spin, ud unlike-spin).
+
+Gradient/Laplacian conventions (contributions to log Psi):
+
+* grad_i = sum_j u'(d_ij) * disp(i->j) / d_ij          (3-vector)
+* lap_i  = -sum_j ( u''(d_ij) + 2 u'(d_ij) / d_ij )
+
+where disp(i->j) = r_j - r_i is the distance-table convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.jastrow.functor import BsplineFunctor
+from repro.perfmodel.opcount import OPS
+from repro.profiling.profiler import PROFILER
+
+
+class _J2Base:
+    """Shared species-pair bookkeeping for both flavors."""
+
+    name = "J2"
+
+    def __init__(self, n: int, group_slices: List[Tuple[int, slice]],
+                 functors: Dict[Tuple[int, int], BsplineFunctor]):
+        """``group_slices`` is [(group_id, slice)] from
+        ParticleSet.group_ranges(); ``functors`` maps unordered group-id
+        pairs (gi <= gj) to functors."""
+        self.n = n
+        self.group_slices = group_slices
+        self.functors = {}
+        for (gi, gj), f in functors.items():
+            self.functors[(min(gi, gj), max(gi, gj))] = f
+        self.group_of = np.empty(n, dtype=np.int64)
+        for g, s in group_slices:
+            self.group_of[s] = g
+
+    def functor_for(self, gi: int, gj: int) -> BsplineFunctor:
+        return self.functors[(min(gi, gj), max(gi, gj))]
+
+
+class TwoBodyJastrowOtf(_J2Base):
+    """Optimized J2: vectorized rows, no persistent pair matrices (5N scalars
+    of transient work arrays instead of 5N^2 of stored state)."""
+
+    def __init__(self, n, group_slices, functors, table_index: int = 0):
+        super().__init__(n, group_slices, functors)
+        self.table_index = table_index
+        self._cache: dict = {}
+
+    # -- row kernels --------------------------------------------------------------
+    def _row_v(self, row_r: np.ndarray, k: int) -> float:
+        """sum_j u(r_kj) over a distance row (vectorized per group)."""
+        gk = self.group_of[k]
+        total = 0.0
+        for g, s in self.group_slices:
+            f = self.functor_for(gk, g)
+            total += float(np.sum(f.evaluate_v(np.asarray(row_r[s],
+                                                          dtype=np.float64))))
+        OPS.record("J2", flops=10.0 * self.n, rbytes=8.0 * self.n,
+                   wbytes=8.0)
+        return total
+
+    def _row_vgl(self, row_r: np.ndarray, row_dr: np.ndarray, k: int):
+        """(sum u, grad_k, lap_k) over a row; row_dr is (3, N)."""
+        gk = self.group_of[k]
+        u_sum = 0.0
+        grad = np.zeros(3)
+        lap = 0.0
+        for g, s in self.group_slices:
+            f = self.functor_for(gk, g)
+            r = np.asarray(row_r[s], dtype=np.float64)
+            u, du, d2u = f.evaluate_vgl(r)
+            u_sum += float(np.sum(u))
+            w = du / r  # safe: du == 0 wherever r >= rcut (incl. BIG diag)
+            grad += np.asarray(row_dr[:, s], dtype=np.float64) @ w
+            lap -= float(np.sum(d2u + 2.0 * w))
+        OPS.record("J2", flops=20.0 * self.n, rbytes=32.0 * self.n,
+                   wbytes=8.0 * 5)
+        return u_sum, grad, lap
+
+    # -- WaveFunctionComponent API ---------------------------------------------------
+    def evaluate_log(self, P) -> float:
+        """Full log Psi_J2; accumulates into P.G and P.L."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            logpsi = 0.0
+            for i in range(self.n):
+                u_sum, grad, lap = self._row_vgl(table.dist_row(i),
+                                                 table.disp_row(i), i)
+                logpsi -= 0.5 * u_sum
+                P.G[i] += grad
+                P.L[i] += lap
+            return logpsi
+
+    def grad(self, P, k: int) -> np.ndarray:
+        """grad_k log Psi_J2 at the current position (for the drift)."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            _, g, _ = self._row_vgl(table.dist_row(k), table.disp_row(k), k)
+            return g
+
+    def ratio(self, P, k: int) -> float:
+        """Psi(R')/Psi(R) for the proposed move of particle k."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            u_new = self._row_v(np.asarray(table.temp_r[: self.n]), k)
+            u_old = self._row_v(table.dist_row(k), k)
+            self._cache[k] = (u_new, u_old)
+            return math.exp(-(u_new - u_old))
+
+    def ratio_grad(self, P, k: int):
+        """(ratio, grad at the proposed position)."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            u_new, grad_new, _ = self._row_vgl(
+                np.asarray(table.temp_r[: self.n]),
+                np.asarray(table.temp_dr)[:, : self.n], k)
+            u_old = self._row_v(table.dist_row(k), k)
+            self._cache[k] = (u_new, u_old)
+            return math.exp(-(u_new - u_old)), grad_new
+
+    def accept_move(self, P, k: int) -> None:
+        self._cache.pop(k, None)  # stateless: nothing else to update
+
+    def reject_move(self, P, k: int) -> None:
+        self._cache.pop(k, None)
+
+    def evaluate_gl(self, P) -> None:
+        """Measurement-time grad/lap: recomputed from the distance rows —
+        that is the compute-on-the-fly policy (nothing was stored)."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            for i in range(self.n):
+                _, grad, lap = self._row_vgl(table.dist_row(i),
+                                             table.disp_row(i), i)
+                P.G[i] += grad
+                P.L[i] += lap
+
+    # -- walker buffer (Current: only the scalar log value travels) --------------------
+    def register_data(self, P, buf) -> None:
+        buf.register_scalar(0.0)
+
+    def update_buffer(self, P, buf) -> None:
+        buf.put_scalar(0.0)
+
+    def copy_from_buffer(self, P, buf) -> None:
+        buf.get_scalar()
+
+    @property
+    def storage_bytes(self) -> int:
+        return 5 * self.n * 8  # transient work arrays only
+
+
+class TwoBodyJastrowRef(_J2Base):
+    """Reference J2: full N x N value/gradient/Laplacian matrices, scalar
+    per-pair arithmetic, row+column updates on acceptance.
+
+    Stored state per walker (the paper's 5 N^2 scalars):
+      * ``Umat[i, j]``  = u(d_ij)
+      * ``dUmat[i, j]`` = u'(d_ij) * disp(i->j)/d_ij   (grad-log contribution)
+      * ``d2Umat[i, j]`` = u''(d_ij) + 2 u'(d_ij)/d_ij
+    """
+
+    def __init__(self, n, group_slices, functors, table_index: int = 0):
+        super().__init__(n, group_slices, functors)
+        self.table_index = table_index
+        self.Umat = np.zeros((n, n))
+        self.dUmat = np.zeros((n, n, 3))
+        self.d2Umat = np.zeros((n, n))
+        self._cache: dict = {}
+
+    # -- full evaluation ------------------------------------------------------------
+    def evaluate_log(self, P) -> float:
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            n = self.n
+            logpsi = 0.0
+            for i in range(n):
+                row_r = table.dist_row(i)
+                row_dr = table.disp_row(i)
+                gi = self.group_of[i]
+                for j in range(n):
+                    if j == i:
+                        self.Umat[i, j] = 0.0
+                        self.dUmat[i, j] = 0.0
+                        self.d2Umat[i, j] = 0.0
+                        continue
+                    d = row_r[j]
+                    f = self.functor_for(gi, self.group_of[j])
+                    u, du, d2u = f.evaluate_vgl_scalar(d)
+                    self.Umat[i, j] = u
+                    if d < f.rcut:
+                        w = du / d
+                        dv = row_dr[j] if isinstance(row_dr, list) \
+                            else row_dr[:, j]
+                        self.dUmat[i, j, 0] = w * dv[0]
+                        self.dUmat[i, j, 1] = w * dv[1]
+                        self.dUmat[i, j, 2] = w * dv[2]
+                        self.d2Umat[i, j] = d2u + 2.0 * w
+                    else:
+                        self.dUmat[i, j] = 0.0
+                        self.d2Umat[i, j] = 0.0
+                logpsi -= 0.5 * float(np.sum(self.Umat[i]))
+                P.G[i] += np.sum(self.dUmat[i], axis=0)
+                P.L[i] += -float(np.sum(self.d2Umat[i]))
+            OPS.record("J2", flops=30.0 * n * n, rbytes=16.0 * n * n,
+                       wbytes=40.0 * n * n)
+            return logpsi
+
+    def grad(self, P, k: int) -> np.ndarray:
+        """From the stored matrices — the retrieve side of store-over-compute."""
+        with PROFILER.timer("J2"):
+            OPS.record("J2", rbytes=24.0 * self.n, wbytes=24.0)
+            return np.sum(self.dUmat[k], axis=0)
+
+    # -- PbyP -------------------------------------------------------------------------
+    def _scalar_row(self, P, k: int, with_grad: bool):
+        """Scalar loop over the temp row; returns (u_new_list, du, d2u, grad)."""
+        table = P.distance_tables[self.table_index]
+        temp_r = table.temp_r
+        temp_dr = table.temp_dr
+        gk = self.group_of[k]
+        n = self.n
+        u_new = [0.0] * n
+        du_new = [(0.0, 0.0, 0.0)] * n
+        d2u_new = [0.0] * n
+        grad = [0.0, 0.0, 0.0]
+        for j in range(n):
+            if j == k:
+                continue
+            d = temp_r[j]
+            f = self.functor_for(gk, self.group_of[j])
+            if with_grad:
+                u, du, d2u = f.evaluate_vgl_scalar(d)
+                u_new[j] = u
+                if d < f.rcut:
+                    w = du / d
+                    dv = temp_dr[j] if isinstance(temp_dr, list) else temp_dr[:, j]
+                    t = (w * dv[0], w * dv[1], w * dv[2])
+                    du_new[j] = t
+                    d2u_new[j] = d2u + 2.0 * w
+                    grad[0] += t[0]
+                    grad[1] += t[1]
+                    grad[2] += t[2]
+            else:
+                u_new[j] = f.evaluate_v_scalar(d)
+        OPS.record("J2", flops=(30.0 if with_grad else 12.0) * n,
+                   rbytes=32.0 * n, wbytes=40.0 * n)
+        return u_new, du_new, d2u_new, np.array(grad)
+
+    def ratio(self, P, k: int) -> float:
+        with PROFILER.timer("J2"):
+            u_new, du_new, d2u_new, _ = self._scalar_row(P, k, with_grad=False)
+            u_old = float(np.sum(self.Umat[k]))
+            self._cache[k] = (u_new, None, None)
+            return math.exp(-(sum(u_new) - u_old))
+
+    def ratio_grad(self, P, k: int):
+        with PROFILER.timer("J2"):
+            u_new, du_new, d2u_new, grad = self._scalar_row(P, k, with_grad=True)
+            u_old = float(np.sum(self.Umat[k]))
+            self._cache[k] = (u_new, du_new, d2u_new)
+            return math.exp(-(sum(u_new) - u_old)), grad
+
+    def accept_move(self, P, k: int) -> None:
+        """Row + column writes into all three matrices (scalar loop)."""
+        with PROFILER.timer("J2"):
+            u_new, du_new, d2u_new = self._cache.pop(k)
+            if du_new is None:
+                # ratio() was called without gradients; rebuild them now from
+                # the temp row so the stored state stays complete.
+                u_new, du_new, d2u_new, _ = self._scalar_row(P, k,
+                                                             with_grad=True)
+            n = self.n
+            for j in range(n):
+                if j == k:
+                    continue
+                self.Umat[k, j] = u_new[j]
+                self.Umat[j, k] = u_new[j]
+                t = du_new[j]
+                self.dUmat[k, j, 0] = t[0]
+                self.dUmat[k, j, 1] = t[1]
+                self.dUmat[k, j, 2] = t[2]
+                # disp(j->k) = -disp(k->j): gradient terms flip sign.
+                self.dUmat[j, k, 0] = -t[0]
+                self.dUmat[j, k, 1] = -t[1]
+                self.dUmat[j, k, 2] = -t[2]
+                self.d2Umat[k, j] = d2u_new[j]
+                self.d2Umat[j, k] = d2u_new[j]
+            OPS.record("J2", rbytes=40.0 * n, wbytes=80.0 * n)
+
+    def reject_move(self, P, k: int) -> None:
+        self._cache.pop(k, None)
+
+    def evaluate_gl(self, P) -> None:
+        """Measurement-time grad/lap retrieved from the stored matrices —
+        the store-over-compute policy's read side."""
+        with PROFILER.timer("J2"):
+            n = self.n
+            P.G[:n] += np.sum(self.dUmat, axis=1)
+            P.L[:n] += -np.sum(self.d2Umat, axis=1)
+            OPS.record("J2", rbytes=40.0 * n * n, wbytes=32.0 * n)
+
+    # -- walker buffer (Ref: the full 5N^2 matrices travel) ----------------------------
+    def register_data(self, P, buf) -> None:
+        buf.register(self.Umat)
+        buf.register(self.dUmat)
+        buf.register(self.d2Umat)
+
+    def update_buffer(self, P, buf) -> None:
+        buf.put(self.Umat)
+        buf.put(self.dUmat)
+        buf.put(self.d2Umat)
+
+    def copy_from_buffer(self, P, buf) -> None:
+        buf.get(self.Umat)
+        buf.get(self.dUmat)
+        buf.get(self.d2Umat)
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.Umat.nbytes + self.dUmat.nbytes + self.d2Umat.nbytes

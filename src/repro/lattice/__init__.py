@@ -1,0 +1,13 @@
+"""Periodic simulation cells and minimum-image geometry.
+
+QMC simulations of solids (graphite, Be, NiO supercells) run in periodic
+boundary conditions.  :class:`CrystalLattice` owns the cell matrix and
+provides fractional/Cartesian conversions; the distance tables use its
+minimum-image displacement kernels (both a scalar AoS path and a
+vectorized SoA path, mirroring the two code versions).
+"""
+
+from repro.lattice.cell import CrystalLattice
+from repro.lattice.tiling import tile_cell
+
+__all__ = ["CrystalLattice", "tile_cell"]

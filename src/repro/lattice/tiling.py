@@ -1,0 +1,58 @@
+"""Supercell tiling: replicate a primitive cell into an n1 x n2 x n3 supercell.
+
+The paper's workloads are supercells (Table 1: 8-32 unit cells).  Tiling a
+small motif is how we synthesize their ion configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.lattice.cell import CrystalLattice
+
+
+def tile_cell(
+    axes: np.ndarray,
+    frac_positions: np.ndarray,
+    species: Sequence[str],
+    tiling: Tuple[int, int, int],
+) -> tuple[CrystalLattice, np.ndarray, list]:
+    """Tile a primitive cell into a supercell.
+
+    Parameters
+    ----------
+    axes:
+        (3, 3) primitive cell matrix (rows are lattice vectors).
+    frac_positions:
+        (M, 3) fractional coordinates of the basis atoms.
+    species:
+        Length-M species labels for the basis atoms.
+    tiling:
+        (n1, n2, n3) replication factors.
+
+    Returns
+    -------
+    (supercell lattice, (M*n1*n2*n3, 3) Cartesian positions, species list)
+    """
+    axes = np.asarray(axes, dtype=np.float64)
+    frac = np.asarray(frac_positions, dtype=np.float64)
+    n1, n2, n3 = tiling
+    if min(n1, n2, n3) < 1:
+        raise ValueError(f"tiling factors must be >= 1, got {tiling}")
+    if frac.ndim != 2 or frac.shape[1] != 3:
+        raise ValueError(f"frac_positions must be (M, 3), got {frac.shape}")
+    if len(species) != frac.shape[0]:
+        raise ValueError("species length must match number of basis atoms")
+
+    super_axes = axes * np.array([[n1], [n2], [n3]], dtype=np.float64)
+    shifts = np.array(
+        [[i, j, k] for i in range(n1) for j in range(n2) for k in range(n3)],
+        dtype=np.float64,
+    )
+    # positions: for each shift, each basis atom
+    all_frac = (frac[None, :, :] + shifts[:, None, :]).reshape(-1, 3)
+    cart = all_frac @ axes
+    out_species = [s for _ in range(len(shifts)) for s in species]
+    return CrystalLattice(super_axes), cart, out_species

@@ -1,0 +1,18 @@
+"""Analytic memory-footprint model (Table 1, Figs. 8 and 9).
+
+The paper's footprint law: ``gamma * (Nth + Nw) * N^2`` plus the shared
+read-only B-spline table.  gamma depends on the build: the reference
+store-everything policy keeps 5N^2 J2 scalars and 5(N/2)^2 x 2
+determinant scalars per walker in double precision (gamma_min = 60
+bytes), while the optimized build deletes the J2 matrices and halves the
+rest to single precision.
+
+Calibration note: Table 1's "B-spline (GB)" row is reproduced exactly by
+``prod(fft_grid + 3) * unique_spos * 16`` bytes — the padded complex
+double coefficient table (e.g. 83^3 x 144 x 16 B = 1.32 GB for NiO-32 vs
+the paper's 1.3).  Mixed precision stores it in complex single.
+"""
+
+from repro.memory.model import MemoryModel, MemoryBreakdown
+
+__all__ = ["MemoryModel", "MemoryBreakdown"]

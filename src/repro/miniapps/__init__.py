@@ -1,0 +1,22 @@
+"""Miniapps (Sec. 7.1) — the fast-prototyping harnesses.
+
+Each miniapp isolates one hot-spot class with realistic compute/data
+patterns, PbyP update structure and command-line-selectable problem
+size, exactly as the paper's development process prescribes:
+
+* ``minidist``    — distance tables (AA + AB), all flavors
+* ``minijastrow`` — J1/J2 over real distance tables, both flavors
+* ``minispline``  — 3D B-spline v/vgh, per-orbital vs multi layouts
+* ``miniqmc``     — the combined PbyP kernel mix (move/ratio/accept +
+  pseudopotential-style extra ratios), no Hamiltonian/branching
+
+All return structured results so the benchmark harnesses reuse them;
+``main()`` entry points print human-readable tables.
+"""
+
+from repro.miniapps.minidist import run_minidist
+from repro.miniapps.minijastrow import run_minijastrow
+from repro.miniapps.minispline import run_minispline
+from repro.miniapps.miniqmc import run_miniqmc
+
+__all__ = ["run_minidist", "run_minijastrow", "run_minispline", "run_miniqmc"]

@@ -1,0 +1,17 @@
+"""Trial-wavefunction optimization (the provenance of Fig. 3's functors).
+
+The paper's Jastrow functors are "optimized for a 32-atom supercell of
+NiO" — production QMC tunes the functor parameters to minimize the
+variance (or energy) of the local energy before any DMC is run, since
+the DMC efficiency kappa = 1/(sigma^2 tau_corr T_MC) rewards both a fast
+code *and* a tight wavefunction.
+
+:class:`JastrowOptimizer` implements the standard correlated-sampling
+scheme: draw a fixed set of configurations from |Psi|^2, then minimize
+the sample variance of E_L over the Jastrow shape parameters with the
+configurations held fixed.
+"""
+
+from repro.optimize.vmc_opt import JastrowOptimizer, OptimizationResult
+
+__all__ = ["JastrowOptimizer", "OptimizationResult"]

@@ -1,0 +1,20 @@
+"""Run output: QMCPACK-style ``scalar.dat`` traces and JSON summaries.
+
+Production QMC runs stream per-generation scalars to ``*.scalar.dat``
+(whitespace-separated columns, ``#`` header) for post-processing; this
+module writes and reads that format from a finished
+:class:`~repro.drivers.result.QMCResult` / EstimatorManager, plus a JSON
+summary with the corrected estimates.
+"""
+
+from repro.output.writers import (
+    read_scalar_dat, result_summary_dict, write_json_summary,
+    write_scalar_dat,
+)
+from repro.output.checkpoint import load_population, save_population
+
+__all__ = [
+    "write_scalar_dat", "read_scalar_dat",
+    "result_summary_dict", "write_json_summary",
+    "save_population", "load_population",
+]

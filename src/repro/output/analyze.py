@@ -1,0 +1,64 @@
+"""repro-analyze — the qmca-style trace analyzer.
+
+Reads ``scalar.dat`` files (written by :mod:`repro.output.writers`),
+discards the detected equilibration transient and prints
+autocorrelation-corrected estimates per column — what QMCPACK users run
+``qmca`` for.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+import numpy as np
+
+from repro.estimators.scalar import equilibration_index
+from repro.output.writers import read_scalar_dat
+from repro.stats.series import (
+    autocorrelation_time, blocking_error,
+)
+
+
+def analyze_column(values: np.ndarray, equilibration: int | None = None):
+    """(mean, error, tau, n_used, n_discarded) for one scalar series."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return float("nan"), float("nan"), float("nan"), 0, 0
+    t0 = equilibration if equilibration is not None \
+        else equilibration_index(values)
+    tail = values[t0:]
+    if tail.size < 2:
+        return float(np.mean(tail)) if tail.size else float("nan"), \
+            float("nan"), float("nan"), tail.size, t0
+    return (float(np.mean(tail)), blocking_error(tail),
+            autocorrelation_time(tail), tail.size, t0)
+
+
+def format_report(path: str, equilibration: int | None = None) -> str:
+    data = read_scalar_dat(path)
+    lines = [f"== {path} =="]
+    for name, values in data.items():
+        if name == "index":
+            continue
+        mean, err, tau, n, t0 = analyze_column(values, equilibration)
+        lines.append(f"  {name:<16s} {mean:14.6f} +- {err:12.6f}   "
+                     f"tau={tau:5.1f}  n={n}  (discarded {t0})")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="analyze scalar.dat traces (qmca analogue)")
+    ap.add_argument("files", nargs="+", help="scalar.dat files")
+    ap.add_argument("-e", "--equilibration", type=int, default=None,
+                    help="samples to discard (default: auto-detect)")
+    args = ap.parse_args(argv)
+    for path in args.files:
+        print(format_report(path, args.equilibration))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

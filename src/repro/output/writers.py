@@ -1,0 +1,91 @@
+"""scalar.dat and JSON summary writers/readers."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+import numpy as np
+
+
+def write_scalar_dat(path: str, estimators, step_offset: int = 0) -> None:
+    """Write an EstimatorManager's series as a scalar.dat table.
+
+    Columns: ``index`` then one per estimator name (QMCPACK order:
+    LocalEnergy first when present).  Series of unequal length are
+    right-padded with NaN so every row is complete.
+    """
+    names = estimators.names()
+    if "LocalEnergy" in names:
+        names = ["LocalEnergy"] + [n for n in names if n != "LocalEnergy"]
+    series = {n: estimators.series(n) for n in names}
+    nrows = max((s.size for s in series.values()), default=0)
+    with open(path, "w") as f:
+        f.write("#   index   " + "   ".join(names) + "\n")
+        for i in range(nrows):
+            vals = []
+            for n in names:
+                s = series[n]
+                vals.append(f"{s[i]:.12e}" if i < s.size else "nan")
+            f.write(f"{step_offset + i:8d}   " + "   ".join(vals) + "\n")
+
+
+def read_scalar_dat(path: str) -> Dict[str, np.ndarray]:
+    """Read a scalar.dat back into {column: array} (index included)."""
+    with open(path) as f:
+        header = f.readline()
+        if not header.startswith("#"):
+            raise ValueError(f"{path}: missing # header line")
+        names = header[1:].split()
+        rows: List[List[float]] = []
+        for line in f:
+            if not line.strip():
+                continue
+            rows.append([float(tok) for tok in line.split()])
+    data = np.asarray(rows, dtype=np.float64)
+    if data.size and data.shape[1] != len(names):
+        raise ValueError(f"{path}: ragged rows")
+    return {n: data[:, j] if data.size else np.empty(0)
+            for j, n in enumerate(names)}
+
+
+def result_summary_dict(result) -> dict:
+    """Portable summary of a QMCResult (estimates, figures of merit)."""
+    out = {
+        "method": result.method,
+        "steps": result.steps,
+        "mean_walkers": result.mean_walkers,
+        "mean_energy": result.mean_energy,
+        "energy_error": result.energy_error(),
+        "acceptance": result.acceptance,
+        "elapsed_seconds": result.elapsed,
+        "throughput": result.throughput,
+        "populations": list(result.populations),
+    }
+    if result.estimators is not None:
+        out["estimates"] = {}
+        for name in result.estimators.names():
+            est = result.estimators.estimate(name)
+            out["estimates"][name] = {
+                "mean": est.mean, "error": est.error,
+                "variance": est.variance, "tau": est.tau,
+                "n_samples": est.n_samples,
+                "n_equilibration": est.n_equilibration,
+            }
+    if result.profile is not None:
+        out["profile"] = result.profile.normalized()
+    return out
+
+
+def write_json_summary(path: str, result) -> None:
+    def _clean(o):
+        if isinstance(o, float) and not np.isfinite(o):
+            return None
+        if isinstance(o, dict):
+            return {k: _clean(v) for k, v in o.items()}
+        if isinstance(o, list):
+            return [_clean(v) for v in o]
+        return o
+
+    with open(path, "w") as f:
+        json.dump(_clean(result_summary_dict(result)), f, indent=2)

@@ -1,0 +1,21 @@
+"""Simulated multi-node layer (Fig. 1).
+
+QMCPACK's communication pattern is tiny and fixed (Sec. 8): an allreduce
+per generation for E_T / global averages, plus send/recv of serialized
+Walker objects during load balancing.  :class:`SimComm` reproduces that
+pattern in-process with full byte accounting; :class:`WalkerLoadBalancer`
+implements the excess-to-deficit walker exchange;
+:class:`SimCluster` combines them with a node performance model and an
+interconnect model into the strong-scaling curves of Fig. 1.
+"""
+
+from repro.parallel.simcomm import SimComm
+from repro.parallel.balancer import WalkerLoadBalancer
+from repro.parallel.cluster import SimCluster, Interconnect, ScalingPoint
+from repro.parallel.distributed import DistributedDMCDriver
+
+__all__ = [
+    "SimComm", "WalkerLoadBalancer",
+    "SimCluster", "Interconnect", "ScalingPoint",
+    "DistributedDMCDriver",
+]

@@ -1,0 +1,75 @@
+"""Walker load balancing across ranks (Alg. 1, L14's "load balance").
+
+QMCPACK pairs surplus ranks with deficit ranks after branching and ships
+serialized Walker objects point-to-point.  The plan below reproduces
+that: sort ranks by imbalance, stream walkers from the biggest surplus
+to the biggest deficit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+from repro.parallel.simcomm import SimComm
+
+
+class WalkerLoadBalancer:
+    """Compute and apply minimal walker transfers to equalize load."""
+
+    @staticmethod
+    def plan(counts: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """Transfer plan [(src, dst, n), ...] equalizing ``counts``.
+
+        Post-condition: every rank holds floor(total/size) or
+        ceil(total/size) walkers, and total transfers are minimal.
+        """
+        counts = list(counts)
+        size = len(counts)
+        total = sum(counts)
+        base, extra = divmod(total, size)
+        # Targets: the `extra` ranks with the largest counts keep one more
+        # (minimizes movement).
+        order = sorted(range(size), key=lambda r: -counts[r])
+        target = [base] * size
+        for r in order[:extra]:
+            target[r] = base + 1
+        surplus = [(r, counts[r] - target[r]) for r in range(size)
+                   if counts[r] > target[r]]
+        deficit = [(r, target[r] - counts[r]) for r in range(size)
+                   if counts[r] < target[r]]
+        plan: List[Tuple[int, int, int]] = []
+        si = di = 0
+        while si < len(surplus) and di < len(deficit):
+            s_rank, s_n = surplus[si]
+            d_rank, d_n = deficit[di]
+            n = min(s_n, d_n)
+            plan.append((s_rank, d_rank, n))
+            s_n -= n
+            d_n -= n
+            if s_n == 0:
+                si += 1
+            else:
+                surplus[si] = (s_rank, s_n)
+            if d_n == 0:
+                di += 1
+            else:
+                deficit[di] = (d_rank, d_n)
+        return plan
+
+    @staticmethod
+    def apply(populations: List[List], comm: SimComm) -> List[List]:
+        """Execute a plan over per-rank walker lists through the comm
+        (bytes counted via each walker's message size)."""
+        from repro.particles.walker import Walker
+
+        counts = [len(p) for p in populations]
+        plan = WalkerLoadBalancer.plan(counts)
+        for src, dst, n in plan:
+            for _ in range(n):
+                w = populations[src].pop()
+                comm.send(src, dst, w.serialize(), nbytes=w.message_nbytes())
+        for src, dst, n in plan:
+            for _ in range(n):
+                populations[dst].append(Walker.deserialize(comm.recv(dst)))
+        return populations

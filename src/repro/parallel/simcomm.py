@@ -1,0 +1,96 @@
+"""In-process MPI-like communicator with byte/latency accounting.
+
+Follows mpi4py's split personality: lowercase methods move Python
+objects, uppercase-style array methods move numeric buffers.  All ranks
+live in one process; "communication" is bookkeeping plus deep copies, so
+the semantics (and the byte counts fed to the interconnect model) match
+a real run.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+class SimComm:
+    """A world of ``size`` ranks with counted collective/point-to-point ops."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.size = size
+        self.allreduce_count = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0.0
+        self._mailbox: Dict[tuple, list] = {}
+
+    # -- collectives ------------------------------------------------------------
+    def allreduce(self, per_rank: Sequence[float],
+                  op: Callable = sum) -> List[float]:
+        """Reduce one contribution per rank; every rank gets the result."""
+        if len(per_rank) != self.size:
+            raise ValueError(f"expected {self.size} contributions, "
+                             f"got {len(per_rank)}")
+        self.allreduce_count += 1
+        result = op(per_rank)
+        return [result] * self.size
+
+    def allreduce_array(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Element-wise sum-allreduce of equal-shape arrays."""
+        if len(per_rank) != self.size:
+            raise ValueError(f"expected {self.size} arrays")
+        self.allreduce_count += 1
+        total = np.sum(np.stack([np.asarray(a) for a in per_rank]), axis=0)
+        return [total.copy() for _ in range(self.size)]
+
+    def allgather(self, per_rank: Sequence[Any]) -> List[List[Any]]:
+        if len(per_rank) != self.size:
+            raise ValueError(f"expected {self.size} contributions")
+        self.allreduce_count += 1
+        gathered = list(per_rank)
+        return [list(gathered) for _ in range(self.size)]
+
+    # -- point to point -----------------------------------------------------------
+    def send(self, src: int, dst: int, obj: Any, nbytes: float | None = None,
+             tag: int = 0) -> None:
+        """Queue an object from src to dst (deep-copied, like a real wire)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        self.p2p_messages += 1
+        if nbytes is None:
+            nbytes = self._estimate_bytes(obj)
+        self.p2p_bytes += nbytes
+        self._mailbox.setdefault((dst, tag), []).append(copy.deepcopy(obj))
+
+    def recv(self, dst: int, tag: int = 0) -> Any:
+        self._check_rank(dst)
+        queue = self._mailbox.get((dst, tag), [])
+        if not queue:
+            raise RuntimeError(f"no message waiting for rank {dst} tag {tag}")
+        return queue.pop(0)
+
+    def pending(self, dst: int, tag: int = 0) -> int:
+        return len(self._mailbox.get((dst, tag), []))
+
+    # -- helpers --------------------------------------------------------------------
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range for size {self.size}")
+
+    @staticmethod
+    def _estimate_bytes(obj: Any) -> float:
+        if hasattr(obj, "message_nbytes"):
+            return float(obj.message_nbytes())
+        if isinstance(obj, np.ndarray):
+            return float(obj.nbytes)
+        if isinstance(obj, (list, tuple)):
+            return float(sum(SimComm._estimate_bytes(o) for o in obj))
+        return 64.0  # metadata-ish
+
+    def reset_counters(self) -> None:
+        self.allreduce_count = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0.0

@@ -1,0 +1,19 @@
+"""Particle sets and walkers.
+
+:class:`ParticleSet` is the core physics abstraction (Fig. 4/5 of the
+paper): it owns the positions of N particles in both layouts — the AoS
+``R`` (and a list-of-TinyVector view used by the reference scalar kernels)
+and, after the SoA transformation, the padded ``Rsoa`` container — plus
+per-particle gradients/laplacians and the attached distance tables.
+
+:class:`Walker` is the per-sample state: positions, weight/multiplicity
+for DMC branching, measured properties, and the anonymous
+:class:`~repro.containers.buffer.WalkerBuffer` that checkpoints component
+internals between particle-by-particle sweeps.
+"""
+
+from repro.particles.species import SpeciesSet
+from repro.particles.particleset import ParticleSet
+from repro.particles.walker import Walker
+
+__all__ = ["SpeciesSet", "ParticleSet", "Walker"]

@@ -1,0 +1,49 @@
+"""Species metadata for a ParticleSet (names, valence charges, masses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SpeciesSet:
+    """Registry of particle species and their attributes.
+
+    ``charge`` follows the paper's Z* convention for ions with
+    pseudopotentials (e.g. Ni has Z*=18, O has Z*=6) and is -1 for
+    electrons.
+    """
+
+    names: List[str] = field(default_factory=list)
+    charges: Dict[str, float] = field(default_factory=dict)
+    masses: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, charge: float, mass: float = 1.0) -> int:
+        """Register a species; returns its index. Re-adding is idempotent
+        only if attributes match."""
+        if name in self.names:
+            if self.charges[name] != charge or self.masses[name] != mass:
+                raise ValueError(f"species {name!r} already registered "
+                                 "with different attributes")
+            return self.names.index(name)
+        self.names.append(name)
+        self.charges[name] = float(charge)
+        self.masses[name] = float(mass)
+        return len(self.names) - 1
+
+    def index(self, name: str) -> int:
+        return self.names.index(name)
+
+    def charge_of(self, index: int) -> float:
+        return self.charges[self.names[index]]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @classmethod
+    def electrons(cls) -> "SpeciesSet":
+        s = cls()
+        s.add("u", charge=-1.0)
+        s.add("d", charge=-1.0)
+        return s

@@ -1,0 +1,134 @@
+"""Machine descriptions of the paper's three platforms.
+
+A :class:`HardwareModel` captures the handful of node parameters the
+paper's analysis actually turns on: SIMD width (KNL's is twice BDW's,
+"making the theoretical vectorization speedup twice as large"), core
+count/frequency, the memory-level bandwidths (MCDRAM flat vs cache vs
+DDR; BDW's shared L3 "can make up for the low DDR bandwidth"), and the
+package/DRAM power used for the energy figures.
+
+Numbers are public datasheet/STREAM-class values — the model's job is
+ratios and crossovers, not absolute GFLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """One node (or socket) of a target platform."""
+
+    name: str
+    cores: int
+    freq_ghz: float
+    #: SIMD register width in bits (256 = AVX2/QPX, 512 = AVX-512).
+    simd_bits: int
+    #: double-precision flops per cycle per core at full vector+FMA issue
+    dp_flops_per_cycle: float
+    #: sustained main-memory bandwidth, GB/s (MCDRAM-flat for KNL)
+    mem_bw_gbs: float
+    #: sustained bandwidth of the big shared cache level, GB/s (0 = none)
+    cache_bw_gbs: float
+    #: fraction of working set the shared cache can serve (0..1)
+    cache_hit: float
+    #: secondary (DDR) bandwidth for KNL-style two-level memory, GB/s
+    ddr_bw_gbs: float
+    #: package + DRAM power under load, watts
+    power_watts: float
+    #: throughput gain from the second hardware thread per core
+    smt2_gain: float = 0.0
+    #: single-precision peak relative to double (2.0 for AVX/AVX-512,
+    #: 1.0 for BG/Q's QPX, which is 4-wide double regardless)
+    sp_speedup: float = 2.0
+    #: fraction of stream bandwidth scalar AoS code sustains.  Low on
+    #: wide out-of-order x86 parts (layout, not latency, is the limiter);
+    #: higher on BG/Q, whose 4-way-SMT in-order A2 cores saturate their
+    #: modest memory system even with scalar loads.
+    scalar_bw_fraction: float = 0.35
+
+    # -- peaks ------------------------------------------------------------------
+    @property
+    def peak_dp_gflops(self) -> float:
+        return self.cores * self.freq_ghz * self.dp_flops_per_cycle
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        return self.sp_speedup * self.peak_dp_gflops
+
+    def peak_gflops(self, itemsize: int) -> float:
+        """Peak for 8-byte (DP) or 4-byte (SP) elements."""
+        return self.peak_sp_gflops if itemsize == 4 else self.peak_dp_gflops
+
+    @property
+    def simd_lanes_dp(self) -> int:
+        return self.simd_bits // 64
+
+    def simd_lanes(self, itemsize: int) -> int:
+        return self.simd_bits // (8 * itemsize)
+
+    @property
+    def scalar_dp_gflops(self) -> float:
+        """Peak with vector units idle — what AoS scalar code can reach."""
+        return self.peak_dp_gflops / self.simd_lanes_dp
+
+    def effective_bw_gbs(self, memory_mode: str = "flat") -> float:
+        """Bandwidth ceiling seen by a streaming kernel.
+
+        ``flat``  — fast memory only (MCDRAM flat / plain DDR on BDW+L3);
+        ``cache`` — fast memory as cache: a small miss penalty;
+        ``ddr``   — fast memory disabled (the paper's ``numactl -m 0``).
+        """
+        if memory_mode == "flat":
+            bw = self.mem_bw_gbs
+        elif memory_mode == "cache":
+            bw = 0.92 * self.mem_bw_gbs
+        elif memory_mode == "ddr":
+            bw = self.ddr_bw_gbs if self.ddr_bw_gbs > 0 else self.mem_bw_gbs
+        else:
+            raise ValueError(f"unknown memory mode {memory_mode!r}")
+        if self.cache_bw_gbs > 0 and self.cache_hit > 0:
+            # Harmonic blend: cache serves `cache_hit` of the traffic.
+            bw = 1.0 / (self.cache_hit / self.cache_bw_gbs
+                        + (1.0 - self.cache_hit) / bw)
+        return bw
+
+
+#: Single-socket 20-core Xeon E5-2698 v4 (the paper's single-node BDW).
+BDW = HardwareModel(
+    name="BDW", cores=20, freq_ghz=2.2, simd_bits=256,
+    dp_flops_per_cycle=16.0,
+    mem_bw_gbs=62.0, cache_bw_gbs=320.0, cache_hit=0.55, ddr_bw_gbs=0.0,
+    power_watts=145.0, smt2_gain=0.10,
+)
+
+#: Xeon Phi 7250P, 64 of 68 cores used, MCDRAM flat unless noted.
+KNL = HardwareModel(
+    name="KNL", cores=64, freq_ghz=1.4, simd_bits=512,
+    dp_flops_per_cycle=32.0,
+    mem_bw_gbs=450.0, cache_bw_gbs=0.0, cache_hit=0.0, ddr_bw_gbs=83.0,
+    power_watts=215.0, smt2_gain=0.085,
+)
+
+#: KNL forced onto DDR only (numactl -m 0) — used for the Sec. 8.2 study.
+KNL_DDR = HardwareModel(
+    name="KNL-DDR", cores=64, freq_ghz=1.4, simd_bits=512,
+    dp_flops_per_cycle=32.0,
+    mem_bw_gbs=83.0, cache_bw_gbs=0.0, cache_hit=0.0, ddr_bw_gbs=83.0,
+    power_watts=200.0, smt2_gain=0.085,
+)
+
+#: IBM Blue Gene/Q node: 16 cores, 1.6 GHz, 256-bit QPX (4-wide DP FMA).
+BGQ = HardwareModel(
+    name="BG/Q", cores=16, freq_ghz=1.6, simd_bits=256,
+    dp_flops_per_cycle=8.0,
+    mem_bw_gbs=28.0, cache_bw_gbs=185.0, cache_hit=0.5, ddr_bw_gbs=0.0,
+    power_watts=55.0, smt2_gain=0.15, sp_speedup=1.0,
+    scalar_bw_fraction=0.70,
+)
+
+MACHINES: Dict[str, HardwareModel] = {
+    m.name: m for m in (BDW, KNL, KNL_DDR, BGQ)
+}

@@ -1,0 +1,91 @@
+"""Global flop/byte counters, the input to the roofline and machine models.
+
+Kernels call ``OPS.record(category, flops=..., rbytes=..., wbytes=...)``
+at each invocation.  Recording is a cheap no-op unless enabled, so
+production-speed runs pay almost nothing.
+
+Categories follow the paper's profile rows: ``DistTable-AA``,
+``DistTable-AB``, ``J1``, ``J2``, ``Bspline-v``, ``Bspline-vgh``,
+``SPO-vgl``, ``DetUpdate``, ``NLPP``, ``Other``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class KernelOps:
+    """Accumulated operation counts for one kernel category."""
+
+    flops: float = 0.0
+    rbytes: float = 0.0
+    wbytes: float = 0.0
+    calls: int = 0
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.rbytes + self.wbytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of DRAM traffic (the roofline x-axis)."""
+        b = self.bytes_moved
+        return self.flops / b if b > 0 else 0.0
+
+
+class OpCounter:
+    """Per-category flop/byte accumulator with enable/disable switch."""
+
+    def __init__(self):
+        self.enabled = False
+        self._counts: Dict[str, KernelOps] = defaultdict(KernelOps)
+
+    def record(self, category: str, flops: float = 0.0,
+               rbytes: float = 0.0, wbytes: float = 0.0) -> None:
+        if not self.enabled:
+            return
+        k = self._counts[category]
+        k.flops += flops
+        k.rbytes += rbytes
+        k.wbytes += wbytes
+        k.calls += 1
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def totals(self) -> Dict[str, KernelOps]:
+        """Snapshot of all categories (copies, safe to keep)."""
+        return {c: KernelOps(k.flops, k.rbytes, k.wbytes, k.calls)
+                for c, k in self._counts.items()}
+
+    def get(self, category: str) -> KernelOps:
+        return self._counts[category]
+
+    def total_flops(self) -> float:
+        return sum(k.flops for k in self._counts.values())
+
+    def total_bytes(self) -> float:
+        return sum(k.bytes_moved for k in self._counts.values())
+
+    # -- context manager: `with OPS.enabled_scope(): ...` -----------------------
+    def enabled_scope(self):
+        counter = self
+
+        class _Scope:
+            def __enter__(self):
+                self._was = counter.enabled
+                counter.enabled = True
+                return counter
+
+            def __exit__(self, *exc):
+                counter.enabled = self._was
+                return False
+
+        return _Scope()
+
+
+#: The process-global counter all kernels report to.
+OPS = OpCounter()

@@ -1,0 +1,14 @@
+"""Precision policies (Sec. 7.2 of the paper).
+
+QMCPACK's mixed-precision build (``QMC_MIXED_PRECISION=1``) stores the key
+data structures (positions, distance tables, Jastrow functors, B-spline
+coefficients, determinant inverses) in single precision and performs the
+hot kernels in single precision, while keeping per-walker and ensemble
+quantities (log|Psi|, local energy, accumulators) in double precision.
+Accuracy is preserved by periodically recomputing the walker state from
+scratch in full precision.
+"""
+
+from repro.precision.policy import PrecisionPolicy, FULL, MIXED
+
+__all__ = ["PrecisionPolicy", "FULL", "MIXED"]

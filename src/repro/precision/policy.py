@@ -1,0 +1,71 @@
+"""Precision policy objects threading dtype choices through every kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Bundle of dtypes + recompute cadence for one build configuration.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("full" / "mixed").
+    value_dtype:
+        Element type of the hot data structures — positions, distance
+        tables, Jastrow values, spline coefficients, determinant inverse.
+    accum_dtype:
+        Type used for per-walker and ensemble accumulation — log|Psi|,
+        local energy, running averages.  Always float64, matching the
+        paper's "quantities per walker and for the ensemble are computed
+        in double precision".
+    recompute_period:
+        Every this many Monte Carlo generations, walker state (determinant
+        inverses, Jastrow sums) is recomputed from scratch in
+        ``accum_dtype`` to bound the drift of single-precision updates.
+    """
+
+    name: str
+    value_dtype: np.dtype = field(default=np.dtype(np.float64))
+    accum_dtype: np.dtype = field(default=np.dtype(np.float64))
+    recompute_period: int = 0  # 0 = never
+
+    def __post_init__(self):
+        object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))
+        object.__setattr__(self, "accum_dtype", np.dtype(self.accum_dtype))
+        if self.recompute_period < 0:
+            raise ValueError("recompute_period must be >= 0")
+
+    @property
+    def is_mixed(self) -> bool:
+        return self.value_dtype != self.accum_dtype
+
+    @property
+    def value_bytes(self) -> int:
+        return self.value_dtype.itemsize
+
+    def should_recompute(self, generation: int) -> bool:
+        """True when generation index triggers a from-scratch recompute."""
+        if self.recompute_period <= 0:
+            return False
+        return generation > 0 and generation % self.recompute_period == 0
+
+    def cast_value(self, x):
+        """Cast hot-path data to the kernel precision."""
+        return np.asarray(x, dtype=self.value_dtype)
+
+    def cast_accum(self, x):
+        """Cast accumulator data to the ensemble precision."""
+        return np.asarray(x, dtype=self.accum_dtype)
+
+
+#: Double precision everywhere — the paper's baseline ``QMC_MIXED_PRECISION=0``.
+FULL = PrecisionPolicy("full", np.float64, np.float64, recompute_period=0)
+
+#: Expanded single precision with periodic double-precision recompute —
+#: the paper's ``QMC_MIXED_PRECISION=1`` plus Sec. 7.2 extensions.
+MIXED = PrecisionPolicy("mixed", np.float32, np.float64, recompute_period=16)

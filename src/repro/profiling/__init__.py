@@ -1,0 +1,11 @@
+"""Hot-spot profiling (the VTune substitute).
+
+:class:`KernelProfiler` accumulates wall-clock time per kernel category.
+Drivers and wavefunction components time themselves with
+``with PROFILER.timer("J2"): ...``; reports are normalized hot-spot
+profiles directly comparable to the paper's Figs. 2 and 7.
+"""
+
+from repro.profiling.profiler import PROFILER, KernelProfiler, HotspotProfile
+
+__all__ = ["PROFILER", "KernelProfiler", "HotspotProfile"]

@@ -1,0 +1,124 @@
+"""Category timers and normalized hot-spot profiles."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+#: Profile rows in the paper's display order (Figs. 2 and 7).
+PAPER_CATEGORIES = [
+    "DistTable-AA",
+    "DistTable-AB",
+    "J1",
+    "J2",
+    "Bspline-v",
+    "Bspline-vgh",
+    "SPO-vgl",
+    "DetUpdate",
+    "NLPP",
+    "Other",
+]
+
+
+@dataclass
+class HotspotProfile:
+    """A finished profile: seconds per category plus total wall time."""
+
+    seconds: Dict[str, float]
+    total: float
+    label: str = ""
+
+    def fraction(self, category: str) -> float:
+        """Fraction of total time spent in ``category``."""
+        if self.total <= 0:
+            return 0.0
+        return self.seconds.get(category, 0.0) / self.total
+
+    def normalized(self) -> Dict[str, float]:
+        """All categories (plus implicit Other) as fractions summing to 1."""
+        out = {c: self.fraction(c) for c in self.seconds}
+        accounted = sum(self.seconds.values())
+        if self.total > accounted:
+            out["Other"] = out.get("Other", 0.0) + (self.total - accounted) / self.total
+        return out
+
+    def top(self, n: int = 5) -> List[tuple]:
+        """The n hottest categories as (name, fraction), descending."""
+        norm = self.normalized()
+        return sorted(norm.items(), key=lambda kv: -kv[1])[:n]
+
+    def format_table(self) -> str:
+        """Fixed-width text table, one row per category."""
+        lines = [f"profile: {self.label}  (total {self.total:.3f} s)"]
+        norm = self.normalized()
+        order = [c for c in PAPER_CATEGORIES if c in norm]
+        order += [c for c in norm if c not in order]
+        for c in order:
+            secs = self.seconds.get(c, 0.0)
+            lines.append(f"  {c:<14s} {secs:10.4f} s  {100 * norm[c]:6.2f} %")
+        return "\n".join(lines)
+
+
+class KernelProfiler:
+    """Accumulates wall-clock per category; nestable timers.
+
+    Nested timers attribute time to the innermost category only, so the
+    per-category seconds are disjoint (like a bottom-up profile).
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._seconds: Dict[str, float] = defaultdict(float)
+        self._stack: List[tuple] = []  # (category, start, child_time)
+        self._t0: Optional[float] = None
+        self._total: float = 0.0
+
+    # -- run lifecycle -----------------------------------------------------------
+    def start_run(self) -> None:
+        self._seconds.clear()
+        self._stack.clear()
+        self._t0 = time.perf_counter()
+        self.enabled = True
+
+    def stop_run(self, label: str = "") -> HotspotProfile:
+        if self._t0 is None:
+            raise RuntimeError("stop_run without start_run")
+        self._total = time.perf_counter() - self._t0
+        self.enabled = False
+        prof = HotspotProfile(dict(self._seconds), self._total, label)
+        self._t0 = None
+        return prof
+
+    # -- timers -------------------------------------------------------------------
+    def timer(self, category: str):
+        prof = self
+
+        class _Timer:
+            __slots__ = ("_start",)
+
+            def __enter__(self):
+                if prof.enabled:
+                    prof._stack.append([category, time.perf_counter(), 0.0])
+                return self
+
+            def __exit__(self, *exc):
+                if prof.enabled and prof._stack:
+                    cat, start, child = prof._stack.pop()
+                    elapsed = time.perf_counter() - start
+                    prof._seconds[cat] += elapsed - child
+                    if prof._stack:
+                        prof._stack[-1][2] += elapsed
+                return False
+
+        return _Timer()
+
+    def add_seconds(self, category: str, seconds: float) -> None:
+        """Direct attribution (for modeled rather than measured time)."""
+        self._seconds[category] += seconds
+
+
+#: The process-global profiler all components report to.
+PROFILER = KernelProfiler()

@@ -1,0 +1,170 @@
+"""Uniform-grid 1D cubic B-splines with value/derivative evaluation.
+
+The spline is f(r) = sum_i c_i B_i(r) with n+3 coefficients over n
+intervals on [x0, x1].  Evaluation uses the standard cubic B-spline
+segment matrix; fitting interpolates data at the n+1 knots plus two
+end-derivative (clamped) conditions, solved densely (functor grids are
+small, so exactness beats asymptotics here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+# Segment basis matrix: row dot (1, u, u^2, u^3) gives B_{i..i+3}(u)/6.
+_A = np.array([
+    [1.0, -3.0, 3.0, -1.0],
+    [4.0, 0.0, -6.0, 3.0],
+    [1.0, 3.0, 3.0, -3.0],
+    [0.0, 0.0, 0.0, 1.0],
+]) / 6.0
+
+_dA = np.array([
+    [-3.0, 6.0, -3.0],
+    [0.0, -12.0, 9.0],
+    [3.0, 6.0, -9.0],
+    [0.0, 0.0, 3.0],
+]) / 6.0
+
+_d2A = np.array([
+    [6.0, -6.0],
+    [-12.0, 18.0],
+    [6.0, -18.0],
+    [0.0, 6.0],
+]) / 6.0
+
+
+class CubicBSpline1D:
+    """Cubic B-spline on a uniform grid over [x0, x1]."""
+
+    def __init__(self, x0: float, x1: float, coefs: np.ndarray):
+        if x1 <= x0:
+            raise ValueError("x1 must exceed x0")
+        coefs = np.asarray(coefs, dtype=np.float64)
+        if coefs.ndim != 1 or coefs.size < 4:
+            raise ValueError("need at least 4 coefficients")
+        self.x0 = float(x0)
+        self.x1 = float(x1)
+        self.coefs = coefs
+        self.n = coefs.size - 3  # number of intervals
+        self.h = (self.x1 - self.x0) / self.n
+
+    # -- fitting -------------------------------------------------------------------
+    @classmethod
+    def interpolate(cls, x0: float, x1: float, values: np.ndarray,
+                    deriv0: float = 0.0, deriv1: float = 0.0) -> "CubicBSpline1D":
+        """Clamped interpolation: match ``values`` at the n+1 uniform knots
+        and the first derivative at both ends."""
+        values = np.asarray(values, dtype=np.float64)
+        npts = values.size
+        if npts < 2:
+            raise ValueError("need at least 2 data points")
+        n = npts - 1
+        h = (x1 - x0) / n
+        m = n + 3
+        # Interior rows are (1/6, 4/6, 1/6); the first and last rows impose
+        # the end derivatives via (-1/(2h), 0, 1/(2h)).  Functor grids have
+        # tens of knots, so a dense solve is fine and exact.
+        rhs = np.zeros(m)
+        A = np.zeros((m, m))
+        A[0, 0], A[0, 2] = -1.0 / (2 * h), 1.0 / (2 * h)
+        rhs[0] = deriv0
+        for i in range(npts):
+            A[i + 1, i] = 1.0 / 6.0
+            A[i + 1, i + 1] = 4.0 / 6.0
+            A[i + 1, i + 2] = 1.0 / 6.0
+            rhs[i + 1] = values[i]
+        A[m - 1, m - 3], A[m - 1, m - 1] = -1.0 / (2 * h), 1.0 / (2 * h)
+        rhs[m - 1] = deriv1
+        coefs = np.linalg.solve(A, rhs)
+        return cls(x0, x1, coefs)
+
+    @classmethod
+    def from_function(cls, f: Callable, x0: float, x1: float, npts: int,
+                      deriv0: float | None = None,
+                      deriv1: float | None = None) -> "CubicBSpline1D":
+        """Interpolate a callable on ``npts`` uniform knots; end derivatives
+        default to centered finite differences of ``f``."""
+        xs = np.linspace(x0, x1, npts)
+        vals = np.array([f(x) for x in xs], dtype=np.float64)
+        eps = (x1 - x0) * 1e-6
+        if deriv0 is None:
+            deriv0 = (f(x0 + eps) - f(x0)) / eps
+        if deriv1 is None:
+            deriv1 = (f(x1) - f(x1 - eps)) / eps
+        return cls.interpolate(x0, x1, vals, deriv0, deriv1)
+
+    # -- evaluation: vectorized (SoA path) --------------------------------------------
+    def _locate(self, r):
+        t = (np.asarray(r, dtype=np.float64) - self.x0) / self.h
+        i = np.clip(np.floor(t).astype(np.int64), 0, self.n - 1)
+        u = t - i
+        return i, u
+
+    def evaluate_v(self, r):
+        """Values at point(s) r (vectorized). Scalar in, scalar out."""
+        scalar = np.ndim(r) == 0
+        i, u = self._locate(np.atleast_1d(r))
+        pu = np.stack([np.ones_like(u), u, u * u, u * u * u])
+        w = _A @ pu  # (4, len)
+        c = self.coefs[i[None, :] + np.arange(4)[:, None]]  # (4, len)
+        v = np.einsum("kl,kl->l", w, c)
+        return float(v[0]) if scalar else v
+
+    def evaluate_vgl(self, r):
+        """(value, d/dr, d2/dr2) at point(s) r (vectorized)."""
+        scalar = np.ndim(r) == 0
+        i, u = self._locate(np.atleast_1d(r))
+        ones = np.ones_like(u)
+        pu = np.stack([ones, u, u * u, u * u * u])
+        w = _A @ pu
+        dw = (_dA @ pu[:3]) / self.h
+        d2w = (_d2A @ pu[:2]) / (self.h * self.h)
+        c = self.coefs[i[None, :] + np.arange(4)[:, None]]
+        v = np.einsum("kl,kl->l", w, c)
+        dv = np.einsum("kl,kl->l", dw, c)
+        d2v = np.einsum("kl,kl->l", d2w, c)
+        if scalar:
+            return float(v[0]), float(dv[0]), float(d2v[0])
+        return v, dv, d2v
+
+    # -- evaluation: scalar (AoS/ref path) ------------------------------------------------
+    def evaluate_v_scalar(self, r: float) -> float:
+        """Value at one point via pure-Python Horner loops (the Ref kernel)."""
+        t = (r - self.x0) / self.h
+        i = int(t)
+        if i < 0:
+            i = 0
+        elif i > self.n - 1:
+            i = self.n - 1
+        u = t - i
+        c = self.coefs
+        total = 0.0
+        for k in range(4):
+            row = _A[k]
+            b = row[0] + u * (row[1] + u * (row[2] + u * row[3]))
+            total += c[i + k] * b
+        return total
+
+    def evaluate_vgl_scalar(self, r: float):
+        """(value, d/dr, d2/dr2) at one point via pure-Python loops."""
+        t = (r - self.x0) / self.h
+        i = int(t)
+        if i < 0:
+            i = 0
+        elif i > self.n - 1:
+            i = self.n - 1
+        u = t - i
+        c = self.coefs
+        v = dv = d2v = 0.0
+        for k in range(4):
+            b = _A[k][0] + u * (_A[k][1] + u * (_A[k][2] + u * _A[k][3]))
+            db = _dA[k][0] + u * (_dA[k][1] + u * _dA[k][2])
+            d2b = _d2A[k][0] + u * _d2A[k][1]
+            ck = c[i + k]
+            v += ck * b
+            dv += ck * db
+            d2v += ck * d2b
+        return v, dv / self.h, d2v / (self.h * self.h)

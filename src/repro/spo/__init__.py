@@ -1,0 +1,14 @@
+"""Single-particle orbital (SPO) sets.
+
+:class:`BsplineSPOSet` wraps the 3D B-spline table with the two
+evaluation layouts (per-orbital reference loop vs multi-orbital SoA) and
+reports its time to the Bspline-v / Bspline-vgh / SPO-vgl profile rows.
+:class:`PlaneWaveSPOSet` is an analytic orbital set used to validate the
+spline against exact values and to build tiny test systems.
+"""
+
+from repro.spo.sposet import BsplineSPOSet, PlaneWaveSPOSet, build_planewave_spline
+from repro.spo.atomic import LCAOSpoSet, SlaterOrbitalSPOSet
+
+__all__ = ["BsplineSPOSet", "PlaneWaveSPOSet", "build_planewave_spline",
+           "SlaterOrbitalSPOSet", "LCAOSpoSet"]

@@ -1,0 +1,115 @@
+"""Time-series statistics for Monte Carlo estimator traces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def autocorrelation_function(x: np.ndarray, max_lag: int | None = None
+                             ) -> np.ndarray:
+    """Normalized autocorrelation rho(k) for k = 0..max_lag.
+
+    rho(0) == 1; computed with the standard biased estimator (divides by
+    the lag-0 variance and the full length), which is what integrated
+    autocorrelation-time estimates want.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    if n < 2:
+        raise ValueError("need at least 2 samples")
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = min(max_lag, n - 1)
+    xc = x - x.mean()
+    var = float(xc @ xc)
+    if var == 0.0:
+        # Constant series: perfectly correlated at every lag.
+        return np.ones(max_lag + 1)
+    out = np.empty(max_lag + 1)
+    for k in range(max_lag + 1):
+        out[k] = float(xc[: n - k] @ xc[k:]) / var
+    return out
+
+
+def autocorrelation_time(x: np.ndarray, window: int | None = None) -> float:
+    """Integrated autocorrelation time tau = 1 + 2 sum_k rho(k).
+
+    Uses the standard self-consistent window (sum until the first
+    non-positive rho, or ``window`` lags) to avoid noise accumulation.
+    Returns >= 1; independent samples give ~1.
+    """
+    rho = autocorrelation_function(x, window)
+    tau = 1.0
+    for k in range(1, rho.size):
+        if rho[k] <= 0:
+            break
+        tau += 2.0 * rho[k]
+    return tau
+
+
+def effective_samples(x: np.ndarray) -> float:
+    """Number of statistically independent samples in the series."""
+    x = np.asarray(x, dtype=np.float64)
+    return x.size / autocorrelation_time(x)
+
+
+def blocking_error(x: np.ndarray, min_blocks: int = 8) -> float:
+    """Flyvbjerg-Petersen blocking estimate of the standard error.
+
+    Recursively pair-averages the series; the error estimate at each
+    level is s/sqrt(n_blocks); returns the maximum over levels (the
+    plateau), which corrects for autocorrelation.
+    """
+    x = np.asarray(x, dtype=np.float64).copy()
+    if x.size < 2:
+        return float("nan")
+    best = float(np.std(x, ddof=1) / np.sqrt(x.size))
+    while x.size // 2 >= min_blocks:
+        x = 0.5 * (x[0::2][: x.size // 2] + x[1::2][: x.size // 2])
+        err = float(np.std(x, ddof=1) / np.sqrt(x.size))
+        best = max(best, err)
+    return best
+
+
+def timestep_extrapolation(taus: np.ndarray, energies: np.ndarray,
+                           errors: np.ndarray | None = None):
+    """Extrapolate DMC energies to zero time step.
+
+    DMC carries an O(tau) bias; fitting E(tau) = E_0 + b*tau (weighted by
+    1/errors^2 when given) recovers the unbiased estimate.  Returns
+    (E_0, slope).
+    """
+    taus = np.asarray(taus, dtype=np.float64)
+    energies = np.asarray(energies, dtype=np.float64)
+    if taus.size != energies.size or taus.size < 2:
+        raise ValueError("need >= 2 matching (tau, energy) points")
+    if errors is not None:
+        wts = 1.0 / np.square(np.asarray(errors, dtype=np.float64))
+    else:
+        wts = np.ones_like(taus)
+    # Weighted least squares for a line.
+    W = np.sum(wts)
+    mx = np.sum(wts * taus) / W
+    my = np.sum(wts * energies) / W
+    sxx = np.sum(wts * (taus - mx) ** 2)
+    if sxx == 0:
+        raise ValueError("time steps must differ")
+    slope = float(np.sum(wts * (taus - mx) * (energies - my)) / sxx)
+    e0 = float(my - slope * mx)
+    return e0, slope
+
+
+def dmc_efficiency(energies: np.ndarray, total_seconds: float) -> float:
+    """The paper's kappa = 1 / (sigma^2 * tau_corr * T_MC).
+
+    Larger is better; doubling throughput at fixed trial function doubles
+    kappa.
+    """
+    energies = np.asarray(energies, dtype=np.float64)
+    if energies.size < 2 or total_seconds <= 0:
+        return 0.0
+    sigma2 = float(np.var(energies, ddof=1))
+    if sigma2 == 0.0:
+        return float("inf")
+    tau = autocorrelation_time(energies)
+    return 1.0 / (sigma2 * tau * total_seconds)

@@ -1,0 +1,10 @@
+"""Terminal visualization: ASCII line/bar charts for the figure harnesses.
+
+The reproduction environment has no plotting stack, so the regenerated
+figures render as Unicode charts — good enough to *see* Fig. 1's scaling
+lines, Fig. 9's memory bars or Fig. 10's power traces in the bench logs.
+"""
+
+from repro.viz.ascii import bar_chart, line_chart
+
+__all__ = ["line_chart", "bar_chart"]

@@ -1,0 +1,95 @@
+"""Minimal ASCII chart rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(series: Dict[str, Sequence[float]],
+               x: Optional[Sequence[float]] = None,
+               width: int = 60, height: int = 16,
+               logy: bool = False, title: str = "") -> str:
+    """Render one or more named series as an ASCII line chart.
+
+    All series share the x grid (indices if ``x`` is not given); each
+    gets a marker from a fixed cycle, listed in the legend.
+    """
+    if not series:
+        raise ValueError("no series given")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must share one length")
+    npts = lengths.pop()
+    if npts < 2:
+        raise ValueError("need at least 2 points")
+    xs = np.asarray(x if x is not None else np.arange(npts),
+                    dtype=np.float64)
+    if xs.size != npts:
+        raise ValueError("x length mismatch")
+
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    if logy:
+        for k, v in ys.items():
+            if np.any(v <= 0):
+                raise ValueError(f"log scale needs positive data ({k})")
+            ys[k] = np.log10(v)
+    ymin = min(float(np.min(v)) for v in ys.values())
+    ymax = max(float(np.max(v)) for v in ys.values())
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = float(np.min(xs)), float(np.max(xs))
+    if xmax == xmin:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, v), marker in zip(ys.items(), _MARKERS):
+        for xi, yi in zip(xs, v):
+            col = int(round((xi - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((yi - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def ylab(frac):
+        val = ymin + frac * (ymax - ymin)
+        if logy:
+            val = 10 ** val
+        return f"{val:10.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = (height - 1 - i) / (height - 1)
+        label = ylab(frac) if i in (0, height // 2, height - 1) else " " * 10
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 11 + f"{xmin:<.4g}" + " " * (width - 12)
+                 + f"{xmax:>.4g}")
+    legend = "   ".join(f"{m}={name}"
+                        for (name, _), m in zip(ys.items(), _MARKERS))
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, title: str = "",
+              unit: str = "") -> str:
+    """Render labeled horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        raise ValueError("nothing to plot")
+    vals = np.asarray(values, dtype=np.float64)
+    if np.any(vals < 0):
+        raise ValueError("bar chart needs non-negative values")
+    vmax = float(np.max(vals)) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for lab, v in zip(labels, vals):
+        n = int(round(v / vmax * width))
+        lines.append(f"{lab:<{label_w}s} |" + "#" * n
+                     + f" {v:.3g}{unit}")
+    return "\n".join(lines)

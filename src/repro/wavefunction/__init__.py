@@ -1,0 +1,5 @@
+"""Trial wavefunction composition (Eq. 2): Psi = exp(J1 + J2) D_up D_down."""
+
+from repro.wavefunction.trialwf import TrialWaveFunction
+
+__all__ = ["TrialWaveFunction"]

@@ -1,0 +1,25 @@
+"""The paper's four benchmark workloads (Table 1).
+
+Each :class:`Workload` carries the paper's metadata (electron/ion counts,
+species and effective charges, unique-SPO count, FFT grid, B-spline table
+size) plus everything needed to synthesize a runnable system: a crystal
+motif to tile, Jastrow functor parameters shaped like Fig. 3, and
+pseudopotential channels.
+
+Workloads can be *scaled*: ``build_system(scale=0.25)`` tiles fewer unit
+cells, shrinking N proportionally while exercising identical code paths —
+that is how the test suite and benches keep pure-Python Ref runs tractable.
+The analytic memory model always reports full-size numbers.
+"""
+
+from repro.workloads.spec import Workload, SpeciesSpec, JastrowSpec
+from repro.workloads.catalog import (
+    GRAPHITE, BE64, NIO32, NIO64, WORKLOADS, get_workload,
+)
+from repro.workloads.builder import build_system, SystemParts
+
+__all__ = [
+    "Workload", "SpeciesSpec", "JastrowSpec",
+    "GRAPHITE", "BE64", "NIO32", "NIO64", "WORKLOADS", "get_workload",
+    "build_system", "SystemParts",
+]

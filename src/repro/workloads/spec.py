@@ -1,0 +1,89 @@
+"""Workload specification dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpeciesSpec:
+    """One ion species: name, effective valence charge Z*, one-body
+    Jastrow shape (Fig. 3), and whether it carries a non-local PP."""
+
+    name: str
+    zstar: float
+    j1_amplitude: float    # u(0) of the one-body functor (negative = attractive)
+    j1_decay: float
+    has_nlpp: bool = True
+
+
+@dataclass(frozen=True)
+class JastrowSpec:
+    """Two-body Jastrow shape parameters (cusps are exact)."""
+
+    decay_like: float = 1.2      # F for the like-spin (uu/dd) functor
+    decay_unlike: float = 0.9    # F for the unlike-spin (ud) functor
+    npts: int = 12               # spline knots per functor
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Table-1 benchmark: paper metadata + synthesis recipe."""
+
+    name: str
+    # -- Table 1 metadata (paper-reported) --
+    n_electrons: int
+    n_ions: int
+    ions_per_cell: int
+    n_cells: int
+    unique_spos: int
+    fft_grid: Tuple[int, int, int]
+    bspline_gb_paper: float      # Table 1's "B-spline (GB)" row
+    # -- synthesis recipe --
+    cell_axes: Tuple[Tuple[float, float, float], ...]  # primitive cell (rows)
+    basis_frac: Tuple[Tuple[float, float, float], ...]
+    basis_species: Tuple[str, ...]
+    species: Tuple[SpeciesSpec, ...]
+    tiling: Tuple[int, int, int]
+    jastrow: JastrowSpec = field(default_factory=JastrowSpec)
+
+    def __post_init__(self):
+        if self.ions_per_cell * self.n_cells != self.n_ions:
+            raise ValueError(
+                f"{self.name}: ions_per_cell * n_cells != n_ions")
+        z_per_cell = sum(
+            self.species_by_name(s).zstar for s in self.basis_species)
+        if abs(z_per_cell * self.n_cells - self.n_electrons) > 1e-9:
+            raise ValueError(
+                f"{self.name}: electron count inconsistent with Z* sum "
+                f"({z_per_cell * self.n_cells} vs {self.n_electrons})")
+        t = self.tiling
+        if t[0] * t[1] * t[2] != self.n_cells:
+            raise ValueError(f"{self.name}: tiling does not give n_cells")
+
+    def species_by_name(self, name: str) -> SpeciesSpec:
+        for s in self.species:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    @property
+    def electrons_per_cell(self) -> float:
+        return self.n_electrons / self.n_cells
+
+    def scaled_tiling(self, scale: float) -> Tuple[int, int, int]:
+        """Shrink the supercell to ~scale of its cells (at least one cell),
+        reducing dimensions largest-first so the cell stays compact."""
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        t = list(self.tiling)
+        target = max(1, round(self.n_cells * scale))
+        while t[0] * t[1] * t[2] > target:
+            i = int(np.argmax(t))
+            if t[i] == 1:
+                break
+            t[i] -= 1
+        return tuple(t)

@@ -1,0 +1,58 @@
+"""Tests for cache-aligned allocation and padding math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.containers.aligned import (
+    CACHE_LINE_BYTES, aligned_empty, padded_size,
+)
+
+
+class TestPaddedSize:
+    def test_exact_multiple_unchanged(self):
+        assert padded_size(8, np.float64) == 8
+        assert padded_size(16, np.float32) == 16
+
+    def test_rounds_up(self):
+        assert padded_size(5, np.float64) == 8
+        assert padded_size(9, np.float64) == 16
+        assert padded_size(5, np.float32) == 16
+        assert padded_size(17, np.float32) == 32
+
+    def test_zero(self):
+        assert padded_size(0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            padded_size(-1)
+
+    @given(st.integers(min_value=0, max_value=100000),
+           st.sampled_from([np.float32, np.float64]))
+    def test_properties(self, n, dtype):
+        p = padded_size(n, dtype)
+        per_line = CACHE_LINE_BYTES // np.dtype(dtype).itemsize
+        assert p >= n
+        assert p % per_line == 0
+        assert p - n < per_line
+
+
+class TestAlignedEmpty:
+    def test_alignment(self):
+        for shape in [(7,), (3, 5), (2, 3, 4)]:
+            a = aligned_empty(shape, np.float64)
+            assert a.ctypes.data % CACHE_LINE_BYTES == 0
+            assert a.shape == shape
+
+    def test_custom_alignment(self):
+        a = aligned_empty((10,), np.float32, alignment=128)
+        assert a.ctypes.data % 128 == 0
+
+    def test_writable_and_contiguous(self):
+        a = aligned_empty((4, 4), np.float64)
+        a[...] = 1.5
+        assert a.flags["C_CONTIGUOUS"]
+        assert np.all(a == 1.5)
+
+    def test_dtype_respected(self):
+        assert aligned_empty((3,), np.float32).dtype == np.float32

@@ -1,0 +1,68 @@
+"""Tests for the AoS TinyVector element type."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.containers.tinyvector import TinyVector
+
+coords = st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=3)
+
+
+class TestTinyVector:
+    def test_construction_and_access(self):
+        v = TinyVector([1.0, 2.0, 3.0])
+        assert len(v) == 3
+        assert v[0] == 1.0
+        assert list(v) == [1.0, 2.0, 3.0]
+
+    def test_zeros(self):
+        assert TinyVector.zeros(3).x == [0.0, 0.0, 0.0]
+
+    def test_setitem(self):
+        v = TinyVector.zeros(3)
+        v[1] = 5.0
+        assert v[1] == 5.0
+
+    def test_arithmetic(self):
+        a = TinyVector([1, 2, 3])
+        b = TinyVector([4, 5, 6])
+        assert (a + b).x == [5.0, 7.0, 9.0]
+        assert (b - a).x == [3.0, 3.0, 3.0]
+        assert (a * 2).x == [2.0, 4.0, 6.0]
+        assert (2 * a).x == [2.0, 4.0, 6.0]
+        assert (a / 2).x == [0.5, 1.0, 1.5]
+        assert (-a).x == [-1.0, -2.0, -3.0]
+
+    def test_dot_and_norm(self):
+        a = TinyVector([3, 4, 0])
+        assert a.dot(a) == 25.0
+        assert a.norm2() == 25.0
+        assert a.norm() == 5.0
+
+    def test_equality_and_hash(self):
+        assert TinyVector([1, 2, 3]) == TinyVector([1, 2, 3])
+        assert TinyVector([1, 2, 3]) != TinyVector([1, 2, 4])
+        assert hash(TinyVector([1, 2, 3])) == hash(TinyVector([1, 2, 3]))
+
+    def test_copy_is_independent(self):
+        a = TinyVector([1, 2, 3])
+        b = a.copy()
+        b[0] = 9
+        assert a[0] == 1.0
+
+    @given(coords, coords)
+    def test_addition_commutes(self, x, y):
+        a, b = TinyVector(x), TinyVector(y)
+        assert (a + b).x == (b + a).x
+
+    @given(coords)
+    def test_norm_nonnegative(self, x):
+        assert TinyVector(x).norm() >= 0.0
+
+    @given(coords, coords)
+    def test_cauchy_schwarz(self, x, y):
+        a, b = TinyVector(x), TinyVector(y)
+        assert abs(a.dot(b)) <= a.norm() * b.norm() + 1e-6 * (
+            1 + a.norm2() + b.norm2())

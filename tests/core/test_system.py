@@ -1,0 +1,98 @@
+"""Tests for the QmcSystem facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem, run_dmc, run_vmc
+from repro.core.version import CodeVersion
+
+
+class TestQmcSystem:
+    def test_from_workload(self):
+        s = QmcSystem.from_workload("nio32", scale=0.125, seed=3)
+        assert s.workload.name == "NiO-32"
+        assert s.scale == 0.125
+
+    def test_build_versions_differ(self):
+        s = QmcSystem.from_workload("NiO-32", scale=0.125, seed=3)
+        ref = s.build(CodeVersion.REF)
+        cur = s.build(CodeVersion.CURRENT)
+        from repro.distances.aa_otf import DistanceTableAAOtf
+        from repro.distances.aa_ref import DistanceTableAARef
+        assert isinstance(ref.electrons.distance_tables[0],
+                          DistanceTableAARef)
+        assert isinstance(cur.electrons.distance_tables[0],
+                          DistanceTableAAOtf)
+
+    def test_build_overrides(self):
+        s = QmcSystem.from_workload("NiO-32", scale=0.125, seed=3)
+        parts = s.build(CodeVersion.CURRENT, value_dtype=np.float64)
+        assert parts.electrons.distance_tables[0].dtype == np.float64
+
+    def test_same_seed_same_positions_across_versions(self):
+        """Ref and Current builds start from identical configurations, so
+        performance comparisons are apples to apples."""
+        s = QmcSystem.from_workload("NiO-32", scale=0.125, seed=3)
+        a = s.build(CodeVersion.REF)
+        b = s.build(CodeVersion.CURRENT)
+        assert np.allclose(a.electrons.R, b.electrons.R)
+        assert np.allclose(a.ions.R, b.ions.R)
+
+    def test_nlpp_toggle(self):
+        s = QmcSystem.from_workload("NiO-32", scale=0.125, seed=3,
+                                    with_nlpp=False)
+        parts = s.build(CodeVersion.CURRENT)
+        assert all(t.name != "NonLocalECP" for t in parts.ham.terms)
+
+
+class TestRunHelpers:
+    @pytest.fixture(scope="class")
+    def sys_(self):
+        return QmcSystem.from_workload("NiO-32", scale=0.125, seed=3,
+                                       with_nlpp=False)
+
+    def test_run_vmc_reuses_parts(self, sys_):
+        parts = sys_.build(CodeVersion.CURRENT)
+        res = run_vmc(sys_, CodeVersion.CURRENT, walkers=2, steps=2,
+                      parts=parts, seed=1)
+        assert res.method == "VMC"
+
+    def test_run_dmc(self, sys_):
+        res = run_dmc(sys_, CodeVersion.CURRENT, walkers=3, steps=3,
+                      timestep=0.005, seed=1)
+        assert res.method == "DMC"
+        assert np.all(np.isfinite(res.energies))
+
+    def test_versions_give_consistent_physics(self, sys_):
+        """At an identical configuration and in double precision, Ref and
+        Current agree to machine precision on log|Psi|, grad/lap, E_L and
+        move ratios — the transformation changes the implementation, not
+        the physics.  (Full trajectories are chaotic: a last-ulp ratio
+        difference decorrelates them, so traces are not compared.)"""
+        ref = sys_.build(CodeVersion.REF, value_dtype=np.float64,
+                         spline_dtype=np.float64)
+        cur = sys_.build(CodeVersion.CURRENT, value_dtype=np.float64,
+                         spline_dtype=np.float64)
+        lp_ref = ref.twf.evaluate_log(ref.electrons)
+        lp_cur = cur.twf.evaluate_log(cur.electrons)
+        assert lp_ref == pytest.approx(lp_cur, rel=1e-12)
+        assert np.allclose(ref.electrons.G, cur.electrons.G, atol=1e-12)
+        assert np.allclose(ref.electrons.L, cur.electrons.L, atol=1e-11)
+        el_ref = ref.ham.evaluate(ref.electrons, ref.twf)
+        el_cur = cur.ham.evaluate(cur.electrons, cur.twf)
+        assert el_ref == pytest.approx(el_cur, rel=1e-12)
+        rng = np.random.default_rng(0)
+        for k in (0, 5, 30):
+            rnew = ref.lattice.wrap(
+                ref.electrons.R[k] + rng.normal(0, 0.2, 3))
+            rhos, grads = [], []
+            for parts in (ref, cur):
+                P = parts.electrons
+                P.make_move(k, rnew)
+                rho, g = parts.twf.ratio_grad(P, k)
+                parts.twf.reject_move(P, k)
+                P.reject_move(k)
+                rhos.append(rho)
+                grads.append(g)
+            assert rhos[0] == pytest.approx(rhos[1], rel=1e-10)
+            assert np.allclose(grads[0], grads[1], atol=1e-10)

@@ -1,0 +1,46 @@
+"""Tests for the code-version presets."""
+
+import numpy as np
+import pytest
+
+from repro.core.version import VERSION_CONFIGS, CodeVersion
+
+
+class TestCodeVersion:
+    def test_labels(self):
+        assert CodeVersion.REF.label == "Ref"
+        assert CodeVersion.REF_MP.label == "Ref+MP"
+        assert CodeVersion.CURRENT.label == "Current"
+
+    def test_all_versions_configured(self):
+        assert set(VERSION_CONFIGS) == set(CodeVersion)
+
+    def test_ref_is_aos_double(self):
+        cfg = VERSION_CONFIGS[CodeVersion.REF]
+        assert cfg.table_flavor_aa == "ref"
+        assert cfg.jastrow_flavor == "ref"
+        assert cfg.spo_layout == "ref"
+        assert np.dtype(cfg.value_dtype) == np.float64
+        # baseline already stores the B-spline table in single (Sec. 6.2)
+        assert np.dtype(cfg.spline_dtype) == np.float32
+        assert not cfg.precision.is_mixed
+
+    def test_ref_mp_keeps_algorithms_changes_precision(self):
+        ref = VERSION_CONFIGS[CodeVersion.REF]
+        mp = VERSION_CONFIGS[CodeVersion.REF_MP]
+        assert mp.table_flavor_aa == ref.table_flavor_aa
+        assert mp.jastrow_flavor == ref.jastrow_flavor
+        assert np.dtype(mp.value_dtype) == np.float32
+        assert mp.precision.is_mixed
+
+    def test_current_is_soa_otf_mixed(self):
+        cfg = VERSION_CONFIGS[CodeVersion.CURRENT]
+        assert cfg.table_flavor_aa == "otf"
+        assert cfg.jastrow_flavor == "otf"
+        assert cfg.spo_layout == "soa"
+        assert cfg.precision.is_mixed
+        assert cfg.simd_profile == "current"
+
+    def test_simd_profiles(self):
+        assert VERSION_CONFIGS[CodeVersion.REF].simd_profile == "ref"
+        assert VERSION_CONFIGS[CodeVersion.REF_MP].simd_profile == "ref"

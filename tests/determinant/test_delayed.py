@@ -1,0 +1,103 @@
+"""Tests for the delayed (Woodbury) update engine vs Sherman-Morrison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.determinant.delayed import DelayedUpdateEngine
+
+
+def _random_well_conditioned(n, rng):
+    a = rng.normal(size=(n, n)) + 2.0 * np.eye(n)
+    return a
+
+
+class TestBasics:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DelayedUpdateEngine(np.eye(3), delay=0)
+        with pytest.raises(ValueError):
+            DelayedUpdateEngine(np.zeros((2, 3)))
+
+    def test_no_pending_column_is_stored(self):
+        rng = np.random.default_rng(0)
+        A = _random_well_conditioned(5, rng)
+        eng = DelayedUpdateEngine(np.linalg.inv(A), delay=4)
+        assert np.allclose(eng.effective_column(2), np.linalg.inv(A)[:, 2])
+
+    def test_ratio_matches_direct(self):
+        rng = np.random.default_rng(1)
+        n = 6
+        A = _random_well_conditioned(n, rng)
+        eng = DelayedUpdateEngine(np.linalg.inv(A), delay=4)
+        v = rng.normal(size=n)
+        q = 2
+        A2 = A.copy()
+        A2[q] = v
+        expect = np.linalg.det(A2) / np.linalg.det(A)
+        assert eng.ratio(q, v) == pytest.approx(expect, rel=1e-9)
+
+
+class TestDelayedEqualsEager:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(4, 12), delay=st.integers(1, 6),
+           moves=st.integers(1, 15), seed=st.integers(0, 9999))
+    def test_effective_inverse_tracks_truth(self, n, delay, moves, seed):
+        rng = np.random.default_rng(seed)
+        A = _random_well_conditioned(n, rng)
+        eng = DelayedUpdateEngine(np.linalg.inv(A), delay=delay)
+        for _ in range(moves):
+            q = int(rng.integers(n))
+            v = A[q] + rng.normal(0, 0.3, size=n)
+            rho_del = eng.ratio(q, v)
+            A2 = A.copy()
+            A2[q] = v
+            rho_direct = np.linalg.det(A2) / np.linalg.det(A)
+            assert rho_del == pytest.approx(rho_direct, rel=1e-6)
+            if abs(rho_direct) > 0.1:
+                eng.accept(q, v, A[q])
+                A = A2
+        eng.flush()
+        assert np.allclose(eng.a_inv, np.linalg.inv(A), atol=1e-6)
+
+    def test_flush_at_delay_boundary(self):
+        rng = np.random.default_rng(7)
+        n, delay = 8, 3
+        A = _random_well_conditioned(n, rng)
+        eng = DelayedUpdateEngine(np.linalg.inv(A), delay=delay)
+        rows = [0, 2, 5]
+        for q in rows:
+            v = A[q] + rng.normal(0, 0.2, size=n)
+            eng.accept(q, v, A[q])
+            A[q] = v
+        # third accept triggers the automatic flush
+        assert eng.pending == 0
+        assert np.allclose(eng.a_inv, np.linalg.inv(A), atol=1e-8)
+
+    def test_same_row_twice_forces_flush(self):
+        rng = np.random.default_rng(8)
+        n = 6
+        A = _random_well_conditioned(n, rng)
+        eng = DelayedUpdateEngine(np.linalg.inv(A), delay=5)
+        v1 = A[1] + rng.normal(0, 0.2, size=n)
+        eng.accept(1, v1, A[1])
+        A[1] = v1
+        assert eng.pending == 1
+        v2 = A[1] + rng.normal(0, 0.2, size=n)
+        eng.accept(1, v2, A[1])
+        A[1] = v2
+        eng.flush()
+        assert np.allclose(eng.a_inv, np.linalg.inv(A), atol=1e-8)
+
+    def test_effective_inverse_with_pending(self):
+        rng = np.random.default_rng(9)
+        n = 7
+        A = _random_well_conditioned(n, rng)
+        eng = DelayedUpdateEngine(np.linalg.inv(A), delay=10)
+        for q in (0, 3):
+            v = A[q] + rng.normal(0, 0.2, size=n)
+            eng.accept(q, v, A[q])
+            A[q] = v
+        assert eng.pending == 2
+        assert np.allclose(eng.effective_inverse(), np.linalg.inv(A),
+                           atol=1e-8)

@@ -1,0 +1,190 @@
+"""Tests for the multi-Slater-determinant expansion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.determinant.dirac import DiracDeterminant
+from repro.determinant.multi import MultiSlaterDeterminant
+from repro.lattice.cell import CrystalLattice
+from repro.particles.particleset import ParticleSet
+from repro.spo.sposet import PlaneWaveSPOSet
+
+
+@pytest.fixture
+def setup(rng):
+    lat = CrystalLattice.cubic(6.0)
+    nel = 4
+    P = ParticleSet("e", rng.uniform(0, 6, (nel, 3)), lat)
+    spo = PlaneWaveSPOSet(lat, 7)  # more orbitals than electrons
+    occs = [(0, 1, 2, 3), (0, 1, 2, 4), (0, 1, 3, 5)]
+    coefs = [0.9, 0.35, -0.2]
+    msd = MultiSlaterDeterminant(spo, 0, nel, occs, coefs)
+    msd.recompute(P)
+    return P, spo, msd, occs, coefs, lat, rng
+
+
+def _brute_value(P, spo, occs, coefs, nel):
+    total = 0.0
+    for occ, c in zip(occs, coefs):
+        A = np.empty((nel, nel))
+        for i in range(nel):
+            A[i] = spo.evaluate_v(P.R[i])[list(occ)]
+        total += c * np.linalg.det(A)
+    return total
+
+
+class TestConstruction:
+    def test_validation(self, rng):
+        lat = CrystalLattice.cubic(6.0)
+        spo = PlaneWaveSPOSet(lat, 5)
+        with pytest.raises(ValueError):
+            MultiSlaterDeterminant(spo, 0, 3, [(0, 1)], [1.0])  # short occ
+        with pytest.raises(ValueError):
+            MultiSlaterDeterminant(spo, 0, 3, [(0, 1, 1)], [1.0])  # repeat
+        with pytest.raises(ValueError):
+            MultiSlaterDeterminant(spo, 0, 3, [(0, 1, 7)], [1.0])  # range
+        with pytest.raises(ValueError):
+            MultiSlaterDeterminant(spo, 0, 3, [], [])
+
+    def test_log_value_matches_brute_force(self, setup):
+        P, spo, msd, occs, coefs, lat, rng = setup
+        logv = msd.recompute(P)
+        brute = _brute_value(P, spo, occs, coefs, msd.nel)
+        assert logv == pytest.approx(math.log(abs(brute)), rel=1e-10)
+        assert msd._sign_value == np.sign(brute)
+
+    def test_single_det_expansion_matches_dirac(self, setup):
+        P, spo, msd, occs, coefs, lat, rng = setup
+        single = MultiSlaterDeterminant(spo, 0, 4, [(0, 1, 2, 3)], [1.0])
+        dirac = DiracDeterminant(spo, 0, 4)
+        lv1 = single.recompute(P)
+        lv2 = dirac.recompute(P)
+        assert lv1 == pytest.approx(lv2, rel=1e-12)
+
+
+class TestRatios:
+    def test_ratio_matches_brute_force(self, setup):
+        P, spo, msd, occs, coefs, lat, rng = setup
+        v_old = _brute_value(P, spo, occs, coefs, msd.nel)
+        k = 2
+        rnew = P.R[k] + rng.normal(0, 0.3, 3)
+        P.make_move(k, rnew)
+        rho = msd.ratio(P, k)
+        msd.reject_move(P, k)
+        P.reject_move(k)
+        saved = P.R[k].copy()
+        P.R[k] = rnew
+        v_new = _brute_value(P, spo, occs, coefs, msd.nel)
+        P.R[k] = saved
+        assert rho == pytest.approx(v_new / v_old, rel=1e-9)
+
+    def test_ratio_grad_consistency(self, setup):
+        P, spo, msd, occs, coefs, lat, rng = setup
+        k = 1
+        P.make_move(k, P.R[k] + rng.normal(0, 0.3, 3))
+        r1 = msd.ratio(P, k)
+        msd.reject_move(P, k)
+        r2, g = msd.ratio_grad(P, k)
+        msd.reject_move(P, k)
+        P.reject_move(k)
+        assert r1 == pytest.approx(r2, rel=1e-12)
+        assert g.shape == (3,)
+
+    def test_grad_matches_fd(self, setup):
+        """grad log Psi_MSD at the proposed position via ratio_grad vs
+        finite differences of the brute-force value."""
+        P, spo, msd, occs, coefs, lat, rng = setup
+        k = 0
+        rnew = P.R[k] + rng.normal(0, 0.2, 3)
+        P.make_move(k, rnew)
+        _, grad = msd.ratio_grad(P, k)
+        msd.reject_move(P, k)
+        P.reject_move(k)
+
+        def logv_at(r):
+            saved = P.R[k].copy()
+            P.R[k] = r
+            v = _brute_value(P, spo, occs, coefs, msd.nel)
+            P.R[k] = saved
+            return math.log(abs(v))
+
+        eps = 1e-6
+        for d in range(3):
+            dr = np.zeros(3)
+            dr[d] = eps
+            fd = (logv_at(rnew + dr) - logv_at(rnew - dr)) / (2 * eps)
+            assert grad[d] == pytest.approx(fd, abs=1e-5)
+
+    def test_foreign_particle(self, setup):
+        P, spo, msd, *_ = setup
+        lat = P.lattice
+        # Particle outside [first, last): ratio 1, grad 0.
+        big = ParticleSet("e", np.vstack([P.R, P.R[:1] + 0.1]), lat)
+        msd2 = MultiSlaterDeterminant(spo, 0, 4,
+                                      [(0, 1, 2, 3)], [1.0])
+        msd2.recompute(big)
+        big.make_move(4, big.R[4] + 0.1)
+        assert msd2.ratio(big, 4) == 1.0
+        big.reject_move(4)
+
+
+class TestUpdates:
+    def test_accept_reject_walk_state_integrity(self, setup):
+        P, spo, msd, occs, coefs, lat, rng = setup
+        logv = msd.recompute(P)
+        for _ in range(15):
+            k = int(rng.integers(msd.nel))
+            P.make_move(k, lat.wrap(P.R[k] + rng.normal(0, 0.3, 3)))
+            rho, _ = msd.ratio_grad(P, k)
+            if rng.uniform() < 0.6 and abs(rho) > 0.02:
+                msd.accept_move(P, k)
+                P.accept_move(k)
+                logv += math.log(abs(rho))
+            else:
+                msd.reject_move(P, k)
+                P.reject_move(k)
+        fresh = msd.recompute(P)
+        assert logv == pytest.approx(fresh, rel=1e-8)
+
+    def test_evaluate_gl_matches_fd(self, setup):
+        P, spo, msd, occs, coefs, lat, rng = setup
+        P.G[...] = 0
+        P.L[...] = 0
+        msd.evaluate_log(P)
+        k = 3
+        g = P.G[k].copy()
+
+        def logv_now():
+            return math.log(abs(_brute_value(P, spo, occs, coefs,
+                                             msd.nel)))
+
+        eps = 1e-6
+        for d in range(3):
+            vals = []
+            for sgn in (1, -1):
+                P.R[k, d] += sgn * eps
+                vals.append(logv_now())
+                P.R[k, d] -= sgn * eps
+            assert g[d] == pytest.approx((vals[0] - vals[1]) / (2 * eps),
+                                         abs=1e-5)
+
+    def test_buffer_roundtrip(self, setup):
+        from repro.containers.buffer import WalkerBuffer
+        P, spo, msd, *_ = setup
+        buf = WalkerBuffer()
+        msd.register_data(P, buf)
+        buf.seal()
+        buf.rewind()
+        msd.update_buffer(P, buf)
+        saved = msd.dets[1].inv.copy()
+        msd.dets[1].inv[...] = 0
+        buf.rewind()
+        msd.copy_from_buffer(P, buf)
+        assert np.allclose(msd.dets[1].inv, saved)
+
+    def test_storage_scales_with_expansion(self, setup):
+        P, spo, msd, *_ = setup
+        single = MultiSlaterDeterminant(spo, 0, 4, [(0, 1, 2, 3)], [1.0])
+        assert msd.storage_bytes > single.storage_bytes

@@ -1,0 +1,119 @@
+"""Unit tests for the three AA distance-table flavors."""
+
+import numpy as np
+import pytest
+
+from repro.distances.aa_ref import DistanceTableAARef
+from repro.distances.base import BIG_DISTANCE
+from repro.distances.factory import create_aa_table
+from repro.lattice.cell import CrystalLattice
+from repro.particles.particleset import ParticleSet
+
+
+@pytest.fixture
+def system(rng, cubic_lattice):
+    P = ParticleSet("e", rng.uniform(0, 6, (10, 3)), cubic_lattice)
+    return P
+
+
+class TestPackedIndex:
+    def test_loc_covers_triangle(self):
+        n = 7
+        seen = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                seen.add(DistanceTableAARef.loc(i, j, n))
+        assert seen == set(range(n * (n - 1) // 2))
+
+    def test_loc_rejects_bad_pairs(self):
+        with pytest.raises(IndexError):
+            DistanceTableAARef.loc(3, 3, 5)
+        with pytest.raises(IndexError):
+            DistanceTableAARef.loc(4, 2, 5)
+
+
+@pytest.mark.parametrize("flavor", ["ref", "soa", "otf"])
+class TestAAFlavor:
+    def test_evaluate_symmetric(self, system, flavor):
+        t = create_aa_table(system.n, system.lattice, flavor)
+        t.evaluate(system)
+        for i in range(system.n):
+            row = np.asarray(t.dist_row(i), dtype=np.float64)
+            for j in range(system.n):
+                if i == j:
+                    continue
+                d = system.lattice.min_image_dist(system.R[j] - system.R[i])
+                assert row[j] == pytest.approx(d, rel=1e-12)
+
+    def test_self_distance_masked(self, system, flavor):
+        t = create_aa_table(system.n, system.lattice, flavor)
+        t.evaluate(system)
+        for i in range(system.n):
+            assert np.asarray(t.dist_row(i))[i] >= BIG_DISTANCE * 0.99
+
+    def test_move_gives_proposed_distances(self, system, flavor):
+        t = create_aa_table(system.n, system.lattice, flavor)
+        t.evaluate(system)
+        rnew = system.R[2] + np.array([0.3, -0.2, 0.1])
+        t.move(system, rnew, 2)
+        temp = np.asarray(t.temp_r)[: system.n]
+        for j in range(system.n):
+            if j == 2:
+                continue
+            d = system.lattice.min_image_dist(system.R[j] - rnew)
+            assert temp[j] == pytest.approx(d, rel=1e-12)
+
+    def test_update_then_rows_match_fresh_table(self, system, flavor):
+        t = create_aa_table(system.n, system.lattice, flavor)
+        t.evaluate(system)
+        rnew = system.R[2] + np.array([0.3, -0.2, 0.1])
+        t.move(system, rnew, 2)
+        t.update(2)
+        system.R[2] = rnew
+        system.sync_layouts()
+        fresh = create_aa_table(system.n, system.lattice, flavor)
+        fresh.evaluate(system)
+        got = np.asarray(t.dist_row(2))[: system.n]
+        want = np.asarray(fresh.dist_row(2))[: system.n]
+        mask = np.arange(system.n) != 2
+        assert np.allclose(got[mask], want[mask], rtol=1e-12)
+
+    def test_disp_antisymmetry_with_distance(self, system, flavor):
+        """|disp_row(i)[j]| == dist_row(i)[j] for all pairs."""
+        t = create_aa_table(system.n, system.lattice, flavor)
+        t.evaluate(system)
+        for i in range(0, system.n, 3):
+            row_r = np.asarray(t.dist_row(i))
+            row_d = t.disp_row(i)
+            for j in range(system.n):
+                if j == i:
+                    continue
+                if isinstance(row_d, list):
+                    v = np.array(row_d[j].x)
+                else:
+                    v = np.asarray(row_d[:, j], dtype=np.float64)
+                assert np.linalg.norm(v) == pytest.approx(row_r[j],
+                                                          rel=1e-6)
+
+    def test_storage_bytes_positive(self, system, flavor):
+        t = create_aa_table(system.n, system.lattice, flavor)
+        assert t.storage_bytes > 0
+
+
+class TestStoragePolicies:
+    def test_soa_uses_about_double_ref(self):
+        lat = CrystalLattice.cubic(6.0)
+        ref = create_aa_table(64, lat, "ref")
+        soa = create_aa_table(64, lat, "soa")
+        # Full N x Np storage vs packed triangle: roughly 2x (Sec. 7.4).
+        assert 1.8 < soa.storage_bytes / ref.storage_bytes < 2.4
+
+    def test_precision_halves_soa_storage(self):
+        lat = CrystalLattice.cubic(6.0)
+        d64 = create_aa_table(64, lat, "soa", dtype=np.float64)
+        d32 = create_aa_table(64, lat, "soa", dtype=np.float32)
+        assert d64.storage_bytes == 2 * d32.storage_bytes
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            create_aa_table(8, CrystalLattice.cubic(4.0), "bogus")

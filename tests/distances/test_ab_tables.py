@@ -1,0 +1,72 @@
+"""Unit tests for the AB (electron-ion) distance tables."""
+
+import numpy as np
+import pytest
+
+from repro.distances.factory import create_ab_table
+from repro.lattice.cell import CrystalLattice
+
+
+@pytest.mark.parametrize("flavor", ["ref", "soa"])
+class TestABFlavor:
+    def test_evaluate(self, electrons, ions, flavor):
+        t = create_ab_table(ions, electrons.n, electrons.lattice, flavor)
+        t.evaluate(electrons)
+        for k in range(electrons.n):
+            row = np.asarray(t.dist_row(k), dtype=np.float64)
+            for I in range(ions.n):
+                d = electrons.lattice.min_image_dist(
+                    ions.R[I] - electrons.R[k])
+                assert row[I] == pytest.approx(d, rel=1e-12)
+
+    def test_move_and_update(self, electrons, ions, flavor):
+        t = create_ab_table(ions, electrons.n, electrons.lattice, flavor)
+        t.evaluate(electrons)
+        rnew = electrons.R[5] + np.array([0.4, 0.1, -0.3])
+        t.move(electrons, rnew, 5)
+        temp = np.asarray(t.temp_r)[: ions.n]
+        for I in range(ions.n):
+            d = electrons.lattice.min_image_dist(ions.R[I] - rnew)
+            assert temp[I] == pytest.approx(d, rel=1e-12)
+        t.update(5)
+        assert np.allclose(np.asarray(t.dist_row(5))[: ions.n], temp,
+                           rtol=1e-12)
+
+    def test_disp_points_to_ion(self, electrons, ions, flavor):
+        """disp_row(k)[I] must equal min_image(R_ion - r_k)."""
+        t = create_ab_table(ions, electrons.n, electrons.lattice, flavor)
+        t.evaluate(electrons)
+        for k in (0, 7):
+            row_d = t.disp_row(k)
+            for I in range(ions.n):
+                want = electrons.lattice.min_image_disp(
+                    ions.R[I] - electrons.R[k])
+                if isinstance(row_d, list):
+                    got = np.array(row_d[I].x)
+                else:
+                    got = np.asarray(row_d[:, I], dtype=np.float64)
+                assert np.allclose(got, want, atol=1e-12)
+
+    def test_update_only_touches_row(self, electrons, ions, flavor):
+        t = create_ab_table(ions, electrons.n, electrons.lattice, flavor)
+        t.evaluate(electrons)
+        before = np.asarray(t.dist_row(3), dtype=np.float64).copy()
+        t.move(electrons, electrons.R[5] + 1.0, 5)
+        t.update(5)
+        assert np.allclose(np.asarray(t.dist_row(3), dtype=np.float64),
+                           before)
+
+
+class TestABDetails:
+    def test_float32_storage(self, electrons, ions):
+        t = create_ab_table(ions, electrons.n, electrons.lattice, "soa",
+                            dtype=np.float32)
+        t.evaluate(electrons)
+        assert t.distances.dtype == np.float32
+        # Accuracy still ~1e-6 relative.
+        d = electrons.lattice.min_image_dist(ions.R[0] - electrons.R[0])
+        assert t.dist_row(0)[0] == pytest.approx(d, rel=1e-5)
+
+    def test_factory_rejects_unknown(self, electrons, ions):
+        with pytest.raises(ValueError):
+            create_ab_table(ions, electrons.n, electrons.lattice, "bogus")

@@ -1,0 +1,52 @@
+"""Tests for continuing runs from an existing walker population."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem
+from repro.core.version import CodeVersion
+from repro.drivers.dmc import DMCDriver
+from repro.drivers.vmc import VMCDriver
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=6,
+                                   with_nlpp=False)
+    parts = sys_.build(CodeVersion.CURRENT)
+    return parts
+
+
+class TestContinuation:
+    def test_vmc_continues_population(self, setup):
+        drv = VMCDriver(setup.electrons, setup.twf, setup.ham,
+                        np.random.default_rng(1), timestep=0.3)
+        pop = drv.create_walkers(3)
+        r1 = drv.run(walkers=pop, steps=2)
+        # Walkers aged by the first segment...
+        assert all(w.age == 2 for w in pop)
+        # ...and can be handed straight to a second segment.
+        r2 = drv.run(walkers=pop, steps=2)
+        assert all(w.age == 4 for w in pop)
+        assert np.all(np.isfinite(r1.energies + r2.energies))
+
+    def test_vmc_to_dmc_handoff(self, setup):
+        """The production pattern: VMC equilibration feeds DMC."""
+        rng = np.random.default_rng(2)
+        vmc = VMCDriver(setup.electrons, setup.twf, setup.ham, rng,
+                        timestep=0.3)
+        pop = vmc.create_walkers(4)
+        vmc.run(walkers=pop, steps=2)
+        dmc = DMCDriver(setup.electrons, setup.twf, setup.ham, rng,
+                        timestep=0.005)
+        res = dmc.run(walkers=pop, steps=3)
+        assert res.method == "DMC"
+        assert np.all(np.isfinite(res.energies))
+
+    def test_dmc_respects_explicit_target(self, setup):
+        dmc = DMCDriver(setup.electrons, setup.twf, setup.ham,
+                        np.random.default_rng(3), timestep=0.005)
+        pop = dmc.create_walkers(3)
+        res = dmc.run(walkers=pop, steps=4, target_population=6)
+        # Feedback pushes the population toward the larger target.
+        assert res.populations[-1] >= 3

@@ -1,0 +1,80 @@
+"""Tests for per-thread cloning and the crowd driver (Fig. 4 structure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem
+from repro.core.version import CodeVersion
+from repro.drivers.crowd import CrowdDriver, clone_parts
+
+
+@pytest.fixture(scope="module")
+def parts():
+    sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=6,
+                                   with_nlpp=False)
+    return sys_.build(CodeVersion.CURRENT, value_dtype=np.float64)
+
+
+class TestCloneParts:
+    def test_clone_shares_readonly_resources(self, parts):
+        c = clone_parts(parts)
+        assert c.ions is parts.ions              # fixed ion set shared
+        assert c.spo_up.spline is parts.spo_up.spline  # big table shared
+        j2a = parts.twf.component_by_name("J2")
+        j2b = c.twf.component_by_name("J2")
+        for key in j2a.functors:
+            assert j2b.functors[key] is j2a.functors[key]
+
+    def test_clone_has_private_mutable_state(self, parts):
+        c = clone_parts(parts)
+        assert c.electrons is not parts.electrons
+        assert c.electrons.R is not parts.electrons.R
+        assert c.twf is not parts.twf
+        # Moving a clone's electron must not leak into the original.
+        before = parts.electrons.R[0].copy()
+        c.electrons.R[0] += 1.0
+        assert np.allclose(parts.electrons.R[0], before)
+
+    def test_clone_tables_independent(self, parts):
+        c = clone_parts(parts)
+        ta = parts.electrons.distance_tables[0]
+        tb = c.electrons.distance_tables[0]
+        assert ta is not tb
+        tb.distances[0, 1] = -99.0
+        assert ta.distances[0, 1] != -99.0
+
+    def test_clone_evaluates_identically(self, parts):
+        c = clone_parts(parts)
+        lp_a = parts.twf.evaluate_log(parts.electrons)
+        lp_b = c.twf.evaluate_log(c.electrons)
+        assert lp_a == pytest.approx(lp_b, rel=1e-12)
+
+
+class TestCrowdDriver:
+    def test_runs_and_partitions(self, parts):
+        drv = CrowdDriver(parts, n_crowds=3,
+                          rng=np.random.default_rng(1), timestep=0.3)
+        res = drv.run(walkers=7, steps=2)
+        assert res.populations == [7, 7]
+        assert np.all(np.isfinite(res.energies))
+        assert 0 < res.acceptance <= 1
+
+    def test_single_crowd_matches_plain_vmc_shape(self, parts):
+        drv = CrowdDriver(parts, n_crowds=1,
+                          rng=np.random.default_rng(2), timestep=0.3)
+        res = drv.run(walkers=3, steps=2)
+        assert len(res.energies) == 2
+
+    def test_threaded_crowds(self, parts):
+        drv = CrowdDriver(parts, n_crowds=2,
+                          rng=np.random.default_rng(3), timestep=0.3,
+                          workers=2)
+        try:
+            res = drv.run(walkers=4, steps=2)
+            assert np.all(np.isfinite(res.energies))
+        finally:
+            drv.close()
+
+    def test_invalid_crowds(self, parts):
+        with pytest.raises(ValueError):
+            CrowdDriver(parts, n_crowds=0, rng=np.random.default_rng(0))

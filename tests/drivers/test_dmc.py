@@ -1,0 +1,111 @@
+"""Tests for the DMC driver (Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem, run_dmc
+from repro.core.version import CodeVersion
+from repro.drivers.dmc import DMCDriver
+from repro.particles.walker import Walker
+
+
+@pytest.fixture(scope="module")
+def small_sys():
+    return QmcSystem.from_workload("NiO-32", scale=0.125, seed=6,
+                                   with_nlpp=False)
+
+
+class TestDMCBasics:
+    def test_runs_and_tracks_population(self, small_sys):
+        res = run_dmc(small_sys, CodeVersion.CURRENT, walkers=6, steps=6,
+                      timestep=0.005, seed=2)
+        assert len(res.populations) == 6
+        assert len(res.trial_energies) == 6
+        assert all(p >= 1 for p in res.populations)
+        assert np.all(np.isfinite(res.energies))
+        assert res.extra["final_population"] >= 1
+
+    def test_population_controlled(self, small_sys):
+        """Population must not explode beyond ~2x target or die out."""
+        res = run_dmc(small_sys, CodeVersion.CURRENT, walkers=6, steps=10,
+                      timestep=0.005, seed=7)
+        assert max(res.populations) <= 12
+        assert min(res.populations) >= 1
+
+    def test_seed_reproducibility(self, small_sys):
+        r1 = run_dmc(small_sys, CodeVersion.CURRENT, walkers=4, steps=4,
+                     timestep=0.005, seed=11)
+        r2 = run_dmc(small_sys, CodeVersion.CURRENT, walkers=4, steps=4,
+                     timestep=0.005, seed=11)
+        assert r1.populations == r2.populations
+        assert np.allclose(r1.energies, r2.energies, rtol=1e-12)
+
+    def test_throughput_counts_mean_walkers(self, small_sys):
+        res = run_dmc(small_sys, CodeVersion.CURRENT, walkers=4, steps=4,
+                      timestep=0.005, seed=3)
+        assert res.mean_walkers == pytest.approx(np.mean(res.populations))
+        assert res.throughput == pytest.approx(
+            res.steps * res.mean_walkers / res.elapsed)
+
+
+class TestBranching:
+    def _driver(self, small_sys):
+        parts = small_sys.build(CodeVersion.CURRENT)
+        return DMCDriver(parts.electrons, parts.twf, parts.ham,
+                         np.random.default_rng(0), timestep=0.005)
+
+    def test_branch_clones_heavy_walkers(self, small_sys):
+        drv = self._driver(small_sys)
+        w = Walker(4)
+        w.weight = 1.95
+        # With weight 1.95, multiplicity is 1 or 2; over many draws both occur
+        sizes = set()
+        for _ in range(50):
+            out = drv._branch([w.copy()])
+            sizes.add(len(out))
+        assert sizes == {1, 2}
+
+    def test_branch_kills_light_walkers(self, small_sys):
+        drv = self._driver(small_sys)
+        w = Walker(4)
+        w.weight = 0.02
+        kills = sum(
+            1 for _ in range(100)
+            if len(drv._branch([w.copy(), w.copy()])) < 2)
+        assert kills > 50
+
+    def test_branch_caps_multiplicity(self, small_sys):
+        drv = self._driver(small_sys)
+        w = Walker(4)
+        w.weight = 10.0
+        out = drv._branch([w])
+        assert len(out) <= drv.MAX_MULTIPLICITY
+
+    def test_branch_never_extinguishes(self, small_sys):
+        drv = self._driver(small_sys)
+        w = Walker(4)
+        w.weight = 1e-9
+        out = drv._branch([w])
+        assert len(out) >= 1
+
+    def test_branch_resets_weights(self, small_sys):
+        drv = self._driver(small_sys)
+        w = Walker(4)
+        w.weight = 1.6
+        out = drv._branch([w])
+        assert all(x.weight == 1.0 for x in out)
+
+
+class TestMixedPrecisionRecompute:
+    def test_ref_mp_runs(self, small_sys):
+        res = run_dmc(small_sys, CodeVersion.REF_MP, walkers=2, steps=2,
+                      timestep=0.005, seed=4)
+        assert np.all(np.isfinite(res.energies))
+
+    def test_current_runs_longer_than_recompute_period(self, small_sys):
+        """Crossing the recompute boundary must not break anything."""
+        from repro.precision.policy import MIXED
+        assert MIXED.recompute_period == 16
+        res = run_dmc(small_sys, CodeVersion.CURRENT, walkers=2, steps=18,
+                      timestep=0.005, seed=4)
+        assert np.all(np.isfinite(res.energies))

@@ -1,0 +1,52 @@
+"""Tests for QMCResult figures of merit."""
+
+import numpy as np
+import pytest
+
+from repro.drivers.result import QMCResult
+
+
+def _result(energies, elapsed=2.0, pops=None):
+    r = QMCResult(method="DMC", steps=len(energies))
+    r.energies = list(energies)
+    r.populations = pops if pops is not None else [4] * len(energies)
+    r.elapsed = elapsed
+    return r
+
+
+class TestFiguresOfMerit:
+    def test_throughput(self):
+        r = _result([1.0] * 10, elapsed=5.0, pops=[8] * 10)
+        assert r.throughput == pytest.approx(10 * 8 / 5.0)
+
+    def test_zero_elapsed(self):
+        r = _result([1.0], elapsed=0.0)
+        assert r.throughput == 0.0
+
+    def test_mean_energy_and_error(self):
+        rng = np.random.default_rng(0)
+        e = rng.normal(-5.0, 0.1, 400)
+        r = _result(e)
+        assert r.mean_energy == pytest.approx(-5.0, abs=0.05)
+        assert r.energy_error() == pytest.approx(0.1 / 20, rel=0.3)
+
+    def test_error_nan_for_short(self):
+        assert np.isnan(_result([1.0]).energy_error())
+
+    def test_autocorrelation_time(self):
+        rng = np.random.default_rng(1)
+        white = _result(rng.normal(size=2000))
+        assert white.autocorrelation_time() == pytest.approx(1.0, abs=0.2)
+        assert np.isnan(_result([1.0]).autocorrelation_time())
+
+    def test_efficiency_scales_inverse_time(self):
+        rng = np.random.default_rng(2)
+        e = rng.normal(size=500)
+        fast = _result(e, elapsed=1.0)
+        slow = _result(e, elapsed=4.0)
+        assert fast.efficiency() == pytest.approx(4 * slow.efficiency(),
+                                                  rel=1e-9)
+
+    def test_summary_contains_figures(self):
+        s = _result([1.0, 2.0]).summary()
+        assert "samples/s" in s and "DMC" in s

@@ -1,0 +1,61 @@
+"""Tests for the VMC time-step tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem
+from repro.core.version import CodeVersion
+from repro.drivers.tuning import measure_acceptance, tune_timestep
+from repro.drivers.vmc import VMCDriver
+
+
+@pytest.fixture
+def driver():
+    sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=6,
+                                   with_nlpp=False)
+    parts = sys_.build(CodeVersion.CURRENT)
+    drv = VMCDriver(parts.electrons, parts.twf, parts.ham,
+                    np.random.default_rng(5), timestep=0.3,
+                    use_drift=False)
+    parts.twf.evaluate_log(parts.electrons)
+    return drv
+
+
+class TestMeasureAcceptance:
+    def test_counters_restored(self, driver):
+        a0, m0 = driver.n_accept, driver.n_moves
+        acc = measure_acceptance(driver, sweeps=1)
+        assert 0.0 <= acc <= 1.0
+        assert (driver.n_accept, driver.n_moves) == (a0, m0)
+
+    def test_monotone_in_tau(self, driver):
+        driver.tau = 0.01
+        hi = measure_acceptance(driver, sweeps=2)
+        driver.tau = 3.0
+        lo = measure_acceptance(driver, sweeps=2)
+        assert hi > lo
+
+
+class TestTuneTimestep:
+    def test_reaches_target(self, driver):
+        tau = tune_timestep(driver, target=0.5, tol=0.05,
+                            probe_sweeps=4)
+        acc = measure_acceptance(driver, sweeps=6)
+        # Probe noise: ~300 Bernoulli samples per measurement.
+        assert abs(acc - 0.5) < 0.2
+        assert driver.tau == tau
+
+    def test_high_target_small_tau(self, driver):
+        tau_hi = tune_timestep(driver, target=0.9, tol=0.05)
+        acc = measure_acceptance(driver, sweeps=2)
+        assert acc > 0.75
+        tau_lo = tune_timestep(driver, target=0.3, tol=0.08)
+        assert tau_lo > tau_hi  # lower acceptance needs bigger steps
+
+    def test_validation(self, driver):
+        with pytest.raises(ValueError):
+            tune_timestep(driver, target=0.0)
+        with pytest.raises(ValueError):
+            tune_timestep(driver, tau_bounds=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            tune_timestep(driver, tau_bounds=(2.0, 1.0))

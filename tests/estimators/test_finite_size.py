@@ -1,0 +1,89 @@
+"""Tests for the finite-size correction machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.finite_size import (
+    corrected_potential, fit_plasmon_frequency, plasmon_frequency_rpa,
+    potential_correction,
+)
+
+
+class TestRpaFrequency:
+    def test_known_density(self):
+        # n = 1/(4 pi) gives omega_p = 1 exactly
+        vol = 4.0 * math.pi * 10
+        assert plasmon_frequency_rpa(10, vol) == pytest.approx(1.0)
+
+    def test_scaling(self):
+        w1 = plasmon_frequency_rpa(10, 100.0)
+        w2 = plasmon_frequency_rpa(40, 100.0)  # 4x density
+        assert w2 == pytest.approx(2.0 * w1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plasmon_frequency_rpa(0, 1.0)
+        with pytest.raises(ValueError):
+            plasmon_frequency_rpa(5, 0.0)
+
+
+class TestFit:
+    def test_recovers_exact_rpa_form(self):
+        omega = 0.85
+        k = np.linspace(0.2, 2.0, 15)
+        s = k ** 2 / (2.0 * omega)
+        assert fit_plasmon_frequency(k, s) == pytest.approx(omega,
+                                                            rel=1e-12)
+
+    def test_small_k_window_ignores_large_k_saturation(self):
+        """Realistic S(k) saturates to 1 at large k; the small-k window
+        must still recover omega_p."""
+        omega = 1.2
+        k = np.linspace(0.1, 4.0, 40)
+        s = np.minimum(k ** 2 / (2.0 * omega), 1.0)
+        got = fit_plasmon_frequency(k, s, kmax=0.8)
+        assert got == pytest.approx(omega, rel=1e-9)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        omega = 0.9
+        k = np.linspace(0.15, 1.0, 12)
+        s = k ** 2 / (2 * omega) * (1 + rng.normal(0, 0.05, k.size))
+        assert fit_plasmon_frequency(k, s) == pytest.approx(omega,
+                                                            rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_plasmon_frequency(np.array([1.0]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            fit_plasmon_frequency(np.array([0.5, 1.0]),
+                                  np.array([-1.0, -2.0]))
+
+
+class TestCorrection:
+    def test_quarter_omega(self):
+        assert potential_correction(2.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            potential_correction(0.0)
+
+    def test_corrected_potential_pipeline(self):
+        omega = 1.1
+        k = np.linspace(0.2, 1.5, 10)
+        s = k ** 2 / (2 * omega)
+        v, w, dv = corrected_potential(-50.0, k, s)
+        assert w == pytest.approx(omega, rel=1e-9)
+        assert dv == pytest.approx(omega / 4, rel=1e-9)
+        assert v == pytest.approx(-50.0 + omega / 4, rel=1e-9)
+
+    def test_correction_shrinks_per_electron_with_size(self):
+        """The per-electron correction decreases with supercell size at
+        fixed density — the reason bigger cells (the paper's 1024-atom
+        ambitions) have smaller finite-size bias."""
+        density = 0.02
+        for n1, n2 in ((48, 384),):
+            w = math.sqrt(4 * math.pi * density)  # density fixed
+            dv1 = potential_correction(w) / n1
+            dv2 = potential_correction(w) / n2
+            assert dv2 < dv1

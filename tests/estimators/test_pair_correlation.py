@@ -1,0 +1,185 @@
+"""Tests for g(r) and S(k) estimators."""
+
+import numpy as np
+import pytest
+
+from repro.distances.factory import create_aa_table
+from repro.estimators.pair_correlation import (
+    PairCorrelationEstimator, StructureFactorEstimator,
+)
+from repro.lattice.cell import CrystalLattice
+from repro.particles.particleset import ParticleSet
+
+
+def _ideal_gas(n, L, seed):
+    lat = CrystalLattice.cubic(L)
+    rng = np.random.default_rng(seed)
+    P = ParticleSet("e", rng.uniform(0, L, (n, 3)), lat)
+    P.add_table(create_aa_table(n, lat, "otf"))
+    P.update_tables()
+    return P, lat, rng
+
+
+class TestGofr:
+    def test_ideal_gas_flat(self):
+        """Uncorrelated uniform particles: g(r) ~ 1 away from r=0."""
+        P, lat, rng = _ideal_gas(24, 8.0, 0)
+        est = PairCorrelationEstimator(lat, P.n, nbins=16)
+        for _ in range(200):
+            P.R[...] = rng.uniform(0, 8.0, (P.n, 3))
+            P.sync_layouts()
+            P.update_tables()
+            est.accumulate(P)
+        g = est.gofr()
+        # skip the first bins (few pairs, noisy) and check the plateau
+        assert np.all(np.abs(g[4:] - 1.0) < 0.25)
+
+    def test_hard_core_hole(self):
+        """Particles placed on a spaced lattice: g(r)=0 below the spacing."""
+        L = 8.0
+        lat = CrystalLattice.cubic(L)
+        grid = np.array([[i, j, k] for i in range(2) for j in range(2)
+                         for k in range(2)]) * (L / 2) + 1.0
+        P = ParticleSet("e", grid, lat)
+        P.add_table(create_aa_table(8, lat, "otf"))
+        P.update_tables()
+        est = PairCorrelationEstimator(lat, 8, nbins=20)
+        est.accumulate(P)
+        g = est.gofr()
+        centers = est.bin_centers
+        assert np.all(g[centers < 3.0] == 0.0)
+
+    def test_weighting(self):
+        P, lat, rng = _ideal_gas(10, 6.0, 1)
+        a = PairCorrelationEstimator(lat, 10, nbins=8)
+        b = PairCorrelationEstimator(lat, 10, nbins=8)
+        a.accumulate(P, weight=1.0)
+        b.accumulate(P, weight=2.5)
+        assert np.allclose(a.gofr(), b.gofr())
+
+    def test_requires_samples(self):
+        P, lat, rng = _ideal_gas(6, 6.0, 2)
+        est = PairCorrelationEstimator(lat, 6)
+        with pytest.raises(RuntimeError):
+            est.gofr()
+
+    def test_reset(self):
+        P, lat, rng = _ideal_gas(6, 6.0, 3)
+        est = PairCorrelationEstimator(lat, 6)
+        est.accumulate(P)
+        est.reset()
+        assert est.n_samples == 0
+
+    def test_open_cell_needs_rmax(self):
+        lat = CrystalLattice.open_bc()
+        with pytest.raises(ValueError):
+            PairCorrelationEstimator(lat, 4)
+        est = PairCorrelationEstimator(lat, 4, rmax=5.0)
+        assert est.rmax == 5.0
+
+    def test_too_few_particles(self):
+        lat = CrystalLattice.cubic(5.0)
+        with pytest.raises(ValueError):
+            PairCorrelationEstimator(lat, 1)
+
+
+class TestSofk:
+    def test_ideal_gas_unity(self):
+        """Uncorrelated particles: S(k) ~ 1 for all k != 0."""
+        P, lat, rng = _ideal_gas(32, 8.0, 4)
+        est = StructureFactorEstimator(lat, P.n, nk=12)
+        for _ in range(300):
+            P.R[...] = rng.uniform(0, 8.0, (P.n, 3))
+            est.accumulate(P)
+        sk = est.sofk()
+        assert np.all(np.abs(sk - 1.0) < 0.35)
+
+    def test_crystal_bragg_peak(self):
+        """Particles on a perfect lattice: S(k) = N at reciprocal-lattice
+        vectors of the particle sublattice."""
+        L = 8.0
+        lat = CrystalLattice.cubic(L)
+        m = 4  # simple cubic sublattice of spacing L/4
+        pts = np.array([[i, j, k] for i in range(m) for j in range(m)
+                        for k in range(m)]) * (L / m)
+        P = ParticleSet("e", pts, lat)
+        est = StructureFactorEstimator(lat, P.n, nk=40)
+        est.accumulate(P)
+        sk = est.sofk()
+        # k = (2 pi / (L/m)) e_x is a Bragg vector: S = N there
+        bragg = 2 * np.pi / (L / m)
+        on_bragg = np.isclose(est.kmags, bragg, rtol=1e-9)
+        if np.any(on_bragg):
+            assert np.allclose(sk[on_bragg], P.n, rtol=1e-9)
+        # Generic small k: destructive interference, S << 1.
+        small = est.kmags < bragg * 0.99
+        assert np.all(sk[small] < 0.2)
+
+    def test_open_cell_rejected(self):
+        with pytest.raises(ValueError):
+            StructureFactorEstimator(CrystalLattice.open_bc(), 8)
+
+    def test_requires_samples(self):
+        lat = CrystalLattice.cubic(5.0)
+        est = StructureFactorEstimator(lat, 8)
+        with pytest.raises(RuntimeError):
+            est.sofk()
+
+
+class TestSpinResolvedGofr:
+    def _system(self, seed):
+        from repro.particles.species import SpeciesSet
+        L = 8.0
+        lat = CrystalLattice.cubic(L)
+        rng = np.random.default_rng(seed)
+        n = 16
+        sp = SpeciesSet.electrons()
+        ids = np.array([0] * 8 + [1] * 8)
+        P = ParticleSet("e", rng.uniform(0, L, (n, 3)), lat, sp, ids)
+        P.add_table(create_aa_table(n, lat, "otf"))
+        P.update_tables()
+        return P, lat, rng
+
+    def test_ideal_gas_both_channels_flat(self):
+        from repro.estimators.pair_correlation import SpinResolvedGofr
+        P, lat, rng = self._system(0)
+        est = SpinResolvedGofr(lat, list(P.group_ranges()), nbins=10)
+        for _ in range(300):
+            P.R[...] = rng.uniform(0, 8.0, (P.n, 3))
+            P.sync_layouts()
+            P.update_tables()
+            est.accumulate(P)
+        gl = est.gofr_like()
+        gu = est.gofr_unlike()
+        assert np.all(np.abs(gl[3:] - 1.0) < 0.4)
+        assert np.all(np.abs(gu[3:] - 1.0) < 0.4)
+
+    def test_pair_counting(self):
+        from repro.estimators.pair_correlation import SpinResolvedGofr
+        P, lat, rng = self._system(1)
+        est = SpinResolvedGofr(lat, list(P.group_ranges()))
+        # 8 up + 8 down: like pairs 2*28=56, unlike 64, total 120
+        assert est._npairs_like() == 56
+        assert est._npairs_unlike() == 64
+
+    def test_segregated_configuration(self):
+        """All up electrons clustered, downs far away: only the like
+        channel sees small-r pairs."""
+        from repro.estimators.pair_correlation import SpinResolvedGofr
+        L = 8.0
+        lat = CrystalLattice.cubic(L)
+        from repro.particles.species import SpeciesSet
+        sp = SpeciesSet.electrons()
+        ids = np.array([0] * 4 + [1] * 4)
+        rng = np.random.default_rng(2)
+        ups = 1.0 + 0.3 * rng.uniform(size=(4, 3))
+        downs = 5.0 + 0.3 * rng.uniform(size=(4, 3))
+        P = ParticleSet("e", np.vstack([ups, downs]), lat, sp, ids)
+        P.add_table(create_aa_table(8, lat, "otf"))
+        P.update_tables()
+        est = SpinResolvedGofr(lat, list(P.group_ranges()), nbins=10)
+        est.accumulate(P)
+        r = est.bin_centers
+        small = r < 1.0
+        assert est.like.histogram[small].sum() > 0
+        assert est.unlike.histogram[small].sum() == 0

@@ -1,0 +1,122 @@
+"""Tests for the Ewald summation, including the rock-salt Madelung check."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian.ewald import EwaldCoulomb, EwaldHandler
+from repro.lattice.cell import CrystalLattice
+from repro.lattice.tiling import tile_cell
+from repro.particles.particleset import ParticleSet
+from repro.particles.species import SpeciesSet
+
+
+class TestHandlerBasics:
+    def test_requires_periodic_cell(self):
+        with pytest.raises(ValueError):
+            EwaldHandler(CrystalLattice.open_bc())
+
+    def test_alpha_scales_with_cell(self):
+        small = EwaldHandler(CrystalLattice.cubic(4.0))
+        big = EwaldHandler(CrystalLattice.cubic(16.0))
+        assert small.alpha == pytest.approx(4 * big.alpha)
+
+    def test_gspace_nonempty_and_symmetric(self):
+        h = EwaldHandler(CrystalLattice.cubic(5.0))
+        assert h.gvecs.shape[0] > 0
+        # G set closed under inversion (needed for a real energy).
+        gset = {tuple(np.round(g, 9)) for g in h.gvecs}
+        for g in h.gvecs[:50]:
+            assert tuple(np.round(-g, 9)) in gset
+
+    def test_neutral_background_zero(self):
+        h = EwaldHandler(CrystalLattice.cubic(5.0))
+        q = np.array([1.0, -1.0, 2.0, -2.0])
+        assert h.background(q) == 0.0
+
+    def test_alpha_independence(self):
+        """The total energy must not depend on the splitting parameter."""
+        lat = CrystalLattice.cubic(6.0)
+        rng = np.random.default_rng(0)
+        R = rng.uniform(0, 6, (6, 3))
+        q = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+        energies = []
+        # Stay at or above the default alpha: the real-space sum only
+        # covers the first image shell, so smaller alpha leaves erfc
+        # tails of ~1e-5 uncollected.
+        for alpha in (EwaldHandler(lat).alpha * f for f in (1.0, 1.15, 1.3)):
+            energies.append(EwaldHandler(lat, alpha=alpha).energy(R, q))
+        assert energies[0] == pytest.approx(energies[1], rel=2e-5)
+        assert energies[1] == pytest.approx(energies[2], rel=2e-5)
+
+
+class TestMadelung:
+    def test_rocksalt_madelung_constant(self):
+        """The NaCl Madelung constant: E per ion pair = -M / r_nn with
+        M = 1.747565."""
+        a = 2.0  # nearest-neighbor distance 1.0
+        axes = np.eye(3) * a
+        # conventional rock-salt cell: 4 cation + 4 anion sites
+        frac = np.array([
+            [0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5],   # +
+            [0.5, 0, 0], [0, 0.5, 0], [0, 0, 0.5], [0.5, 0.5, 0.5],   # -
+        ])
+        species = ["Na"] * 4 + ["Cl"] * 4
+        lat, pos, sp = tile_cell(axes, frac, species, (2, 2, 2))
+        q = np.array([1.0 if s == "Na" else -1.0 for s in sp])
+        h = EwaldHandler(lat)
+        e = h.energy(pos, q)
+        n_pairs = len(sp) // 2
+        r_nn = a / 2.0
+        madelung = -e * r_nn / n_pairs
+        assert madelung == pytest.approx(1.747565, rel=1e-3)
+
+    def test_cscl_madelung_constant(self):
+        """CsCl structure: M = 1.762675 (per ion pair, r_nn units)."""
+        a = 2.0
+        axes = np.eye(3) * a
+        frac = np.array([[0, 0, 0], [0.5, 0.5, 0.5]])
+        lat, pos, sp = tile_cell(axes, frac, ["Cs", "Cl"], (3, 3, 3))
+        q = np.array([1.0 if s == "Cs" else -1.0 for s in sp])
+        e = EwaldHandler(lat).energy(pos, q)
+        r_nn = a * math.sqrt(3) / 2
+        madelung = -e * r_nn / (len(sp) // 2)
+        assert madelung == pytest.approx(1.762675, rel=1e-3)
+
+
+class TestEwaldTerm:
+    def test_term_against_handler(self, rng):
+        lat = CrystalLattice.cubic(6.0)
+        isp = SpeciesSet()
+        isp.add("X", 2.0)
+        ions = ParticleSet("ion0", rng.uniform(0, 6, (2, 3)), lat, isp,
+                           np.zeros(2, dtype=np.int64))
+        esp = SpeciesSet.electrons()
+        P = ParticleSet("e", rng.uniform(0, 6, (4, 3)), lat, esp,
+                        np.array([0, 0, 1, 1]))
+        term = EwaldCoulomb(ions, lat)
+        v = term.evaluate(P, None)
+        R = np.concatenate([P.R, ions.R])
+        q = np.concatenate([P.charges(), ions.charges()])
+        assert v == pytest.approx(term.handler.energy(R, q), rel=1e-12)
+        assert np.isfinite(term.ion_ion_energy)
+
+    def test_min_image_agrees_for_well_separated(self, rng):
+        """For charges clustered well inside the cell, Ewald and the
+        bare minimum-image sum agree on the *difference* between two
+        configurations (the constant offset is the periodic image
+        energy)."""
+        lat = CrystalLattice.cubic(40.0)
+        q = np.array([1.0, -1.0])
+        h = EwaldHandler(lat)
+
+        def bare(R):
+            d = np.linalg.norm(R[0] - R[1])
+            return q[0] * q[1] / d
+
+        Ra = np.array([[20.0, 20.0, 20.0], [21.0, 20.0, 20.0]])
+        Rb = np.array([[20.0, 20.0, 20.0], [22.5, 20.0, 20.0]])
+        diff_ewald = h.energy(Rb, q) - h.energy(Ra, q)
+        diff_bare = bare(Rb) - bare(Ra)
+        assert diff_ewald == pytest.approx(diff_bare, rel=1e-3)

@@ -1,0 +1,84 @@
+"""Tests for the non-local pseudopotential quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem
+from repro.core.version import CodeVersion
+from repro.hamiltonian.nlpp import NonLocalPP, legendre, sphere_quadrature
+
+
+class TestQuadrature:
+    @pytest.mark.parametrize("npts", [6, 12])
+    def test_weights_normalized(self, npts):
+        dirs, w = sphere_quadrature(npts)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    @pytest.mark.parametrize("npts", [6, 12])
+    def test_integrates_linear_exactly(self, npts):
+        """sum w_q (a . r_q) = 0 for any vector a (odd function)."""
+        dirs, w = sphere_quadrature(npts)
+        a = np.array([0.3, -1.2, 0.7])
+        assert abs(np.sum(w * (dirs @ a))) < 1e-12
+
+    @pytest.mark.parametrize("npts", [6, 12])
+    def test_integrates_quadratic_exactly(self, npts):
+        """sum w_q (r_q . z)^2 = 1/3 (spherical average of cos^2)."""
+        dirs, w = sphere_quadrature(npts)
+        z = np.array([0.0, 0.0, 1.0])
+        assert np.sum(w * (dirs @ z) ** 2) == pytest.approx(1.0 / 3.0,
+                                                            abs=1e-12)
+
+    def test_unsupported_size_raises(self):
+        with pytest.raises(ValueError):
+            sphere_quadrature(7)
+
+    def test_legendre(self):
+        x = np.linspace(-1, 1, 7)
+        assert np.allclose(legendre(0, x), 1.0)
+        assert np.allclose(legendre(1, x), x)
+        assert np.allclose(legendre(2, x), 1.5 * x * x - 0.5)
+        with pytest.raises(ValueError):
+            legendre(3, x)
+
+
+class TestNonLocalPP:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=4,
+                                       with_nlpp=True)
+        return sys_.build(CodeVersion.CURRENT, value_dtype=np.float64)
+
+    def test_evaluates_finite(self, parts):
+        P, twf = parts.electrons, parts.twf
+        P.update_tables()
+        twf.evaluate_log(P)
+        term = [t for t in parts.ham.terms if t.name == "NonLocalECP"][0]
+        v = term.evaluate(P, twf)
+        assert np.isfinite(v)
+
+    def test_leaves_state_untouched(self, parts):
+        """NLPP's ratio probes must not change positions or wavefunction."""
+        P, twf = parts.electrons, parts.twf
+        P.update_tables()
+        lp_before = twf.evaluate_log(P)
+        R_before = P.R.copy()
+        term = [t for t in parts.ham.terms if t.name == "NonLocalECP"][0]
+        term.evaluate(P, twf)
+        assert np.allclose(P.R, R_before)
+        P.update_tables()
+        assert twf.evaluate_log(P) == pytest.approx(lp_before, rel=1e-10)
+
+    def test_zero_outside_cutoff(self, parts):
+        P, twf = parts.electrons, parts.twf
+        term = NonLocalPP(parts.ions, range(parts.ions.n), rcut=1e-6,
+                          table_index=1)
+        P.update_tables()
+        twf.evaluate_log(P)
+        assert term.evaluate(P, twf) == 0.0
+
+    def test_radial_shape(self, parts):
+        term = NonLocalPP(parts.ions, [0], v0=2.0, width=0.5)
+        assert term.radial(0.0) == pytest.approx(2.0)
+        assert term.radial(5.0) < 1e-10

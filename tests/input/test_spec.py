@@ -1,0 +1,122 @@
+"""Tests for the declarative input layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.version import CodeVersion
+from repro.input.spec import RunSpec, execute, load_json, main, parse
+
+
+BASE = {
+    "workload": "nio32",
+    "scale": 0.125,
+    "method": "vmc",
+    "version": "current",
+    "walkers": 2,
+    "steps": 2,
+    "with_nlpp": False,
+}
+
+
+class TestParse:
+    def test_minimal(self):
+        spec = parse({"workload": "Graphite"})
+        assert spec.workload == "Graphite"
+        assert spec.method == "vmc"
+        assert spec.version == CodeVersion.CURRENT
+
+    def test_full_document(self):
+        spec = parse(dict(BASE, method="dmc", version="ref",
+                          timestep=0.01, seed=5))
+        assert spec.workload == "NiO-32"
+        assert spec.method == "dmc"
+        assert spec.version == CodeVersion.REF
+        assert spec.timestep == 0.01
+        assert spec.seed == 5
+
+    def test_aliases_resolve(self):
+        assert parse({"workload": "be_64"}).workload == "Be-64"
+
+    def test_version_aliases(self):
+        assert parse({"workload": "NiO-32",
+                      "version": "ref+mp"}).version == CodeVersion.REF_MP
+
+    def test_missing_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            parse({})
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            parse({"workload": "diamond"})
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            parse({"workload": "NiO-32", "method": "pimc"})
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            parse({"workload": "NiO-32", "version": "v4"})
+
+    def test_bad_ranges(self):
+        with pytest.raises(ValueError):
+            parse({"workload": "NiO-32", "scale": 0.0})
+        with pytest.raises(ValueError):
+            parse({"workload": "NiO-32", "scale": 2.0})
+        with pytest.raises(ValueError):
+            parse({"workload": "NiO-32", "walkers": 0})
+
+    def test_extras_preserved(self):
+        spec = parse(dict(BASE, mynote="hello"))
+        assert spec.extras == {"mynote": "hello"}
+
+
+class TestExecute:
+    def test_vmc_roundtrip(self):
+        res = execute(parse(BASE))
+        assert res.method == "VMC"
+        assert np.all(np.isfinite(res.energies))
+
+    def test_dmc_roundtrip(self):
+        res = execute(parse(dict(BASE, method="dmc", timestep=0.005)))
+        assert res.method == "DMC"
+
+    def test_json_file(self, tmp_path):
+        p = tmp_path / "run.json"
+        p.write_text(json.dumps(BASE))
+        spec = load_json(str(p))
+        assert spec.workload == "NiO-32"
+
+    def test_cli(self, tmp_path, capsys):
+        p = tmp_path / "run.json"
+        p.write_text(json.dumps(BASE))
+        assert main([str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "VMC" in out
+        assert "LocalEnergy" in out
+
+
+class TestShippedConfigs:
+    def test_example_configs_parse(self):
+        import pathlib
+        cfg_dir = pathlib.Path(__file__).parent.parent.parent \
+            / "examples" / "configs"
+        configs = sorted(cfg_dir.glob("*.json"))
+        assert len(configs) >= 3
+        for p in configs:
+            spec = load_json(str(p))
+            assert spec.workload in ("Graphite", "Be-64", "NiO-32",
+                                     "NiO-64")
+
+    def test_smallest_config_runs(self):
+        import pathlib
+        p = pathlib.Path(__file__).parent.parent.parent / "examples" \
+            / "configs" / "graphite_vmc_ref.json"
+        spec = load_json(str(p))
+        # shrink for test speed
+        spec.steps = 1
+        spec.walkers = 1
+        spec.scale = 1 / 16
+        res = execute(spec)
+        assert np.all(np.isfinite(res.energies))

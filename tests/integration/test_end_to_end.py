@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem, run_dmc, run_vmc
+from repro.core.version import CodeVersion
+from repro.perfmodel.opcount import OPS
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("version", list(CodeVersion),
+                             ids=lambda v: v.label)
+    def test_vmc_all_versions_all_finite(self, version):
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        res = run_vmc(sys_, version, walkers=2, steps=2, seed=5)
+        assert np.all(np.isfinite(res.energies))
+        assert 0 < res.acceptance <= 1
+
+    @pytest.mark.parametrize("workload", ["Graphite", "Be-64", "NiO-32"])
+    def test_workloads_run(self, workload):
+        sys_ = QmcSystem.from_workload(workload, scale=0.06, seed=8,
+                                       with_nlpp=False)
+        res = run_vmc(sys_, CodeVersion.CURRENT, walkers=2, steps=2, seed=5)
+        assert np.all(np.isfinite(res.energies))
+
+    def test_with_nlpp_runs(self):
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=True)
+        res = run_vmc(sys_, CodeVersion.CURRENT, walkers=2, steps=2, seed=5)
+        assert np.all(np.isfinite(res.energies))
+
+    def test_current_faster_than_ref(self):
+        """The paper's headline on this substrate: the SoA/OTF/MP build
+        beats the AoS store-everything build."""
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.25, seed=8,
+                                       with_nlpp=False)
+        thr = {}
+        for v in (CodeVersion.REF, CodeVersion.CURRENT):
+            res = run_vmc(sys_, v, walkers=2, steps=2, seed=5)
+            thr[v] = res.throughput
+        assert thr[CodeVersion.CURRENT] > 1.5 * thr[CodeVersion.REF]
+
+    def test_opcounts_collected_during_run(self):
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        OPS.reset()
+        with OPS.enabled_scope():
+            run_vmc(sys_, CodeVersion.CURRENT, walkers=1, steps=1, seed=5)
+        totals = OPS.totals()
+        OPS.reset()
+        # Drift VMC exercises the vgh path; Bspline-v appears on the
+        # ratio-only paths (no-drift moves, NLPP probes).
+        for cat in ("DistTable-AA", "DistTable-AB", "J1", "J2",
+                    "Bspline-vgh", "DetUpdate"):
+            assert cat in totals, cat
+            assert totals[cat].flops > 0 or totals[cat].bytes_moved > 0
+
+    def test_bspline_v_counted_on_ratio_path(self):
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        OPS.reset()
+        with OPS.enabled_scope():
+            run_vmc(sys_, CodeVersion.CURRENT, walkers=1, steps=1,
+                    use_drift=False, seed=5)
+        totals = OPS.totals()
+        OPS.reset()
+        assert totals["Bspline-v"].flops > 0
+
+    def test_throughput_scales_with_walkers(self):
+        """Throughput (samples/sec) is roughly walker-count independent —
+        per-sample cost is flat, so samples/sec ~ constant."""
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        parts = sys_.build(CodeVersion.CURRENT)
+        r2 = run_vmc(sys_, CodeVersion.CURRENT, walkers=2, steps=2,
+                     parts=parts, seed=5)
+        parts2 = sys_.build(CodeVersion.CURRENT)
+        r4 = run_vmc(sys_, CodeVersion.CURRENT, walkers=4, steps=2,
+                     parts=parts2, seed=5)
+        assert r4.throughput == pytest.approx(r2.throughput, rel=0.5)
+
+
+class TestDmcPipeline:
+    def test_dmc_with_branching_and_profile(self):
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        res = run_dmc(sys_, CodeVersion.CURRENT, walkers=4, steps=6,
+                      timestep=0.005, profile=True, seed=5)
+        assert res.profile is not None
+        assert len(res.populations) == 6
+        assert np.all(np.isfinite(res.trial_energies))
+
+    def test_dmc_energy_below_vmc(self):
+        """DMC projects toward the ground state: its mixed estimator
+        should not sit above the VMC energy (statistically, for this
+        seed)."""
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        vmc = run_vmc(sys_, CodeVersion.CURRENT, walkers=4, steps=6,
+                      timestep=0.3, seed=5)
+        dmc = run_dmc(sys_, CodeVersion.CURRENT, walkers=4, steps=6,
+                      timestep=0.005, seed=5)
+        # loose check: same order of magnitude and DMC not much higher
+        assert dmc.mean_energy < vmc.mean_energy + 3 * abs(vmc.mean_energy) \
+            * 0.2

@@ -1,0 +1,105 @@
+"""H2+ molecular ion: DMC against the known answer.
+
+At bond length R = 2.0 bohr the exact Born-Oppenheimer electronic
+energy is -1.1026 Ha (total with ion-ion repulsion 1/R = 0.5:
+E = -0.6026 Ha).  The LCAO sigma_g guiding function
+``exp(-zeta ra) + exp(-zeta rb)`` is nodeless, so DMC is exact up to
+time-step/population bias.
+"""
+
+import numpy as np
+import pytest
+
+from repro.determinant.dirac import DiracDeterminant
+from repro.distances.factory import create_ab_table
+from repro.drivers.dmc import DMCDriver
+from repro.drivers.vmc import VMCDriver
+from repro.hamiltonian.local_energy import Hamiltonian
+from repro.hamiltonian.terms import CoulombEI, KineticEnergy
+from repro.lattice.cell import CrystalLattice
+from repro.particles.particleset import ParticleSet
+from repro.particles.species import SpeciesSet
+from repro.spo.atomic import LCAOSpoSet, SlaterOrbitalSPOSet
+
+BOND = 2.0
+E_ELECTRONIC_EXACT = -1.1026
+E_TOTAL_EXACT = E_ELECTRONIC_EXACT + 1.0 / BOND  # -0.6026
+
+
+def _h2plus(zeta: float, seed: int):
+    lat = CrystalLattice.open_bc()
+    centers = np.array([[0.0, 0.0, -BOND / 2], [0.0, 0.0, BOND / 2]])
+    isp = SpeciesSet()
+    isp.add("H", charge=1.0)
+    ions = ParticleSet("ion0", centers, lat, isp,
+                       np.zeros(2, dtype=np.int64))
+    P = ParticleSet("e", np.array([[0.3, -0.2, 0.1]]), lat)
+    P.add_table(create_ab_table(ions, 1, lat, "soa"))
+    P.update_tables()
+    prim = SlaterOrbitalSPOSet(centers, [zeta, zeta])
+    sigma_g = LCAOSpoSet(prim, np.array([[1.0, 1.0]]))
+    twf = DiracDeterminant(sigma_g, 0, 1)
+    from repro.wavefunction.trialwf import TrialWaveFunction
+    ham = Hamiltonian([KineticEnergy(), CoulombEI(ions.charges(),
+                                                  table_index=0)])
+    return P, TrialWaveFunction([twf]), ham, np.random.default_rng(seed)
+
+
+class TestH2Plus:
+    @pytest.mark.slow
+    def test_vmc_variational(self):
+        """LCAO with zeta=1 is not exact: VMC electronic energy sits above
+        the exact -1.1026 Ha, near the textbook LCAO value (-1.077)."""
+        P, twf, ham, rng = _h2plus(1.0, 0)
+        drv = VMCDriver(P, twf, ham, rng, timestep=0.4)
+        res = drv.run(walkers=40, steps=150)
+        assert res.mean_energy > E_ELECTRONIC_EXACT
+        assert res.mean_energy == pytest.approx(-1.077, abs=0.03)
+
+    @pytest.mark.slow
+    def test_dmc_reaches_exact_energy(self):
+        P, twf, ham, rng = _h2plus(1.0, 1)
+        dmc = DMCDriver(P, twf, ham, rng, timestep=0.02)
+        res = dmc.run(walkers=60, steps=300)
+        tail = float(np.mean(res.energies[100:]))
+        assert tail == pytest.approx(E_ELECTRONIC_EXACT, abs=0.035)
+
+    @pytest.mark.slow
+    def test_total_energy_with_ion_repulsion(self):
+        """Adding the constant 1/R gives the -0.6026 Ha binding point."""
+        from repro.hamiltonian.terms import IonIonEnergy
+        P, twf, ham, rng = _h2plus(1.0, 2)
+        lat = CrystalLattice.open_bc()
+        isp = SpeciesSet()
+        isp.add("H", charge=1.0)
+        centers = np.array([[0.0, 0.0, -BOND / 2], [0.0, 0.0, BOND / 2]])
+        ions = ParticleSet("ion0", centers, lat, isp,
+                           np.zeros(2, dtype=np.int64))
+        vii = IonIonEnergy(ions, lat).value
+        assert vii == pytest.approx(0.5)
+        dmc = DMCDriver(P, twf, ham, rng, timestep=0.02)
+        res = dmc.run(walkers=40, steps=200)
+        total = float(np.mean(res.energies[80:])) + vii
+        assert total == pytest.approx(E_TOTAL_EXACT, abs=0.04)
+
+
+class TestLCAO:
+    def test_validation(self):
+        prim = SlaterOrbitalSPOSet(np.zeros((2, 3)), [1.0, 1.0])
+        with pytest.raises(ValueError):
+            LCAOSpoSet(prim, np.ones((1, 3)))
+
+    def test_vgl_consistent(self):
+        prim = SlaterOrbitalSPOSet(
+            np.array([[0.0, 0.0, -1.0], [0.0, 0.0, 1.0]]), [1.0, 1.2])
+        mo = LCAOSpoSet(prim, np.array([[1.0, 1.0], [1.0, -1.0]]))
+        rng = np.random.default_rng(3)
+        r = rng.normal(0, 1, 3)
+        v, g, lap = mo.evaluate_vgl(r)
+        assert np.allclose(v, mo.evaluate_v(r))
+        eps = 1e-6
+        for d in range(3):
+            dr = np.zeros(3)
+            dr[d] = eps
+            fd = (mo.evaluate_v(r + dr) - mo.evaluate_v(r - dr)) / (2 * eps)
+            assert np.allclose(g[:, d], fd, atol=1e-6)

@@ -1,0 +1,110 @@
+"""Exact-answer validation: the hydrogen atom through the full stack.
+
+* exact 1s orbital (zeta = 1): E_L = -1/2 hartree at every configuration
+  — zero variance through ParticleSet, distance tables, determinant,
+  kinetic + Coulomb e-I Hamiltonian and the VMC driver;
+* wrong exponent (zeta = 0.8): VMC energy is the analytic
+  E(zeta) = zeta^2/2 - zeta > -1/2, and DMC projects back down to
+  -1/2 (exactly, since the wavefunction is nodeless).
+"""
+
+import numpy as np
+import pytest
+
+from repro.determinant.dirac import DiracDeterminant
+from repro.distances.factory import create_ab_table
+from repro.drivers.dmc import DMCDriver
+from repro.drivers.vmc import VMCDriver
+from repro.hamiltonian.local_energy import Hamiltonian
+from repro.hamiltonian.terms import CoulombEI, KineticEnergy
+from repro.lattice.cell import CrystalLattice
+from repro.particles.particleset import ParticleSet
+from repro.particles.species import SpeciesSet
+from repro.spo.atomic import SlaterOrbitalSPOSet
+from repro.wavefunction.trialwf import TrialWaveFunction
+
+
+def _hydrogen(zeta: float, seed: int):
+    lat = CrystalLattice.open_bc()
+    isp = SpeciesSet()
+    isp.add("H", charge=1.0)
+    ions = ParticleSet("ion0", np.zeros((1, 3)), lat, isp,
+                       np.zeros(1, dtype=np.int64))
+    P = ParticleSet("e", np.array([[0.5, 0.3, -0.4]]), lat)
+    ab = create_ab_table(ions, 1, lat, "soa")
+    P.add_table(ab)  # index 0: the only table (no e-e for one electron)
+    P.update_tables()
+    spo = SlaterOrbitalSPOSet(np.zeros((1, 3)), [zeta])
+    twf = TrialWaveFunction([DiracDeterminant(spo, 0, 1)])
+    ham = Hamiltonian([KineticEnergy(), CoulombEI(ions.charges(),
+                                                  table_index=0)])
+    rng = np.random.default_rng(seed)
+    return P, twf, ham, rng
+
+
+class TestExactOrbital:
+    def test_zero_variance_local_energy(self):
+        P, twf, ham, rng = _hydrogen(1.0, 0)
+        for _ in range(10):
+            P.R[0] = rng.normal(0, 1.5, 3)
+            P.sync_layouts()
+            P.update_tables()
+            twf.evaluate_log(P)
+            assert ham.evaluate(P, twf) == pytest.approx(-0.5, abs=1e-10)
+
+    def test_vmc_exact_energy(self):
+        P, twf, ham, rng = _hydrogen(1.0, 1)
+        drv = VMCDriver(P, twf, ham, rng, timestep=0.5)
+        res = drv.run(walkers=5, steps=20)
+        assert res.mean_energy == pytest.approx(-0.5, abs=1e-9)
+        assert res.energy_error() == pytest.approx(0.0, abs=1e-10)
+
+
+class TestApproximateOrbital:
+    ZETA = 0.8
+    E_ANALYTIC = 0.5 * 0.8 ** 2 - 0.8  # = -0.48
+
+    def test_vmc_matches_analytic_expectation(self):
+        P, twf, ham, rng = _hydrogen(self.ZETA, 2)
+        drv = VMCDriver(P, twf, ham, rng, timestep=0.6)
+        res = drv.run(walkers=30, steps=120)
+        assert res.mean_energy == pytest.approx(self.E_ANALYTIC, abs=0.02)
+        assert res.mean_energy > -0.5
+
+    def test_dmc_projects_to_exact_ground_state(self):
+        P, twf, ham, rng = _hydrogen(self.ZETA, 3)
+        dmc = DMCDriver(P, twf, ham, rng, timestep=0.02)
+        res = dmc.run(walkers=60, steps=300)
+        tail = float(np.mean(res.energies[100:]))
+        # Exact answer -0.5; allow time-step/population bias.
+        assert tail == pytest.approx(-0.5, abs=0.03)
+        # And strictly below the VMC (variational) energy.
+        assert tail < self.E_ANALYTIC + 0.005
+
+
+class TestOrbitalDerivatives:
+    def test_vgl_matches_finite_differences(self):
+        spo = SlaterOrbitalSPOSet(np.array([[0.0, 0.0, 0.0],
+                                            [1.0, 0.5, -0.5]]),
+                                  [1.0, 1.3])
+        rng = np.random.default_rng(4)
+        r = rng.normal(0, 1, 3)
+        v, g, lap = spo.evaluate_vgl(r)
+        eps = 1e-6
+        fd_lap = np.zeros(2)
+        for d in range(3):
+            dr = np.zeros(3)
+            dr[d] = eps
+            vp = spo.evaluate_v(r + dr)
+            vm = spo.evaluate_v(r - dr)
+            assert np.allclose(g[:, d], (vp - vm) / (2 * eps), atol=1e-6)
+            fd_lap += (vp - 2 * v + vm) / eps ** 2
+        assert np.allclose(lap, fd_lap, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlaterOrbitalSPOSet(np.zeros((2, 2)), [1.0, 1.0])
+        with pytest.raises(ValueError):
+            SlaterOrbitalSPOSet(np.zeros((2, 3)), [1.0])
+        with pytest.raises(ValueError):
+            SlaterOrbitalSPOSet(np.zeros((1, 3)), [-1.0])

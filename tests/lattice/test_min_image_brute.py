@@ -1,0 +1,100 @@
+"""Brute-force validation of the minimum-image convention.
+
+Orthorhombic cells take the exact rounding fast path; skewed cells take
+rounding plus a 27-neighbor-image refinement (pure rounding fails for
+non-orthogonal cells already at a few percent skew — that is why the
+refinement exists).  These tests check both paths against exhaustive
+image enumeration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lattice.cell import CrystalLattice
+
+
+def brute_force_min_dist(lattice, dr, shells=2):
+    """Exhaustive minimum over (2*shells+1)^3 lattice translations."""
+    shifts = np.array([[i, j, k]
+                       for i in range(-shells, shells + 1)
+                       for j in range(-shells, shells + 1)
+                       for k in range(-shells, shells + 1)], dtype=float)
+    images = dr + shifts @ lattice.axes
+    return float(np.min(np.linalg.norm(images, axis=1)))
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-30, 30), min_size=3, max_size=3))
+    def test_orthorhombic_exact(self, dr):
+        lat = CrystalLattice.orthorhombic(4.0, 5.5, 7.0)
+        dr = np.array(dr)
+        assert lat.min_image_dist(dr) == pytest.approx(
+            brute_force_min_dist(lat, lat.min_image_disp(dr)), abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-20, 20), min_size=3, max_size=3),
+           st.floats(0.0, 0.4))
+    def test_skewed_exact_with_refinement(self, dr, skew):
+        a = 6.0
+        axes = np.array([[a, skew * a, 0.0],
+                         [0.0, a, skew * a],
+                         [0.0, 0.0, a]])
+        lat = CrystalLattice(axes)
+        dr = np.array(dr)
+        got = lat.min_image_dist(dr)
+        brute = brute_force_min_dist(lat, lat.min_image_disp(dr),
+                                     shells=3)
+        assert got == pytest.approx(brute, abs=1e-9)
+
+    def test_hexagonal_cell_exact(self):
+        """A genuinely hexagonal (graphite-like) cell — 60-degree skew."""
+        a, c = 4.65, 12.68
+        axes = np.array([[a, 0.0, 0.0],
+                         [-a / 2, a * np.sqrt(3) / 2, 0.0],
+                         [0.0, 0.0, c]])
+        lat = CrystalLattice(axes)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            dr = rng.uniform(-20, 20, 3)
+            got = lat.min_image_dist(dr)
+            brute = brute_force_min_dist(lat, lat.min_image_disp(dr),
+                                         shells=3)
+            assert got == pytest.approx(brute, abs=1e-9)
+
+    def test_scalar_path_matches_vector_on_skewed_cell(self):
+        from repro.containers.tinyvector import TinyVector
+        axes = np.array([[6.0, 1.5, 0.0], [0.0, 6.0, 1.5],
+                         [0.0, 0.0, 6.0]])
+        lat = CrystalLattice(axes)
+        rng = np.random.default_rng(8)
+        for _ in range(30):
+            dr = rng.uniform(-20, 20, 3)
+            v = lat.min_image_disp(dr)
+            s = lat.min_image_disp_scalar(TinyVector(dr))
+            assert np.linalg.norm(v) == pytest.approx(
+                TinyVector(s.x).norm(), abs=1e-9)
+
+    def test_workload_cells_safe(self):
+        """Every Table-1 workload cell satisfies the rounding method's
+        validity condition (image within the first shift shell)."""
+        from repro.workloads.catalog import WORKLOADS
+        rng = np.random.default_rng(1)
+        for wl in WORKLOADS.values():
+            lat = CrystalLattice(np.asarray(wl.cell_axes))
+            for _ in range(50):
+                dr = rng.uniform(-30, 30, 3)
+                got = lat.min_image_dist(dr)
+                brute = brute_force_min_dist(lat, lat.min_image_disp(dr))
+                assert got == pytest.approx(brute, abs=1e-9), wl.name
+
+    def test_result_within_wigner_seitz_bound(self):
+        """No minimum-image distance can exceed the cell's circumradius
+        (half the longest body diagonal)."""
+        lat = CrystalLattice.orthorhombic(4.0, 6.0, 9.0)
+        rng = np.random.default_rng(2)
+        bound = 0.5 * np.linalg.norm([4.0, 6.0, 9.0])
+        for _ in range(100):
+            d = lat.min_image_dist(rng.uniform(-40, 40, 3))
+            assert d <= bound + 1e-9

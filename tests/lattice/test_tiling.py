@@ -1,0 +1,53 @@
+"""Tests for supercell tiling."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.tiling import tile_cell
+
+
+class TestTileCell:
+    def setup_method(self):
+        self.axes = np.diag([2.0, 3.0, 4.0])
+        self.frac = np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]])
+        self.species = ["A", "B"]
+
+    def test_counts(self):
+        lat, pos, sp = tile_cell(self.axes, self.frac, self.species,
+                                 (2, 3, 1))
+        assert pos.shape == (2 * 3 * 1 * 2, 3)
+        assert len(sp) == 12
+        assert sp.count("A") == 6 and sp.count("B") == 6
+
+    def test_supercell_volume(self):
+        lat, _, _ = tile_cell(self.axes, self.frac, self.species, (2, 2, 2))
+        assert lat.volume == pytest.approx(8 * 24.0)
+
+    def test_single_cell_identity(self):
+        lat, pos, _ = tile_cell(self.axes, self.frac, self.species,
+                                (1, 1, 1))
+        assert np.allclose(pos, self.frac @ self.axes)
+
+    def test_positions_inside_supercell(self):
+        lat, pos, _ = tile_cell(self.axes, self.frac, self.species,
+                                (3, 2, 2))
+        s = lat.to_frac(pos)
+        assert np.all(s >= -1e-12) and np.all(s < 1 + 1e-12)
+
+    def test_no_duplicate_positions(self):
+        _, pos, _ = tile_cell(self.axes, self.frac, self.species, (2, 2, 2))
+        d = np.linalg.norm(pos[None] - pos[:, None], axis=-1)
+        np.fill_diagonal(d, 1.0)
+        assert d.min() > 0.1
+
+    def test_invalid_tiling_raises(self):
+        with pytest.raises(ValueError):
+            tile_cell(self.axes, self.frac, self.species, (0, 1, 1))
+
+    def test_species_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            tile_cell(self.axes, self.frac, ["A"], (1, 1, 1))
+
+    def test_bad_positions_shape_raises(self):
+        with pytest.raises(ValueError):
+            tile_cell(self.axes, np.zeros((2, 2)), self.species, (1, 1, 1))

@@ -1,0 +1,93 @@
+"""Tests for the four miniapps (Sec. 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.miniapps.minidist import main as minidist_main, run_minidist
+from repro.miniapps.minijastrow import main as minijastrow_main, \
+    run_minijastrow
+from repro.miniapps.minispline import main as minispline_main, run_minispline
+from repro.miniapps.miniqmc import main as miniqmc_main, run_miniqmc
+
+
+class TestMinidist:
+    def test_all_flavors_timed(self):
+        res = run_minidist(n=24, steps=1)
+        assert set(res.seconds) == {"ref", "soa", "otf"}
+        assert all(v > 0 for v in res.seconds.values())
+
+    def test_flavors_agree_on_final_state(self):
+        res = run_minidist(n=24, steps=2)
+        vals = list(res.checks.values())
+        assert vals[0] == pytest.approx(vals[1], rel=1e-9)
+        assert vals[1] == pytest.approx(vals[2], rel=1e-9)
+
+    def test_vectorized_beats_scalar(self):
+        res = run_minidist(n=64, steps=2)
+        assert res.seconds["ref"] > res.seconds["otf"]
+
+    def test_cli(self, capsys):
+        assert minidist_main(["-n", "16", "-s", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+
+class TestMinijastrow:
+    def test_flavors_agree(self):
+        res = run_minijastrow(n=20, steps=1)
+        assert res.checks["ref"] == pytest.approx(res.checks["otf"],
+                                                  rel=1e-8)
+
+    def test_otf_faster(self):
+        res = run_minijastrow(n=64, steps=1)
+        assert res.seconds["ref"] > res.seconds["otf"]
+
+    def test_cli(self, capsys):
+        assert minijastrow_main(["-n", "12", "-s", "1"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestMinispline:
+    def test_layouts_agree(self):
+        res = run_minispline(norb=16, grid=12, points=20)
+        assert res.checks["max_abs_diff"] < 1e-10
+
+    def test_multi_faster(self):
+        res = run_minispline(norb=48, grid=12, points=40)
+        assert res.seconds["v_ref"] > res.seconds["v_multi"]
+        assert res.seconds["vgh_ref"] > res.seconds["vgh_multi"]
+
+    def test_cli(self, capsys):
+        assert minispline_main(["--norb", "8", "--grid", "8",
+                                "--points", "10"]) == 0
+        assert "vgh speedup" in capsys.readouterr().out
+
+
+class TestMiniQMC:
+    def test_runs_both_versions(self):
+        res = run_miniqmc(scale=0.125, steps=1)
+        assert set(res.seconds) == {"Ref", "Current"}
+        assert set(res.profiles) == {"Ref", "Current"}
+
+    def test_current_faster(self):
+        res = run_miniqmc(scale=0.125, steps=1)
+        assert res.seconds["Ref"] > res.seconds["Current"]
+
+    def test_profiles_have_paper_categories(self):
+        res = run_miniqmc(scale=0.125, steps=1)
+        for prof in res.profiles.values():
+            norm = prof.normalized()
+            for cat in ("DistTable-AA", "J2", "Bspline-vgh", "DetUpdate"):
+                assert cat in norm
+
+    def test_ref_profile_dominated_by_aos_kernels(self):
+        """Fig. 2's Ref shape: DistTable + J2 are the top hot spots."""
+        res = run_miniqmc(scale=0.125, steps=1)
+        norm = res.profiles["Ref"].normalized()
+        aos_frac = (norm.get("DistTable-AA", 0) + norm.get("DistTable-AB", 0)
+                    + norm.get("J2", 0) + norm.get("J1", 0))
+        assert aos_frac > 0.3
+
+    def test_cli(self, capsys):
+        assert miniqmc_main(["--scale", "0.125", "-s", "1"]) == 0
+        assert "Ref->Current" in capsys.readouterr().out

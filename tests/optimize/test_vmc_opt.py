@@ -1,0 +1,84 @@
+"""Tests for the Jastrow variance optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import QmcSystem
+from repro.core.version import CodeVersion
+from repro.optimize.vmc_opt import JastrowOptimizer
+
+
+@pytest.fixture(scope="module")
+def opt_setup():
+    # Smallest workload cell: one Graphite cell, 16 electrons, no PP.
+    sys_ = QmcSystem.from_workload("Graphite", scale=1 / 16, seed=3,
+                                   with_nlpp=False)
+    parts = sys_.build(CodeVersion.CURRENT, value_dtype=np.float64)
+    rng = np.random.default_rng(4)
+    opt = JastrowOptimizer(parts, rng, n_samples=6,
+                           equilibration_sweeps=1)
+    opt.sample_configurations()
+    return opt
+
+
+class TestSampling:
+    def test_configs_collected(self, opt_setup):
+        opt = opt_setup
+        assert len(opt._configs) == 6
+        # configurations differ (the walk moved)
+        assert not np.allclose(opt._configs[0], opt._configs[-1])
+
+    def test_local_energies_finite(self, opt_setup):
+        e = opt_setup.local_energies()
+        assert e.shape == (6,)
+        assert np.all(np.isfinite(e))
+
+    def test_requires_sampling_first(self):
+        sys_ = QmcSystem.from_workload("Graphite", scale=1 / 16, seed=3,
+                                       with_nlpp=False)
+        parts = sys_.build(CodeVersion.CURRENT, value_dtype=np.float64)
+        opt = JastrowOptimizer(parts, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            opt.local_energies()
+
+
+class TestObjective:
+    def test_depends_on_params(self, opt_setup):
+        opt = opt_setup
+        v1 = opt.objective(np.array([1.0, 0.8]))
+        v2 = opt.objective(np.array([3.0, 2.5]))
+        assert v1 != v2
+
+    def test_insane_params_rejected(self, opt_setup):
+        assert opt_setup.objective(np.array([-1.0, 1.0])) >= 1e12
+        assert opt_setup.objective(np.array([1.0, 50.0])) >= 1e12
+
+    def test_deterministic(self, opt_setup):
+        opt = opt_setup
+        p = np.array([1.1, 0.9])
+        assert opt.objective(p) == pytest.approx(opt.objective(p),
+                                                 rel=1e-12)
+
+    def test_cusp_preserved_under_reparametrization(self, opt_setup):
+        opt = opt_setup
+        opt.set_params(np.array([2.0, 1.5]))
+        like = opt._j2.functors[(0, 0)]
+        unlike = opt._j2.functors[(0, 1)]
+        assert like.cusp == pytest.approx(-0.25)
+        assert unlike.cusp == pytest.approx(-0.5)
+
+
+class TestOptimize:
+    def test_variance_not_worse(self, opt_setup):
+        """Starting from a deliberately bad shape, optimization must not
+        increase the variance (and typically reduces it)."""
+        res = opt_setup.optimize(x0=(3.0, 3.0), max_iterations=25)
+        assert res.final_variance <= res.initial_variance * 1.001
+        assert res.n_evaluations > 3
+        assert len(res.history) == res.n_evaluations
+        assert "variance" in res.summary()
+
+    def test_result_params_in_bounds(self, opt_setup):
+        res = opt_setup.optimize(x0=(2.0, 2.0), max_iterations=15)
+        assert np.all(res.final_params > 0.05)
+        assert np.all(res.final_params < 20.0)

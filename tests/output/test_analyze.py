@@ -1,0 +1,68 @@
+"""Tests for the repro-analyze trace analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.scalar import EstimatorManager
+from repro.output.analyze import analyze_column, format_report, main
+from repro.output.writers import write_scalar_dat
+
+
+def _write_trace(tmp_path, n=400, drift=True):
+    em = EstimatorManager()
+    rng = np.random.default_rng(0)
+    warm = np.linspace(5.0, 0.0, n // 4) if drift else np.zeros(0)
+    flat = rng.normal(-7.0, 0.2, n - warm.size)
+    for v in np.concatenate([warm - 7.0, flat]):
+        em.accumulate("LocalEnergy", v)
+        em.accumulate("Kinetic", v + 10.0)
+    p = tmp_path / "run.scalar.dat"
+    write_scalar_dat(str(p), em)
+    return str(p)
+
+
+class TestAnalyzeColumn:
+    def test_stationary_series(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(3.0, 0.5, 1000)
+        mean, err, tau, n, t0 = analyze_column(x)
+        assert mean == pytest.approx(3.0, abs=0.1)
+        assert err > 0
+        assert n + t0 == 1000
+
+    def test_explicit_equilibration(self):
+        x = np.concatenate([np.full(50, 100.0), np.zeros(150)])
+        mean, *_ , n, t0 = analyze_column(x, equilibration=50)
+        assert mean == pytest.approx(0.0)
+        assert t0 == 50
+
+    def test_nan_tolerant(self):
+        x = np.array([1.0, np.nan, 1.0, 1.0, np.nan, 1.0])
+        mean, err, tau, n, t0 = analyze_column(x)
+        assert mean == pytest.approx(1.0)
+
+    def test_empty(self):
+        mean, *_ = analyze_column(np.array([]))
+        assert np.isnan(mean)
+
+
+class TestCLI:
+    def test_report(self, tmp_path, capsys):
+        p = _write_trace(tmp_path)
+        assert main([p]) == 0
+        out = capsys.readouterr().out
+        assert "LocalEnergy" in out and "Kinetic" in out
+        assert "tau=" in out
+
+    def test_drift_discarded(self, tmp_path):
+        p = _write_trace(tmp_path, drift=True)
+        report = format_report(p)
+        line = [l for l in report.splitlines() if "LocalEnergy" in l][0]
+        # mean should reflect the -7 plateau, not the warmup ramp
+        mean = float(line.split()[1])
+        assert mean == pytest.approx(-7.0, abs=0.25)
+
+    def test_explicit_equilibration_flag(self, tmp_path, capsys):
+        p = _write_trace(tmp_path)
+        assert main([p, "-e", "100"]) == 0
+        assert "(discarded 100)" in capsys.readouterr().out

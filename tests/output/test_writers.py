@@ -1,0 +1,92 @@
+"""Tests for the scalar.dat / JSON output layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.estimators.scalar import EstimatorManager
+from repro.output.writers import (
+    read_scalar_dat, result_summary_dict, write_json_summary,
+    write_scalar_dat,
+)
+
+
+@pytest.fixture
+def manager():
+    em = EstimatorManager()
+    rng = np.random.default_rng(0)
+    for v in rng.normal(-5.0, 0.5, 20):
+        em.accumulate("LocalEnergy", v)
+        em.accumulate("Kinetic", v + 10.0)
+    return em
+
+
+class TestScalarDat:
+    def test_roundtrip(self, manager, tmp_path):
+        p = tmp_path / "run.scalar.dat"
+        write_scalar_dat(str(p), manager)
+        data = read_scalar_dat(str(p))
+        assert "LocalEnergy" in data and "Kinetic" in data
+        assert np.allclose(data["LocalEnergy"],
+                           manager.series("LocalEnergy"))
+        assert np.allclose(data["index"], np.arange(20))
+
+    def test_local_energy_first_column(self, manager, tmp_path):
+        p = tmp_path / "run.scalar.dat"
+        write_scalar_dat(str(p), manager)
+        header = p.read_text().splitlines()[0]
+        cols = header[1:].split()
+        assert cols[:2] == ["index", "LocalEnergy"]
+
+    def test_ragged_series_padded(self, tmp_path):
+        em = EstimatorManager()
+        em.accumulate("a", 1.0)
+        em.accumulate("a", 2.0)
+        em.accumulate("b", 3.0)
+        p = tmp_path / "x.dat"
+        write_scalar_dat(str(p), em)
+        data = read_scalar_dat(str(p))
+        assert np.isnan(data["b"][1])
+
+    def test_step_offset(self, manager, tmp_path):
+        p = tmp_path / "y.dat"
+        write_scalar_dat(str(p), manager, step_offset=100)
+        data = read_scalar_dat(str(p))
+        assert data["index"][0] == 100
+
+    def test_read_rejects_headerless(self, tmp_path):
+        p = tmp_path / "bad.dat"
+        p.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_scalar_dat(str(p))
+
+
+class TestJsonSummary:
+    def test_summary_from_real_run(self, tmp_path):
+        from repro.core.system import QmcSystem, run_vmc
+        from repro.core.version import CodeVersion
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=6,
+                                       with_nlpp=False)
+        res = run_vmc(sys_, CodeVersion.CURRENT, walkers=2, steps=3,
+                      profile=True, seed=4)
+        d = result_summary_dict(res)
+        assert d["method"] == "VMC"
+        assert "LocalEnergy" in d["estimates"]
+        assert "J2" in d["profile"]
+        p = tmp_path / "summary.json"
+        write_json_summary(str(p), res)
+        loaded = json.loads(p.read_text())
+        assert loaded["steps"] == 3
+        assert loaded["estimates"]["LocalEnergy"]["n_samples"] >= 1
+
+    def test_nonfinite_values_nulled(self, tmp_path):
+        from repro.drivers.result import QMCResult
+        r = QMCResult(method="VMC", steps=1)
+        r.energies = [1.0]
+        r.populations = [1]
+        r.elapsed = 1.0
+        p = tmp_path / "s.json"
+        write_json_summary(str(p), r)  # energy_error is nan -> null
+        loaded = json.loads(p.read_text())
+        assert loaded["energy_error"] is None

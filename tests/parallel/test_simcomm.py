@@ -1,0 +1,91 @@
+"""Tests for the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.simcomm import SimComm
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        c = SimComm(4)
+        out = c.allreduce([1.0, 2.0, 3.0, 4.0])
+        assert out == [10.0] * 4
+        assert c.allreduce_count == 1
+
+    def test_allreduce_custom_op(self):
+        c = SimComm(3)
+        assert c.allreduce([5.0, 1.0, 3.0], op=max) == [5.0] * 3
+
+    def test_allreduce_array(self):
+        c = SimComm(2)
+        out = c.allreduce_array([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert np.allclose(out[0], [4.0, 6.0])
+        assert np.allclose(out[1], [4.0, 6.0])
+        out[0][0] = 99  # results are independent copies
+        assert out[1][0] == 4.0
+
+    def test_allgather(self):
+        c = SimComm(3)
+        out = c.allgather(["a", "b", "c"])
+        assert all(o == ["a", "b", "c"] for o in out)
+
+    def test_wrong_size_raises(self):
+        c = SimComm(3)
+        with pytest.raises(ValueError):
+            c.allreduce([1.0, 2.0])
+
+
+class TestPointToPoint:
+    def test_send_recv_fifo(self):
+        c = SimComm(2)
+        c.send(0, 1, {"x": 1})
+        c.send(0, 1, {"x": 2})
+        assert c.recv(1)["x"] == 1
+        assert c.recv(1)["x"] == 2
+
+    def test_messages_are_copies(self):
+        c = SimComm(2)
+        payload = {"arr": np.zeros(3)}
+        c.send(0, 1, payload)
+        payload["arr"][0] = 9.0
+        assert c.recv(1)["arr"][0] == 0.0
+
+    def test_byte_accounting(self):
+        c = SimComm(2)
+        c.send(0, 1, np.zeros(100))  # 800 bytes
+        assert c.p2p_bytes == 800.0
+        assert c.p2p_messages == 1
+
+    def test_explicit_nbytes(self):
+        c = SimComm(2)
+        c.send(0, 1, "walker", nbytes=12345.0)
+        assert c.p2p_bytes == 12345.0
+
+    def test_recv_empty_raises(self):
+        c = SimComm(2)
+        with pytest.raises(RuntimeError):
+            c.recv(0)
+
+    def test_bad_rank_raises(self):
+        c = SimComm(2)
+        with pytest.raises(ValueError):
+            c.send(0, 5, "x")
+
+    def test_tags_separate_queues(self):
+        c = SimComm(2)
+        c.send(0, 1, "a", tag=1)
+        c.send(0, 1, "b", tag=2)
+        assert c.recv(1, tag=2) == "b"
+        assert c.recv(1, tag=1) == "a"
+
+    def test_reset_counters(self):
+        c = SimComm(2)
+        c.send(0, 1, "x")
+        c.allreduce([1.0, 1.0])
+        c.reset_counters()
+        assert c.p2p_messages == 0 and c.allreduce_count == 0
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            SimComm(0)

@@ -1,0 +1,36 @@
+"""Tests for SpeciesSet."""
+
+import pytest
+
+from repro.particles.species import SpeciesSet
+
+
+class TestSpeciesSet:
+    def test_add_and_lookup(self):
+        s = SpeciesSet()
+        i = s.add("Ni", charge=18.0)
+        j = s.add("O", charge=6.0)
+        assert (i, j) == (0, 1)
+        assert s.index("O") == 1
+        assert s.charge_of(0) == 18.0
+        assert len(s) == 2
+
+    def test_readd_idempotent(self):
+        s = SpeciesSet()
+        assert s.add("C", 4.0) == s.add("C", 4.0)
+
+    def test_readd_conflict_raises(self):
+        s = SpeciesSet()
+        s.add("C", 4.0)
+        with pytest.raises(ValueError):
+            s.add("C", 6.0)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ValueError):
+            SpeciesSet().index("Zz")
+
+    def test_electrons_factory(self):
+        e = SpeciesSet.electrons()
+        assert e.names == ["u", "d"]
+        assert e.charge_of(0) == -1.0
+        assert e.charge_of(1) == -1.0

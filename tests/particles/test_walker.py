@@ -1,0 +1,57 @@
+"""Tests for Walker state, serialization, and message sizes."""
+
+import numpy as np
+import pytest
+
+from repro.particles.walker import Walker
+
+
+class TestWalker:
+    def test_from_positions(self, rng):
+        R = rng.normal(size=(6, 3))
+        w = Walker.from_positions(R)
+        assert w.n == 6
+        assert np.allclose(w.R, R)
+        assert w.weight == 1.0
+
+    def test_copy_independent(self, rng):
+        w = Walker.from_positions(rng.normal(size=(4, 3)))
+        w.buffer.register(np.arange(5.0))
+        c = w.copy()
+        c.R[0] = 99.0
+        c.weight = 0.5
+        c.buffer.rewind()
+        c.buffer.put(np.zeros(5))
+        assert not np.allclose(w.R[0], 99.0)
+        assert w.weight == 1.0
+        out = np.zeros(5)
+        w.buffer.rewind()
+        w.buffer.get(out)
+        assert np.allclose(out, np.arange(5.0))
+
+    def test_serialize_roundtrip(self, rng):
+        w = Walker.from_positions(rng.normal(size=(4, 3)))
+        w.weight = 1.25
+        w.age = 3
+        w.properties["local_energy"] = -7.5
+        w.buffer.register(np.arange(6.0))
+        w.buffer.seal()
+        w2 = Walker.deserialize(w.serialize())
+        assert np.allclose(w2.R, w.R)
+        assert w2.weight == 1.25
+        assert w2.age == 3
+        assert w2.properties["local_energy"] == -7.5
+        assert np.allclose(w2.buffer.as_array(), w.buffer.as_array())
+
+    def test_message_bytes_grow_with_buffer(self, rng):
+        w = Walker.from_positions(rng.normal(size=(4, 3)))
+        before = w.message_nbytes()
+        w.buffer.register(np.zeros(100))
+        assert w.message_nbytes() == before + 800
+
+    def test_message_bytes_reflect_precision(self, rng):
+        w64 = Walker.from_positions(rng.normal(size=(4, 3)), dtype=np.float64)
+        w32 = Walker.from_positions(rng.normal(size=(4, 3)), dtype=np.float32)
+        w64.buffer.register(np.zeros(100))
+        w32.buffer.register(np.zeros(100, dtype=np.float32))
+        assert w64.message_nbytes() - w32.message_nbytes() == 400

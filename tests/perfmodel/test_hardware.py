@@ -1,0 +1,56 @@
+"""Tests for the machine models."""
+
+import pytest
+
+from repro.perfmodel.hardware import BDW, BGQ, KNL, KNL_DDR, MACHINES
+
+
+class TestPeaks:
+    def test_knl_peak_matches_datasheet(self):
+        # 64 cores x 1.4 GHz x 32 DP flops/cycle ~ 2.87 TF DP
+        assert KNL.peak_dp_gflops == pytest.approx(2867.2, rel=1e-3)
+        assert KNL.peak_sp_gflops == pytest.approx(2 * 2867.2, rel=1e-3)
+
+    def test_bdw_peak(self):
+        # 20 x 2.2 x 16 = 704 GF DP
+        assert BDW.peak_dp_gflops == pytest.approx(704.0)
+
+    def test_bgq_peak(self):
+        # 16 x 1.6 x 8 = 204.8 GF DP
+        assert BGQ.peak_dp_gflops == pytest.approx(204.8)
+
+    def test_simd_lanes(self):
+        assert KNL.simd_lanes_dp == 8
+        assert BDW.simd_lanes_dp == 4
+        assert KNL.simd_lanes(4) == 16  # "twice the SP SIMD width of BDW"
+        assert BDW.simd_lanes(4) == 8
+
+    def test_scalar_peak_is_one_lane(self):
+        assert KNL.scalar_dp_gflops == pytest.approx(
+            KNL.peak_dp_gflops / 8)
+
+
+class TestBandwidth:
+    def test_knl_flat_faster_than_ddr(self):
+        # "~8 times higher than that of one-socket BDW" (raw DDR, no L3)
+        assert KNL.effective_bw_gbs("flat") > 5 * BDW.mem_bw_gbs
+        ratio = KNL.effective_bw_gbs("flat") / KNL.effective_bw_gbs("ddr")
+        assert 4.5 < ratio < 6.5  # the paper's 5.4x NiO-64 slowdown band
+
+    def test_cache_mode_slightly_slower(self):
+        assert KNL.effective_bw_gbs("cache") < KNL.effective_bw_gbs("flat")
+        assert KNL.effective_bw_gbs("cache") > 0.85 * KNL.effective_bw_gbs(
+            "flat")
+
+    def test_bdw_l3_blend_exceeds_ddr(self):
+        """The shared L3 'makes up for the low DDR bandwidth'."""
+        assert BDW.effective_bw_gbs("flat") > BDW.mem_bw_gbs
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            KNL.effective_bw_gbs("hbm2")
+
+    def test_registry(self):
+        assert set(MACHINES) == {"BDW", "KNL", "KNL-DDR", "BG/Q"}
+        assert MACHINES["KNL"] is KNL
+        assert MACHINES["KNL-DDR"] is KNL_DDR

@@ -1,0 +1,67 @@
+"""Tests for the global operation counter."""
+
+import pytest
+
+from repro.perfmodel.opcount import OPS, KernelOps, OpCounter
+
+
+class TestOpCounter:
+    def test_disabled_records_nothing(self):
+        c = OpCounter()
+        c.record("J2", flops=100)
+        assert c.total_flops() == 0
+
+    def test_enabled_accumulates(self):
+        c = OpCounter()
+        c.enabled = True
+        c.record("J2", flops=100, rbytes=40, wbytes=10)
+        c.record("J2", flops=50)
+        k = c.get("J2")
+        assert k.flops == 150
+        assert k.bytes_moved == 50
+        assert k.calls == 2
+
+    def test_arithmetic_intensity(self):
+        k = KernelOps(flops=100, rbytes=40, wbytes=10)
+        assert k.arithmetic_intensity == pytest.approx(2.0)
+        assert KernelOps().arithmetic_intensity == 0.0
+
+    def test_totals_are_snapshots(self):
+        c = OpCounter()
+        c.enabled = True
+        c.record("A", flops=1)
+        snap = c.totals()
+        c.record("A", flops=1)
+        assert snap["A"].flops == 1
+
+    def test_reset(self):
+        c = OpCounter()
+        c.enabled = True
+        c.record("A", flops=5)
+        c.reset()
+        assert c.total_flops() == 0
+
+    def test_enabled_scope(self):
+        c = OpCounter()
+        with c.enabled_scope():
+            c.record("A", flops=3)
+        c.record("A", flops=99)
+        assert c.get("A").flops == 3
+        assert not c.enabled
+
+    def test_global_counter_wired_to_kernels(self, rng):
+        """Running a real kernel with OPS enabled produces counts."""
+        from repro.distances.factory import create_aa_table
+        from repro.lattice.cell import CrystalLattice
+        from repro.particles.particleset import ParticleSet
+        lat = CrystalLattice.cubic(5.0)
+        P = ParticleSet("e", rng.uniform(0, 5, (8, 3)), lat)
+        t = create_aa_table(8, lat, "otf")
+        OPS.reset()
+        with OPS.enabled_scope():
+            t.evaluate(P)
+            t.move(P, P.R[0] + 0.1, 0)
+        totals = OPS.totals()
+        OPS.reset()
+        assert totals["DistTable-AA"].flops > 0
+        assert totals["DistTable-AA"].bytes_moved > 0

@@ -1,0 +1,73 @@
+"""Tests for the kernel profiler."""
+
+import time
+
+import pytest
+
+from repro.profiling.profiler import HotspotProfile, KernelProfiler
+
+
+class TestKernelProfiler:
+    def test_basic_accumulation(self):
+        p = KernelProfiler()
+        p.start_run()
+        with p.timer("A"):
+            time.sleep(0.01)
+        with p.timer("A"):
+            time.sleep(0.01)
+        prof = p.stop_run("test")
+        assert prof.seconds["A"] >= 0.02
+        assert prof.total >= prof.seconds["A"]
+
+    def test_nested_timers_innermost_attribution(self):
+        p = KernelProfiler()
+        p.start_run()
+        with p.timer("outer"):
+            time.sleep(0.01)
+            with p.timer("inner"):
+                time.sleep(0.02)
+        prof = p.stop_run()
+        assert prof.seconds["inner"] >= 0.02
+        # outer only keeps its own 0.01, not inner's 0.02
+        assert prof.seconds["outer"] < 0.02
+
+    def test_disabled_timers_free(self):
+        p = KernelProfiler()
+        with p.timer("X"):
+            pass
+        assert p._seconds == {}
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            KernelProfiler().stop_run()
+
+    def test_add_seconds(self):
+        p = KernelProfiler()
+        p.start_run()
+        p.add_seconds("modeled", 5.0)
+        prof = p.stop_run()
+        assert prof.seconds["modeled"] == 5.0
+
+
+class TestHotspotProfile:
+    def test_normalized_includes_other(self):
+        prof = HotspotProfile({"A": 0.5, "B": 0.25}, total=1.0)
+        norm = prof.normalized()
+        assert norm["A"] == pytest.approx(0.5)
+        assert norm["Other"] == pytest.approx(0.25)
+        assert sum(norm.values()) == pytest.approx(1.0)
+
+    def test_fraction_zero_total(self):
+        prof = HotspotProfile({}, total=0.0)
+        assert prof.fraction("A") == 0.0
+
+    def test_top(self):
+        prof = HotspotProfile({"A": 0.1, "B": 0.6, "C": 0.3}, total=1.0)
+        top = prof.top(2)
+        assert top[0][0] == "B"
+        assert top[1][0] == "C"
+
+    def test_format_table(self):
+        prof = HotspotProfile({"J2": 0.5}, total=1.0, label="x")
+        s = prof.format_table()
+        assert "J2" in s and "50.00 %" in s

@@ -1,0 +1,87 @@
+"""Tests for the 1D cubic B-spline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.splines.cubic1d import CubicBSpline1D
+
+
+class TestInterpolation:
+    def test_reproduces_knot_values(self):
+        xs = np.linspace(0, 4, 21)
+        vals = np.sin(xs)
+        sp = CubicBSpline1D.interpolate(0, 4, vals, deriv0=1.0,
+                                        deriv1=np.cos(4.0))
+        assert np.allclose(sp.evaluate_v(xs), vals, atol=1e-12)
+
+    def test_end_derivatives_honored(self):
+        sp = CubicBSpline1D.interpolate(0, 2, np.zeros(11), deriv0=3.0,
+                                        deriv1=-1.0)
+        _, d0, _ = sp.evaluate_vgl(0.0)
+        _, d1, _ = sp.evaluate_vgl(2.0 - 1e-12)
+        assert d0 == pytest.approx(3.0, abs=1e-9)
+        assert d1 == pytest.approx(-1.0, abs=1e-6)
+
+    def test_exact_for_cubic_polynomials(self):
+        """Cubic splines reproduce cubics exactly (with exact end slopes)."""
+        f = lambda x: 2 + x - 0.5 * x ** 2 + 0.25 * x ** 3
+        df = lambda x: 1 - x + 0.75 * x ** 2
+        xs = np.linspace(0, 3, 10)
+        sp = CubicBSpline1D.interpolate(0, 3, f(xs), deriv0=df(0.0),
+                                        deriv1=df(3.0))
+        xq = np.linspace(0, 3, 101)
+        assert np.allclose(sp.evaluate_v(xq), f(xq), atol=1e-10)
+        v, dv, d2v = sp.evaluate_vgl(xq)
+        assert np.allclose(dv, df(xq), atol=1e-9)
+        assert np.allclose(d2v, -1 + 1.5 * xq, atol=1e-8)
+
+    def test_from_function(self):
+        sp = CubicBSpline1D.from_function(np.exp, 0, 1, 30)
+        xq = np.linspace(0.05, 0.95, 17)
+        assert np.allclose(sp.evaluate_v(xq), np.exp(xq), atol=1e-5)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            CubicBSpline1D.interpolate(0, 1, np.array([1.0]))
+
+    def test_bad_domain_raises(self):
+        with pytest.raises(ValueError):
+            CubicBSpline1D(1.0, 1.0, np.zeros(8))
+
+
+class TestEvaluationPaths:
+    @pytest.fixture
+    def spline(self):
+        xs = np.linspace(0, 5, 26)
+        return CubicBSpline1D.interpolate(0, 5, np.cos(xs), deriv0=0.0,
+                                          deriv1=-np.sin(5.0))
+
+    def test_scalar_matches_vector_value(self, spline):
+        for x in [0.0, 0.1, 2.5, 4.99]:
+            assert spline.evaluate_v_scalar(x) == pytest.approx(
+                spline.evaluate_v(x), abs=1e-13)
+
+    def test_scalar_matches_vector_vgl(self, spline):
+        for x in [0.0, 0.37, 3.14, 4.9]:
+            s = spline.evaluate_vgl_scalar(x)
+            v = spline.evaluate_vgl(x)
+            assert np.allclose(s, v, atol=1e-12)
+
+    def test_vgl_derivative_consistency(self, spline):
+        """dv from evaluate_vgl matches finite differences of evaluate_v."""
+        xq = np.linspace(0.2, 4.8, 11)
+        _, dv, d2v = spline.evaluate_vgl(xq)
+        eps = 1e-6
+        dfd = (spline.evaluate_v(xq + eps) - spline.evaluate_v(xq - eps)) \
+            / (2 * eps)
+        assert np.allclose(dv, dfd, atol=1e-6)
+
+    @settings(max_examples=30)
+    @given(st.floats(0.0, 4.999))
+    def test_scalar_vector_property(self, x):
+        xs = np.linspace(0, 5, 12)
+        sp = CubicBSpline1D.interpolate(0, 5, xs ** 2 / 10, deriv0=0.0,
+                                        deriv1=1.0)
+        assert sp.evaluate_v_scalar(x) == pytest.approx(sp.evaluate_v(x),
+                                                        abs=1e-12)

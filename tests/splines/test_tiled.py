@@ -1,0 +1,78 @@
+"""Tests for the tiled (AoSoA) spline evaluation (Sec. 8.4 outlook)."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.cell import CrystalLattice
+from repro.splines.tiled import TiledBSpline3D
+from repro.spo.sposet import build_planewave_spline
+
+
+@pytest.fixture(scope="module")
+def flat_spline():
+    lat = CrystalLattice.cubic(9.0)
+    return build_planewave_spline(lat, 20, (16, 16, 16), dtype=np.float64)
+
+
+class TestTiledEquivalence:
+    @pytest.mark.parametrize("tile", [1, 4, 7, 20, 64])
+    def test_values_identical(self, flat_spline, tile):
+        tiled = TiledBSpline3D(flat_spline, tile=tile)
+        rng = np.random.default_rng(tile)
+        for _ in range(4):
+            r = rng.uniform(0, 9, 3)
+            assert np.allclose(tiled.multi_v(r), flat_spline.multi_v(r),
+                               atol=1e-13)
+
+    def test_vgh_identical(self, flat_spline):
+        tiled = TiledBSpline3D(flat_spline, tile=6)
+        r = np.array([1.1, 2.2, 3.3])
+        v1, g1, h1 = tiled.multi_vgh(r)
+        v2, g2, h2 = flat_spline.multi_vgh(r)
+        assert np.allclose(v1, v2, atol=1e-13)
+        assert np.allclose(g1, g2, atol=1e-13)
+        assert np.allclose(h1, h2, atol=1e-13)
+
+    def test_vgl(self, flat_spline):
+        tiled = TiledBSpline3D(flat_spline, tile=8)
+        r = np.array([0.5, 4.5, 8.5])
+        v, g, lap = tiled.multi_vgl(r)
+        v2, g2, lap2 = flat_spline.multi_vgl(r)
+        assert np.allclose(lap, lap2, atol=1e-12)
+
+    def test_tile_partitioning(self, flat_spline):
+        tiled = TiledBSpline3D(flat_spline, tile=6)
+        assert tiled.n_tiles == 4  # 6+6+6+2
+        assert sum(t.norb for t in tiled.tiles) == 20
+        assert tiled.tiles[-1].norb == 2
+
+    def test_tiles_contiguous(self, flat_spline):
+        tiled = TiledBSpline3D(flat_spline, tile=5)
+        for t in tiled.tiles:
+            assert t.coefs.flags["C_CONTIGUOUS"]
+
+    def test_table_bytes_preserved(self, flat_spline):
+        tiled = TiledBSpline3D(flat_spline, tile=5)
+        assert tiled.table_bytes == pytest.approx(flat_spline.table_bytes,
+                                                  rel=1e-12)
+
+    def test_invalid_tile(self, flat_spline):
+        with pytest.raises(ValueError):
+            TiledBSpline3D(flat_spline, tile=0)
+
+
+class TestParallelTiles:
+    def test_threaded_matches_serial(self, flat_spline):
+        serial = TiledBSpline3D(flat_spline, tile=5)
+        threaded = TiledBSpline3D(flat_spline, tile=5, workers=4)
+        try:
+            rng = np.random.default_rng(9)
+            for _ in range(3):
+                r = rng.uniform(0, 9, 3)
+                assert np.allclose(threaded.multi_v(r), serial.multi_v(r),
+                                   atol=1e-13)
+                v1, g1, h1 = threaded.multi_vgh(r)
+                v2, g2, h2 = serial.multi_vgh(r)
+                assert np.allclose(h1, h2, atol=1e-13)
+        finally:
+            threaded.close()

@@ -1,0 +1,103 @@
+"""Tests for the SPO sets."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.cell import CrystalLattice
+from repro.spo.sposet import (
+    BsplineSPOSet, PlaneWaveSPOSet, build_planewave_spline,
+)
+
+
+@pytest.fixture
+def lat():
+    return CrystalLattice.cubic(8.0)
+
+
+class TestPlaneWaveSPOSet:
+    def test_orbital_zero_constant(self, lat, rng):
+        pw = PlaneWaveSPOSet(lat, 9)
+        for _ in range(5):
+            r = rng.uniform(0, 8, 3)
+            assert pw.evaluate_v(r)[0] == pytest.approx(1.0)
+
+    def test_periodicity(self, lat, rng):
+        pw = PlaneWaveSPOSet(lat, 9)
+        r = rng.uniform(0, 8, 3)
+        shifted = r + np.array([8.0, -16.0, 8.0])
+        assert np.allclose(pw.evaluate_v(r), pw.evaluate_v(shifted),
+                           atol=1e-9)
+
+    def test_vgl_consistency(self, lat, rng):
+        pw = PlaneWaveSPOSet(lat, 7)
+        r = rng.uniform(0, 8, 3)
+        v, g, lap = pw.evaluate_vgl(r)
+        assert np.allclose(v, pw.evaluate_v(r))
+        eps = 1e-6
+        for d in range(3):
+            dr = np.zeros(3)
+            dr[d] = eps
+            fd = (pw.evaluate_v(r + dr) - pw.evaluate_v(r - dr)) / (2 * eps)
+            assert np.allclose(g[:, d], fd, atol=1e-6)
+
+    def test_laplacian_eigenvalue(self, lat, rng):
+        """Plane waves are Laplacian eigenfunctions: lap = -|G|^2 v."""
+        pw = PlaneWaveSPOSet(lat, 9)
+        r = rng.uniform(0, 8, 3)
+        v, g, lap = pw.evaluate_vgl(r)
+        g2 = np.sum(pw.gvecs ** 2, axis=1)
+        assert np.allclose(lap, -g2 * v, atol=1e-9)
+
+    def test_open_cell_rejected(self):
+        with pytest.raises(ValueError):
+            PlaneWaveSPOSet(CrystalLattice.open_bc(), 4)
+
+
+class TestBsplineSPOSet:
+    def test_spline_approximates_planewaves(self, lat, rng):
+        norb = 13
+        pw = PlaneWaveSPOSet(lat, norb)
+        spline = build_planewave_spline(lat, norb, (20, 20, 20),
+                                        dtype=np.float64)
+        spo = BsplineSPOSet(spline, norb, layout="soa")
+        for _ in range(5):
+            r = rng.uniform(0, 8, 3)
+            assert np.allclose(spo.evaluate_v(r), pw.evaluate_v(r),
+                               atol=5e-3)
+
+    def test_layouts_equivalent(self, lat, rng):
+        spline = build_planewave_spline(lat, 9, (16, 16, 16),
+                                        dtype=np.float64)
+        soa = BsplineSPOSet(spline, 9, layout="soa")
+        ref = BsplineSPOSet(spline, 9, layout="ref")
+        r = rng.uniform(0, 8, 3)
+        assert np.allclose(soa.evaluate_v(r), ref.evaluate_v(r), atol=1e-12)
+        v1, g1, l1 = soa.evaluate_vgl(r)
+        v2, g2, l2 = ref.evaluate_vgl(r)
+        assert np.allclose(v1, v2, atol=1e-12)
+        assert np.allclose(g1, g2, atol=1e-12)
+        assert np.allclose(l1, l2, atol=1e-12)
+
+    def test_norb_subset(self, lat):
+        spline = build_planewave_spline(lat, 9, (16, 16, 16))
+        spo = BsplineSPOSet(spline, 5)
+        assert spo.evaluate_v(np.zeros(3)).shape == (5,)
+
+    def test_too_many_orbitals_rejected(self, lat):
+        spline = build_planewave_spline(lat, 5, (16, 16, 16))
+        with pytest.raises(ValueError):
+            BsplineSPOSet(spline, 6)
+
+    def test_bad_layout_rejected(self, lat):
+        spline = build_planewave_spline(lat, 5, (16, 16, 16))
+        with pytest.raises(ValueError):
+            BsplineSPOSet(spline, 5, layout="aosoa")
+
+    def test_single_precision_table(self, lat, rng):
+        s32 = build_planewave_spline(lat, 7, (16, 16, 16), dtype=np.float32)
+        s64 = build_planewave_spline(lat, 7, (16, 16, 16), dtype=np.float64)
+        r = rng.uniform(0, 8, 3)
+        a = BsplineSPOSet(s32, 7).evaluate_v(r)
+        b = BsplineSPOSet(s64, 7).evaluate_v(r)
+        assert np.allclose(a, b, atol=1e-5)
+        assert s64.table_bytes == 2 * s32.table_bytes

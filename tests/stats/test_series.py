@@ -1,0 +1,139 @@
+"""Tests for the Monte Carlo statistics module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.series import (
+    autocorrelation_function, autocorrelation_time, blocking_error,
+    dmc_efficiency, effective_samples,
+)
+
+
+def _ar1(n, phi, seed=0):
+    """AR(1) series with known tau = (1+phi)/(1-phi)."""
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    x[0] = rng.normal()
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + rng.normal() * np.sqrt(1 - phi ** 2)
+    return x
+
+
+class TestAutocorrelation:
+    def test_rho0_is_one(self):
+        x = np.random.default_rng(1).normal(size=100)
+        rho = autocorrelation_function(x, 10)
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_white_noise_uncorrelated(self):
+        x = np.random.default_rng(2).normal(size=20000)
+        rho = autocorrelation_function(x, 5)
+        assert np.all(np.abs(rho[1:]) < 0.05)
+        assert autocorrelation_time(x) == pytest.approx(1.0, abs=0.15)
+
+    def test_ar1_time_matches_theory(self):
+        phi = 0.7
+        x = _ar1(200000, phi, seed=3)
+        tau_theory = (1 + phi) / (1 - phi)  # 5.67
+        assert autocorrelation_time(x, window=200) == pytest.approx(
+            tau_theory, rel=0.2)
+
+    def test_constant_series(self):
+        rho = autocorrelation_function(np.ones(50), 5)
+        assert np.all(rho == 1.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation_function(np.array([1.0]))
+
+    def test_effective_samples_white(self):
+        x = np.random.default_rng(5).normal(size=5000)
+        assert effective_samples(x) == pytest.approx(5000, rel=0.2)
+
+    def test_effective_samples_correlated_fewer(self):
+        x = _ar1(5000, 0.9, seed=6)
+        assert effective_samples(x) < 1500
+
+
+class TestBlocking:
+    def test_white_noise_matches_naive(self):
+        x = np.random.default_rng(7).normal(size=4096)
+        naive = np.std(x, ddof=1) / np.sqrt(x.size)
+        assert blocking_error(x) == pytest.approx(naive, rel=0.5)
+
+    def test_correlated_series_bigger_error(self):
+        x = _ar1(4096, 0.9, seed=8)
+        naive = np.std(x, ddof=1) / np.sqrt(x.size)
+        assert blocking_error(x) > 1.5 * naive
+
+    def test_short_series_nan(self):
+        assert np.isnan(blocking_error(np.array([1.0])))
+
+
+class TestDmcEfficiency:
+    def test_faster_run_higher_kappa(self):
+        """The paper's productivity argument: same statistics in less
+        wall time -> proportionally higher efficiency."""
+        x = _ar1(2000, 0.5, seed=9)
+        k_slow = dmc_efficiency(x, total_seconds=100.0)
+        k_fast = dmc_efficiency(x, total_seconds=25.0)
+        assert k_fast == pytest.approx(4.0 * k_slow, rel=1e-9)
+
+    def test_lower_variance_higher_kappa(self):
+        rng = np.random.default_rng(10)
+        a = rng.normal(0, 1.0, 2000)
+        b = rng.normal(0, 2.0, 2000)
+        assert dmc_efficiency(a, 10.0) > dmc_efficiency(b, 10.0)
+
+    def test_degenerate_inputs(self):
+        assert dmc_efficiency(np.array([1.0]), 10.0) == 0.0
+        assert dmc_efficiency(np.ones(10), 0.0) == 0.0
+        assert dmc_efficiency(np.ones(10), 5.0) == float("inf")
+
+    @settings(max_examples=20)
+    @given(st.integers(10, 200), st.floats(0.1, 100.0))
+    def test_kappa_positive(self, n, t):
+        x = np.random.default_rng(n).normal(size=n)
+        assert dmc_efficiency(x, t) > 0
+
+
+class TestTimestepExtrapolation:
+    def test_recovers_linear_bias(self):
+        from repro.stats.series import timestep_extrapolation
+        taus = np.array([0.01, 0.02, 0.04, 0.08])
+        e = -0.5 + 1.7 * taus
+        e0, slope = timestep_extrapolation(taus, e)
+        assert e0 == pytest.approx(-0.5, abs=1e-12)
+        assert slope == pytest.approx(1.7, abs=1e-12)
+
+    def test_weighted_fit_prefers_precise_points(self):
+        from repro.stats.series import timestep_extrapolation
+        taus = np.array([0.01, 0.02, 0.04])
+        e = np.array([-0.499, -0.498, -0.3])  # last point is junk
+        errors = np.array([0.001, 0.001, 10.0])
+        e0, _ = timestep_extrapolation(taus, e, errors)
+        assert e0 == pytest.approx(-0.5, abs=0.01)
+
+    def test_validation(self):
+        from repro.stats.series import timestep_extrapolation
+        with pytest.raises(ValueError):
+            timestep_extrapolation([0.01], [-0.5])
+        with pytest.raises(ValueError):
+            timestep_extrapolation([0.01, 0.01], [-0.5, -0.4])
+
+    def test_noise_robust_with_weights(self):
+        """With honest error weights, noisy synthetic DMC-like data still
+        extrapolates near the true zero-tau limit."""
+        from repro.stats.series import timestep_extrapolation
+        rng = np.random.default_rng(5)
+        taus = np.array([0.01, 0.02, 0.04, 0.08, 0.16])
+        errors = 0.002 * np.sqrt(taus / taus[0])
+        trials = []
+        for _ in range(20):
+            e = -0.5 + 0.9 * taus + rng.normal(0, errors)
+            e0, _ = timestep_extrapolation(taus, e, errors)
+            trials.append(e0)
+        # Unbiased on average, spread consistent with the inputs.
+        assert np.mean(trials) == pytest.approx(-0.5, abs=0.002)
+        assert np.std(trials) < 0.01

@@ -1,0 +1,55 @@
+"""Sanity checks for the example scripts and package metadata."""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).parent.parent.joinpath("examples").glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(names) >= 3  # the deliverable floor
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), str(tmp_path / "out.pyc"),
+                           doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_has_docstring_and_main(self, path):
+        src = path.read_text()
+        assert src.lstrip().startswith(("#!/usr/bin/env python", '"""')), \
+            path.name
+        assert "def main(" in src
+        assert '__main__' in src
+
+
+class TestPackage:
+    def test_version_importable(self):
+        import repro
+        assert repro.__version__
+
+    def test_public_subpackages_import(self):
+        for mod in ("repro.core", "repro.containers", "repro.lattice",
+                    "repro.particles", "repro.distances", "repro.splines",
+                    "repro.jastrow", "repro.spo", "repro.determinant",
+                    "repro.wavefunction", "repro.hamiltonian",
+                    "repro.drivers", "repro.precision", "repro.workloads",
+                    "repro.miniapps", "repro.parallel", "repro.perfmodel",
+                    "repro.profiling", "repro.memory", "repro.stats",
+                    "repro.estimators", "repro.optimize", "repro.input",
+                    "repro.output"):
+            importlib.import_module(mod)
+
+    def test_all_exports_resolve(self):
+        for mod_name in ("repro.core", "repro.distances", "repro.spo",
+                         "repro.parallel", "repro.perfmodel"):
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), (mod_name, name)

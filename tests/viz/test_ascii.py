@@ -1,0 +1,71 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [1, 2, 3, 4]}, title="t")
+        assert "t" in out
+        assert "o=a" in out
+        assert out.count("o") >= 4
+
+    def test_multiple_series_markers(self):
+        out = line_chart({"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_log_scale(self):
+        out = line_chart({"s": [1.0, 10.0, 100.0]}, logy=True)
+        assert "100" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [0.0, 1.0]}, logy=True)
+
+    def test_custom_x(self):
+        out = line_chart({"s": [1, 2]}, x=[64, 1024])
+        assert "64" in out and "1024" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, x=[1, 2, 3])
+
+    def test_flat_series_ok(self):
+        out = line_chart({"flat": [2.0, 2.0, 2.0]})
+        assert "o" in out
+
+    def test_dimensions(self):
+        out = line_chart({"a": [1, 2, 3]}, width=30, height=8)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["Ref", "Current"], [41.4, 8.6], unit=" GB")
+        assert "Ref" in out and "8.6 GB" in out
+        ref_row = [l for l in out.splitlines() if "Ref" in l][0]
+        cur_row = [l for l in out.splitlines() if "Current" in l][0]
+        assert ref_row.count("#") > cur_row.count("#")
+
+    def test_zero_values(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])

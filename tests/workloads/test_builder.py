@@ -1,0 +1,131 @@
+"""Tests for system synthesis from workload specs."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.builder import build_system
+from repro.workloads.catalog import BE64, NIO32, NIO64
+
+
+class TestBuildSystem:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        return build_system(NIO32, scale=0.125, seed=1)
+
+    def test_counts_scale(self, parts):
+        # one cell of NiO-32: 4 ions (2 Ni + 2 O), 48 electrons
+        assert parts.n_ions == 4
+        assert parts.n_electrons == 48
+
+    def test_full_scale_counts(self):
+        # metadata check only (full build is heavy): tiling at scale 1
+        t = NIO32.scaled_tiling(1.0)
+        assert t[0] * t[1] * t[2] * NIO32.ions_per_cell == 32
+
+    def test_ions_grouped_by_species(self, parts):
+        ids = parts.ions.species_ids
+        assert np.all(np.diff(ids) >= 0)  # sorted -> contiguous groups
+
+    def test_electron_spin_split(self, parts):
+        e = parts.electrons
+        groups = list(e.group_ranges())
+        assert len(groups) == 2
+        assert groups[0][1].stop - groups[0][1].start == e.n // 2
+
+    def test_tables_attached_in_order(self, parts):
+        e = parts.electrons
+        assert len(e.distance_tables) == 2
+        assert e.distance_tables[0].category == "DistTable-AA"
+        assert e.distance_tables[1].category == "DistTable-AB"
+
+    def test_wavefunction_components(self, parts):
+        names = [getattr(c, "name", "") for c in parts.twf.components]
+        assert names == ["J1", "J2", "Det", "Det"]
+
+    def test_hamiltonian_terms(self, parts):
+        names = [t.name for t in parts.ham.terms]
+        assert "Kinetic" in names
+        assert "ElecElec" in names
+        assert "ElecIon" in names
+        assert "IonIon" in names
+        assert "NonLocalECP" in names  # Ni and O carry PPs
+
+    def test_be_has_no_nlpp_term(self):
+        parts = build_system(BE64, scale=1 / 32, seed=1)
+        names = [t.name for t in parts.ham.terms]
+        assert "NonLocalECP" not in names
+
+    def test_electrons_inside_cell(self, parts):
+        s = parts.lattice.to_frac(parts.electrons.R)
+        assert np.all(s >= -1e-9) and np.all(s < 1 + 1e-9)
+
+    def test_seed_determinism(self):
+        a = build_system(NIO32, scale=0.125, seed=9)
+        b = build_system(NIO32, scale=0.125, seed=9)
+        assert np.allclose(a.electrons.R, b.electrons.R)
+        assert np.allclose(a.ions.R, b.ions.R)
+
+    def test_flavor_knobs(self):
+        parts = build_system(NIO32, scale=0.125, seed=1,
+                             table_flavor_aa="ref", table_flavor_ab="ref",
+                             jastrow_flavor="ref", spo_layout="ref")
+        from repro.distances.aa_ref import DistanceTableAARef
+        from repro.jastrow.j2 import TwoBodyJastrowRef
+        assert isinstance(parts.electrons.distance_tables[0],
+                          DistanceTableAARef)
+        assert any(isinstance(c, TwoBodyJastrowRef)
+                   for c in parts.twf.components)
+        assert parts.spo_up.layout == "ref"
+
+    def test_value_dtype_propagates(self):
+        parts = build_system(NIO32, scale=0.125, seed=1,
+                             value_dtype=np.float32)
+        assert parts.electrons.distance_tables[0].dtype == np.float32
+        det = parts.twf.components[2]
+        assert det.psiM_inv.dtype == np.float32
+
+    def test_wavefunction_evaluates(self, parts):
+        lp = parts.twf.evaluate_log(parts.electrons)
+        assert np.isfinite(lp)
+
+    def test_odd_zstar_sum_would_raise(self):
+        # NiO cell: 2*18 + 2*6 = 48 even; artificial odd case errors.
+        # (covered indirectly: builder asserts n % 2 == 0)
+        parts = build_system(NIO64, scale=1 / 16, seed=0)
+        assert parts.n_electrons % 2 == 0
+
+
+class TestCoulombOptions:
+    def test_ewald_build_runs(self):
+        import numpy as np
+        from repro.core.system import QmcSystem, run_vmc
+        from repro.core.version import CodeVersion
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        parts = sys_.build(CodeVersion.CURRENT, coulomb="ewald")
+        names = [t.name for t in parts.ham.terms]
+        assert "EwaldCoulomb" in names
+        res = run_vmc(sys_, CodeVersion.CURRENT, walkers=1, steps=1,
+                      parts=parts, seed=1)
+        assert np.all(np.isfinite(res.energies))
+
+    def test_unknown_coulomb_rejected(self):
+        with pytest.raises(ValueError):
+            build_system(NIO32, scale=0.125, seed=1, coulomb="bare")
+
+    def test_mic_and_ewald_energies_comparable(self):
+        """Total energies from minimum-image and Ewald differ by the
+        image corrections but sit on the same scale (within ~10%)."""
+        import numpy as np
+        from repro.core.system import QmcSystem
+        from repro.core.version import CodeVersion
+        sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
+                                       with_nlpp=False)
+        energies = {}
+        for c in ("mic", "ewald"):
+            parts = sys_.build(CodeVersion.CURRENT, coulomb=c,
+                               value_dtype=np.float64)
+            parts.twf.evaluate_log(parts.electrons)
+            energies[c] = parts.ham.evaluate(parts.electrons, parts.twf)
+        assert energies["ewald"] == pytest.approx(energies["mic"],
+                                                  rel=0.25)

@@ -1,0 +1,120 @@
+"""Tests for the Table-1 workload catalog."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.catalog import (
+    BE64, GRAPHITE, NIO32, NIO64, WORKLOADS, get_workload,
+)
+from repro.workloads.spec import JastrowSpec, SpeciesSpec, Workload
+
+
+class TestTable1Metadata:
+    """Every row of Table 1, verbatim."""
+
+    def test_electron_counts(self):
+        assert GRAPHITE.n_electrons == 256
+        assert BE64.n_electrons == 256
+        assert NIO32.n_electrons == 384
+        assert NIO64.n_electrons == 768
+
+    def test_ion_counts(self):
+        assert GRAPHITE.n_ions == 64
+        assert BE64.n_ions == 64
+        assert NIO32.n_ions == 32
+        assert NIO64.n_ions == 64
+
+    def test_cells(self):
+        assert (GRAPHITE.ions_per_cell, GRAPHITE.n_cells) == (4, 16)
+        assert (BE64.ions_per_cell, BE64.n_cells) == (2, 32)
+        assert (NIO32.ions_per_cell, NIO32.n_cells) == (4, 8)
+        assert (NIO64.ions_per_cell, NIO64.n_cells) == (4, 16)
+
+    def test_unique_spos(self):
+        assert GRAPHITE.unique_spos == 80
+        assert BE64.unique_spos == 81
+        assert NIO32.unique_spos == 144
+        assert NIO64.unique_spos == 240
+
+    def test_zstars(self):
+        assert GRAPHITE.species_by_name("C").zstar == 4.0
+        assert BE64.species_by_name("Be").zstar == 4.0
+        assert NIO32.species_by_name("Ni").zstar == 18.0
+        assert NIO32.species_by_name("O").zstar == 6.0
+
+    def test_be_has_no_pseudopotential(self):
+        assert not BE64.species_by_name("Be").has_nlpp
+        assert NIO32.species_by_name("Ni").has_nlpp
+
+    def test_charge_neutrality(self):
+        """Z* sums to the electron count for every workload."""
+        for wl in WORKLOADS.values():
+            z = sum(wl.species_by_name(s).zstar for s in wl.basis_species)
+            assert z * wl.n_cells == wl.n_electrons
+
+
+class TestLookup:
+    def test_aliases(self):
+        assert get_workload("nio32") is NIO32
+        assert get_workload("NiO-64") is NIO64
+        assert get_workload("GRAPHITE") is GRAPHITE
+        assert get_workload("be_64") is BE64
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("diamond")
+
+
+class TestScaling:
+    def test_full_scale_tiling(self):
+        for wl in WORKLOADS.values():
+            t = wl.scaled_tiling(1.0)
+            assert t[0] * t[1] * t[2] == wl.n_cells
+
+    def test_scaled_tiling_shrinks(self):
+        t = NIO64.scaled_tiling(0.25)
+        assert t[0] * t[1] * t[2] <= max(1, round(16 * 0.25)) + 1
+
+    def test_minimum_one_cell(self):
+        t = NIO32.scaled_tiling(0.001)
+        assert t == (1, 1, 1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            NIO32.scaled_tiling(0.0)
+        with pytest.raises(ValueError):
+            NIO32.scaled_tiling(1.5)
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="T", n_electrons=8, n_ions=2, ions_per_cell=2, n_cells=1,
+            unique_spos=4, fft_grid=(8, 8, 8), bspline_gb_paper=0.1,
+            cell_axes=((4.0, 0, 0), (0, 4.0, 0), (0, 0, 4.0)),
+            basis_frac=((0, 0, 0), (0.5, 0.5, 0.5)),
+            basis_species=("X", "X"),
+            species=(SpeciesSpec("X", 4.0, -0.3, 1.0),),
+            tiling=(1, 1, 1),
+        )
+
+    def test_valid_spec(self):
+        Workload(**self._base_kwargs())
+
+    def test_inconsistent_ions_rejected(self):
+        kw = self._base_kwargs()
+        kw["n_ions"] = 3
+        with pytest.raises(ValueError):
+            Workload(**kw)
+
+    def test_inconsistent_electrons_rejected(self):
+        kw = self._base_kwargs()
+        kw["n_electrons"] = 10
+        with pytest.raises(ValueError):
+            Workload(**kw)
+
+    def test_inconsistent_tiling_rejected(self):
+        kw = self._base_kwargs()
+        kw["tiling"] = (2, 1, 1)
+        with pytest.raises(ValueError):
+            Workload(**kw)
