@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test test-fast lint check bench report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,11 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+lint:
+	$(PYTHON) -m repro.lint src/ --format=json
+
+check: lint test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

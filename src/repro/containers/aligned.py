@@ -8,16 +8,20 @@ view whose data pointer is aligned to ``alignment`` bytes — the same trick
 ``aligned_alloc`` plays.
 """
 
+# repro: hot
+
 from __future__ import annotations
 
 import numpy as np
+
+from repro.precision.policy import resolve_value_dtype
 
 #: Cache-line size assumed by the padding math (bytes).  64 on every
 #: platform the paper targets (BDW, KNL, BG/Q).
 CACHE_LINE_BYTES = 64
 
 
-def padded_size(n: int, dtype=np.float64, alignment: int = CACHE_LINE_BYTES) -> int:
+def padded_size(n: int, dtype=None, alignment: int = CACHE_LINE_BYTES) -> int:
     """Return ``n`` rounded up so a row of ``n`` elements fills whole cache lines.
 
     This is the ``Np`` of the paper's ``Rsoa[3][Np]``: the number of
@@ -32,13 +36,13 @@ def padded_size(n: int, dtype=np.float64, alignment: int = CACHE_LINE_BYTES) -> 
     """
     if n < 0:
         raise ValueError(f"size must be non-negative, got {n}")
-    per_line = alignment // np.dtype(dtype).itemsize
+    per_line = alignment // resolve_value_dtype(dtype).itemsize
     if per_line == 0:
         return n
     return ((n + per_line - 1) // per_line) * per_line
 
 
-def aligned_empty(shape, dtype=np.float64, alignment: int = CACHE_LINE_BYTES) -> np.ndarray:
+def aligned_empty(shape, dtype=None, alignment: int = CACHE_LINE_BYTES) -> np.ndarray:
     """Allocate an uninitialized array whose data pointer is ``alignment``-aligned.
 
     The returned array is C-contiguous.  Alignment matters little for
@@ -46,7 +50,7 @@ def aligned_empty(shape, dtype=np.float64, alignment: int = CACHE_LINE_BYTES) ->
     lets the memory model account padding bytes identically to the C++
     allocators.
     """
-    dtype = np.dtype(dtype)
+    dtype = resolve_value_dtype(dtype)
     nbytes = int(np.prod(shape)) * dtype.itemsize
     buf = np.empty(nbytes + alignment, dtype=np.uint8)
     offset = (-buf.ctypes.data) % alignment

@@ -12,6 +12,8 @@ The container interoperates with its AoS counterparts in place:
 assignment of ``loadWalker``).
 """
 
+# repro: hot
+
 from __future__ import annotations
 
 from typing import Iterable, Sequence, Union
@@ -20,14 +22,20 @@ import numpy as np
 
 from repro.containers.aligned import CACHE_LINE_BYTES, aligned_empty, padded_size
 from repro.containers.tinyvector import TinyVector
+from repro.precision.policy import resolve_value_dtype
 
 AosLike = Union[np.ndarray, Sequence[TinyVector]]
 
 
 class VectorSoaContainer:
-    """A padded, aligned structure-of-arrays container of shape (D, Np)."""
+    """A padded, aligned structure-of-arrays container of shape (D, Np).
 
-    def __init__(self, n: int, d: int = 3, dtype=np.float64,
+    ``dtype`` may be a dtype-like, a :class:`~repro.precision.policy.
+    PrecisionPolicy` (its ``value_dtype`` is used), or ``None`` for the
+    default element type.
+    """
+
+    def __init__(self, n: int, d: int = 3, dtype=None,
                  alignment: int = CACHE_LINE_BYTES):
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
@@ -35,7 +43,8 @@ class VectorSoaContainer:
             raise ValueError(f"d must be positive, got {d}")
         self.n = int(n)
         self.d = int(d)
-        self.dtype = np.dtype(dtype)
+        self.dtype = resolve_value_dtype(dtype)
+        self.alignment = int(alignment)
         self.np = padded_size(self.n, self.dtype, alignment)
         self.data = aligned_empty((self.d, self.np), self.dtype, alignment)
         # Zero the padding so reductions over full rows are safe.
@@ -45,7 +54,7 @@ class VectorSoaContainer:
     def __len__(self) -> int:
         return self.n
 
-    def __getitem__(self, i: int) -> np.ndarray:
+    def __getitem__(self, i: int) -> np.ndarray:  # repro: cold
         """Return particle ``i``'s D components (a strided gather, like the
         C++ ``operator[]`` returning a TinyVector)."""
         if not -self.n <= i < self.n:
@@ -84,7 +93,7 @@ class VectorSoaContainer:
         """Return an (N, D) AoS-ordered ndarray copy."""
         return self.data[:, : self.n].T.copy()
 
-    def to_tinyvectors(self) -> list:
+    def to_tinyvectors(self) -> list:  # repro: cold
         """Return the AoS list-of-TinyVector representation."""
         return [TinyVector(self.data[:, i]) for i in range(self.n)]
 

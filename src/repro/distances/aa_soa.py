@@ -15,6 +15,8 @@ stale entries for later-moved partners; :meth:`evaluate` (called before
 measurements) restores the full table.
 """
 
+# repro: hot
+
 from __future__ import annotations
 
 import numpy as np
@@ -22,6 +24,7 @@ import numpy as np
 from repro.containers.aligned import aligned_empty, padded_size
 from repro.distances.base import BIG_DISTANCE, DistanceTable
 from repro.perfmodel.opcount import OPS
+from repro.precision.policy import resolve_value_dtype
 
 
 class DistanceTableAASoA(DistanceTable):
@@ -30,10 +33,10 @@ class DistanceTableAASoA(DistanceTable):
     category = "DistTable-AA"
     forward_update = True
 
-    def __init__(self, n: int, lattice, dtype=np.float64):
+    def __init__(self, n: int, lattice, dtype=None):
         self.n = n
         self.lattice = lattice
-        self.dtype = np.dtype(dtype)
+        self.dtype = resolve_value_dtype(dtype)
         self.np_ = padded_size(n, self.dtype)
         # distances[k, i] = |min_image(r_i - r_k)|; padding/diagonal = BIG.
         self.distances = aligned_empty((n, self.np_), self.dtype)
@@ -55,7 +58,9 @@ class DistanceTableAASoA(DistanceTable):
         """
         n = self.n
         soa = P.Rsoa.data  # (3, Np_pos)
-        dr64 = np.empty((3, n), dtype=np.float64)
+        # Displacement intermediates stay in accumulation precision; the
+        # assignment into ``out_dr`` performs the policy downcast.
+        dr64 = np.empty((3, n), dtype=np.float64)  # repro: noqa R002
         for d in range(3):
             dr64[d] = soa[d, :n] - rk[d]
         if self.lattice.periodic:
@@ -85,8 +90,10 @@ class DistanceTableAASoA(DistanceTable):
 
     # -- PbyP protocol -----------------------------------------------------------
     def move(self, P, rnew: np.ndarray, k: int) -> None:
-        self._row_from(P, np.asarray(rnew, dtype=np.float64),
-                       self.temp_r, self.temp_dr, k)
+        # Proposed position promoted to accumulation precision for the
+        # min-image math.
+        rk = np.asarray(rnew, dtype=np.float64)  # repro: noqa R002
+        self._row_from(P, rk, self.temp_r, self.temp_dr, k)
         self._active = k
         itemsize = self.dtype.itemsize
         OPS.record(self.category, flops=9.0 * self.n,

@@ -5,6 +5,8 @@ a single contiguous row write.  The ions' SoA container is built once and
 reused for the whole calculation (Sec. 7.3).
 """
 
+# repro: hot
+
 from __future__ import annotations
 
 import numpy as np
@@ -13,6 +15,7 @@ from repro.containers.aligned import aligned_empty, padded_size
 from repro.containers.vsc import VectorSoaContainer
 from repro.distances.base import DistanceTable
 from repro.perfmodel.opcount import OPS
+from repro.precision.policy import resolve_value_dtype
 
 
 class DistanceTableABSoA(DistanceTable):
@@ -20,18 +23,21 @@ class DistanceTableABSoA(DistanceTable):
 
     category = "DistTable-AB"
 
-    def __init__(self, source, n_target: int, lattice, dtype=np.float64):
+    def __init__(self, source, n_target: int, lattice, dtype=None):
         self.source = source
         self.ns = source.n
         self.nt = n_target
         self.lattice = lattice
-        self.dtype = np.dtype(dtype)
+        self.dtype = resolve_value_dtype(dtype)
         self.nsp = padded_size(self.ns, self.dtype)
         # Fixed ion positions in SoA, shared across walkers/threads.
+        # They are read into accumulation-precision intermediates, so the
+        # shared buffer stays double regardless of the table policy.
         if source.Rsoa is not None and source.Rsoa.dtype == np.float64:
             self._src_soa = source.Rsoa.data
         else:
-            vsc = VectorSoaContainer(self.ns, 3, dtype=np.float64)
+            vsc = VectorSoaContainer(
+                self.ns, 3, dtype=np.float64)  # repro: noqa R002
             vsc.copy_in(source.R)
             self._src_soa = vsc.data
         self.distances = aligned_empty((self.nt, self.nsp), self.dtype)
@@ -45,7 +51,9 @@ class DistanceTableABSoA(DistanceTable):
     def _row_from(self, rk: np.ndarray, out_r: np.ndarray,
                   out_dr: np.ndarray) -> None:
         ns = self.ns
-        dr64 = np.empty((3, ns), dtype=np.float64)
+        # Displacement intermediates stay in accumulation precision; the
+        # assignment into ``out_dr`` performs the policy downcast.
+        dr64 = np.empty((3, ns), dtype=np.float64)  # repro: noqa R002
         for d in range(3):
             dr64[d] = self._src_soa[d, :ns] - rk[d]
         if self.lattice.periodic:
@@ -67,8 +75,10 @@ class DistanceTableABSoA(DistanceTable):
                    wbytes=4.0 * itemsize * self.nt * self.ns)
 
     def move(self, P, rnew: np.ndarray, k: int) -> None:
-        self._row_from(np.asarray(rnew, dtype=np.float64),
-                       self.temp_r, self.temp_dr)
+        # Proposed position promoted to accumulation precision for the
+        # min-image math.
+        rk = np.asarray(rnew, dtype=np.float64)  # repro: noqa R002
+        self._row_from(rk, self.temp_r, self.temp_dr)
         self._active = k
         itemsize = self.dtype.itemsize
         OPS.record(self.category, flops=9.0 * self.ns,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.distances.aa_otf import DistanceTableAAOtf
 from repro.distances.aa_ref import DistanceTableAARef
 from repro.distances.aa_soa import DistanceTableAASoA
@@ -11,8 +9,12 @@ from repro.distances.ab_ref import DistanceTableABRef
 from repro.distances.ab_soa import DistanceTableABSoA
 
 
-def create_aa_table(n: int, lattice, flavor: str = "otf", dtype=np.float64):
-    """Create an electron-electron table: 'ref', 'soa' or 'otf'."""
+def create_aa_table(n: int, lattice, flavor: str = "otf", dtype=None):
+    """Create an electron-electron table: 'ref', 'soa' or 'otf'.
+
+    ``dtype`` may be a dtype-like, a ``PrecisionPolicy`` (its
+    ``value_dtype`` applies), or ``None`` for the full-precision default.
+    """
     if flavor == "ref":
         return DistanceTableAARef(n, lattice)
     if flavor == "soa":
@@ -23,8 +25,11 @@ def create_aa_table(n: int, lattice, flavor: str = "otf", dtype=np.float64):
 
 
 def create_ab_table(source, n_target: int, lattice, flavor: str = "soa",
-                    dtype=np.float64):
-    """Create an electron-ion table: 'ref' or 'soa'."""
+                    dtype=None):
+    """Create an electron-ion table: 'ref' or 'soa'.
+
+    ``dtype`` follows the same convention as :func:`create_aa_table`.
+    """
     if flavor == "ref":
         return DistanceTableABRef(source, n_target, lattice)
     if flavor in ("soa", "otf"):

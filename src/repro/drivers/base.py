@@ -8,6 +8,7 @@ from typing import List
 import numpy as np
 
 from repro.estimators.scalar import EstimatorManager
+from repro.lint.sanitizers import SanitizerSuite, sanitizers_enabled
 from repro.particles.walker import Walker
 from repro.precision.policy import FULL, PrecisionPolicy
 
@@ -48,6 +49,9 @@ class QMCDriverBase:
         self.n_moves = 0
         #: per-walker scalar accumulation (E_L, components, acceptance)
         self.estimators = EstimatorManager()
+        #: runtime invariant checks, armed by REPRO_SANITIZE=1 (repro.lint)
+        self.sanitizers = (SanitizerSuite(precision)
+                           if sanitizers_enabled() else None)
 
     # -- walkers ----------------------------------------------------------------------
     def create_walkers(self, nw: int, jitter: float = 0.05) -> List[Walker]:
@@ -79,6 +83,8 @@ class QMCDriverBase:
     def store_walker(self, w: Walker) -> float:
         """Measure E_L at the sweep's final configuration and store state."""
         self.P.update_tables()
+        if self.sanitizers is not None:
+            self.sanitizers.check_state(self.P)
         self.twf.evaluate_gl(self.P)
         el = self.ham.evaluate(self.P, self.twf)
         self.twf.update_buffer(self.P, w.buffer)
@@ -124,6 +130,8 @@ class QMCDriverBase:
                 twf.accept_move(P, k, math.log(abs(rho)))
                 P.accept_move(k)
                 accepted += 1
+                if self.sanitizers is not None:
+                    self.sanitizers.after_accept(P, k)
             else:
                 twf.reject_move(P, k)
                 P.reject_move(k)

@@ -96,6 +96,8 @@ class DMCDriver(QMCDriverBase):
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators
+        result.extra["moves"] = float(self.n_moves)
+        result.extra["accepted"] = float(self.n_accept)
         if profile:
             result.profile = PROFILER.stop_run(label)
         result.extra["final_population"] = len(pop)

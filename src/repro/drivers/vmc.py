@@ -44,6 +44,8 @@ class VMCDriver(QMCDriverBase):
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators
+        result.extra["moves"] = float(self.n_moves)
+        result.extra["accepted"] = float(self.n_accept)
         if profile:
             result.profile = PROFILER.stop_run(label)
         return result

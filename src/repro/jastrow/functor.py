@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.lint.hot import hot_kernel
 from repro.splines.cubic1d import CubicBSpline1D
 
 
@@ -72,18 +73,22 @@ class BsplineFunctor:
         return cls(spline, rcut, cusp=cusp, name=name)
 
     # -- vectorized evaluation (Current kernels) --------------------------------------
+    @hot_kernel
     def evaluate_v(self, r: np.ndarray) -> np.ndarray:
         """u(r) with the cutoff mask applied, vectorized."""
-        r = np.asarray(r, dtype=np.float64)
+        # Functor math runs in accumulation precision by design: spline
+        # coefficients are double, and the 1D tables are tiny.
+        r = np.asarray(r, dtype=np.float64)  # repro: noqa R002
         mask = r < self.rcut
         out = np.zeros_like(r)
         if np.any(mask):
             out[mask] = self.spline.evaluate_v(r[mask])
         return out
 
+    @hot_kernel
     def evaluate_vgl(self, r: np.ndarray):
         """(u, du/dr, d2u/dr2), each zero beyond the cutoff, vectorized."""
-        r = np.asarray(r, dtype=np.float64)
+        r = np.asarray(r, dtype=np.float64)  # repro: noqa R002
         mask = r < self.rcut
         u = np.zeros_like(r)
         du = np.zeros_like(r)

@@ -17,6 +17,7 @@ from typing import Dict
 import numpy as np
 
 from repro.jastrow.functor import BsplineFunctor
+from repro.lint.hot import hot_kernel
 from repro.perfmodel.opcount import OPS
 from repro.profiling.profiler import PROFILER
 
@@ -42,6 +43,7 @@ class _J1Base:
         }
 
 
+@hot_kernel
 class OneBodyJastrowOtf(_J1Base):
     """Optimized J1: vectorized per-species row kernels, no stored state."""
 
@@ -49,8 +51,7 @@ class OneBodyJastrowOtf(_J1Base):
         total = 0.0
         for g, idx in self._species_masks.items():
             f = self.functors[g]
-            total += float(np.sum(f.evaluate_v(
-                np.asarray(row_r, dtype=np.float64)[idx])))
+            total += float(np.sum(f.evaluate_v(row_r[idx])))
         OPS.record("J1", flops=10.0 * self.nions, rbytes=8.0 * self.nions,
                    wbytes=8.0)
         return total
@@ -59,8 +60,6 @@ class OneBodyJastrowOtf(_J1Base):
         u_sum = 0.0
         grad = np.zeros(3)
         lap = 0.0
-        row_r = np.asarray(row_r, dtype=np.float64)
-        row_dr = np.asarray(row_dr, dtype=np.float64)
         for g, idx in self._species_masks.items():
             f = self.functors[g]
             r = row_r[idx]
@@ -93,7 +92,7 @@ class OneBodyJastrowOtf(_J1Base):
     def ratio(self, P, k: int) -> float:
         with PROFILER.timer("J1"):
             table = P.distance_tables[self.table_index]
-            u_new = self._row_v(np.asarray(table.temp_r)[: self.nions])
+            u_new = self._row_v(table.temp_r[: self.nions])
             u_old = self._row_v(table.dist_row(k))
             return math.exp(-(u_new - u_old))
 
@@ -101,8 +100,8 @@ class OneBodyJastrowOtf(_J1Base):
         with PROFILER.timer("J1"):
             table = P.distance_tables[self.table_index]
             u_new, grad_new, _ = self._row_vgl(
-                np.asarray(table.temp_r)[: self.nions],
-                np.asarray(table.temp_dr)[:, : self.nions])
+                table.temp_r[: self.nions],
+                table.temp_dr[:, : self.nions])
             u_old = self._row_v(table.dist_row(k))
             return math.exp(-(u_new - u_old)), grad_new
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.jastrow.functor import BsplineFunctor
+from repro.lint.hot import hot_kernel
 from repro.perfmodel.opcount import OPS
 from repro.profiling.profiler import PROFILER
 
@@ -46,6 +47,7 @@ class _J2Base:
         return self.functors[(min(gi, gj), max(gi, gj))]
 
 
+@hot_kernel
 class TwoBodyJastrowOtf(_J2Base):
     """Optimized J2: vectorized rows, no persistent pair matrices (5N scalars
     of transient work arrays instead of 5N^2 of stored state)."""
@@ -62,8 +64,7 @@ class TwoBodyJastrowOtf(_J2Base):
         total = 0.0
         for g, s in self.group_slices:
             f = self.functor_for(gk, g)
-            total += float(np.sum(f.evaluate_v(np.asarray(row_r[s],
-                                                          dtype=np.float64))))
+            total += float(np.sum(f.evaluate_v(row_r[s])))
         OPS.record("J2", flops=10.0 * self.n, rbytes=8.0 * self.n,
                    wbytes=8.0)
         return total
@@ -76,11 +77,11 @@ class TwoBodyJastrowOtf(_J2Base):
         lap = 0.0
         for g, s in self.group_slices:
             f = self.functor_for(gk, g)
-            r = np.asarray(row_r[s], dtype=np.float64)
+            r = row_r[s]
             u, du, d2u = f.evaluate_vgl(r)
             u_sum += float(np.sum(u))
             w = du / r  # safe: du == 0 wherever r >= rcut (incl. BIG diag)
-            grad += np.asarray(row_dr[:, s], dtype=np.float64) @ w
+            grad += row_dr[:, s] @ w
             lap -= float(np.sum(d2u + 2.0 * w))
         OPS.record("J2", flops=20.0 * self.n, rbytes=32.0 * self.n,
                    wbytes=8.0 * 5)
@@ -111,7 +112,7 @@ class TwoBodyJastrowOtf(_J2Base):
         """Psi(R')/Psi(R) for the proposed move of particle k."""
         with PROFILER.timer("J2"):
             table = P.distance_tables[self.table_index]
-            u_new = self._row_v(np.asarray(table.temp_r[: self.n]), k)
+            u_new = self._row_v(table.temp_r[: self.n], k)
             u_old = self._row_v(table.dist_row(k), k)
             self._cache[k] = (u_new, u_old)
             return math.exp(-(u_new - u_old))
@@ -121,8 +122,8 @@ class TwoBodyJastrowOtf(_J2Base):
         with PROFILER.timer("J2"):
             table = P.distance_tables[self.table_index]
             u_new, grad_new, _ = self._row_vgl(
-                np.asarray(table.temp_r[: self.n]),
-                np.asarray(table.temp_dr)[:, : self.n], k)
+                table.temp_r[: self.n],
+                table.temp_dr[:, : self.n], k)
             u_old = self._row_v(table.dist_row(k), k)
             self._cache[k] = (u_new, u_old)
             return math.exp(-(u_new - u_old)), grad_new

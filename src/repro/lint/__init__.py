@@ -1,0 +1,33 @@
+"""``repro.lint`` — static + runtime enforcement of kernel invariants.
+
+The paper's speedups rest on contracts the interpreter cannot see: hot
+kernels must stay vectorized over padded SoA rows, and mixed precision
+only works when kernels thread :class:`~repro.precision.PrecisionPolicy`
+dtypes instead of hard-coding ``float64``.  This package enforces both
+mechanically:
+
+* **Static analysis** — ``python -m repro.lint src/`` runs AST rules
+  R001-R004 over every scope marked hot (``@hot_kernel`` decorator or
+  ``# repro: hot`` pragma).  See docs/static_analysis.md.
+* **Runtime sanitizers** — with ``REPRO_SANITIZE=1`` the drivers run
+  dtype/layout/forward-update checks on live walker state.
+"""
+
+from repro.lint.engine import (
+    FileContext, Violation, discover_files, lint_paths, lint_source,
+)
+from repro.lint.hot import hot_kernel, hot_kernels, is_hot
+from repro.lint.rules import ALL_RULES, RULE_CATALOG
+from repro.lint.sanitizers import (
+    DtypeSanitizer, ForwardUpdateChecker, LayoutSanitizer, SanitizerError,
+    SanitizerSuite, force_sanitizers, sanitizers_enabled,
+)
+
+__all__ = [
+    "ALL_RULES", "RULE_CATALOG", "FileContext", "Violation",
+    "discover_files", "lint_paths", "lint_source",
+    "hot_kernel", "hot_kernels", "is_hot",
+    "DtypeSanitizer", "ForwardUpdateChecker", "LayoutSanitizer",
+    "SanitizerError", "SanitizerSuite", "force_sanitizers",
+    "sanitizers_enabled",
+]

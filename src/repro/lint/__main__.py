@@ -1,0 +1,62 @@
+"""CLI entry point: ``python -m repro.lint src/ [--format=json]``.
+
+Exit status is 0 when the tree is clean, 1 when violations were found,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.report import format_json, format_text
+from repro.lint.rules import RULE_CATALOG
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST lint enforcing SoA-layout and mixed-precision "
+                    "kernel invariants (rules R001-R004).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULE_CATALOG.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {s.strip().upper() for s in args.select.split(",")}
+        unknown = select - set(RULE_CATALOG)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such file or directory: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    violations, files_checked = lint_paths(paths, select=select)
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(violations, files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

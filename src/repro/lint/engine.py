@@ -1,0 +1,224 @@
+"""Rule engine: pragma parsing, hot-scope resolution, rule dispatch.
+
+The engine parses each file once, extracts the comment pragmas
+(``# repro: hot`` / ``# repro: cold`` / ``# repro: noqa R00x``), resolves
+which scopes are hot, runs every registered rule's AST visitor, and
+filters suppressed violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+_PRAGMA_HOT = re.compile(r"#\s*repro:\s*hot\b")
+_PRAGMA_COLD = re.compile(r"#\s*repro:\s*cold\b")
+_PRAGMA_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\b\s*:?\s*([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, pinned to a file/line/column."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything rules need about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: line -> set of suppressed rule ids (empty set = suppress all rules)
+    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    #: lines carrying a `# repro: hot` comment
+    hot_lines: Set[int] = field(default_factory=set)
+    #: lines carrying a `# repro: cold` comment
+    cold_lines: Set[int] = field(default_factory=set)
+    module_hot: bool = False
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return not rules or rule in rules
+
+
+def _scan_pragmas(ctx: FileContext) -> None:
+    """Populate pragma tables from the token stream (comments only)."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(ctx.source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line, col = tok.start
+            text = tok.string
+            m = _PRAGMA_NOQA.search(text)
+            if m:
+                ids = m.group(1)
+                ctx.noqa[line] = (
+                    {s.strip() for s in ids.split(",")} if ids else set())
+            if _PRAGMA_HOT.search(text):
+                ctx.hot_lines.add(line)
+                # Standalone comment at column 0 marks the whole module.
+                if col == 0:
+                    src_line = ctx.source.splitlines()[line - 1]
+                    if src_line.lstrip().startswith("#"):
+                        ctx.module_hot = True
+            if _PRAGMA_COLD.search(text):
+                ctx.cold_lines.add(line)
+    except tokenize.TokenError:
+        pass
+
+
+def _decorated_hot(node: ast.AST) -> bool:
+    """True when a def/class carries an ``@hot_kernel`` decorator."""
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "hot_kernel":
+            return True
+    return False
+
+
+def _scope_lines(node: ast.AST) -> Iterable[int]:
+    """Lines that may carry a scope-level pragma: decorators + def line(s)."""
+    start = min([node.lineno] + [d.lineno for d in
+                                 getattr(node, "decorator_list", [])])
+    # The def line itself may wrap; take through the first body statement.
+    stop = node.body[0].lineno if getattr(node, "body", None) else node.lineno
+    return range(start, stop + 1)
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """AST visitor tracking whether the current scope is hot.
+
+    Hotness is inherited from the enclosing scope; a ``# repro: cold``
+    pragma on the def/class line forces cold, a ``# repro: hot`` pragma
+    or ``@hot_kernel`` decorator forces hot.
+    """
+
+    rule = "R000"
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        self._hot_stack: List[bool] = [ctx.module_hot]
+
+    @property
+    def hot(self) -> bool:
+        return self._hot_stack[-1]
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(
+            rule=self.rule, path=self.ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), message=message))
+
+    # -- scope bookkeeping -----------------------------------------------------
+    def _effective_hot(self, node: ast.AST) -> bool:
+        lines = set(_scope_lines(node))
+        if lines & self.ctx.cold_lines:
+            return False
+        if lines & self.ctx.hot_lines or _decorated_hot(node):
+            return True
+        return self.hot
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._hot_stack.append(self._effective_hot(node))
+        self.scope_entered(node)
+        self.generic_visit(node)
+        self.scope_left(node)
+        self._hot_stack.pop()
+
+    def scope_entered(self, node: ast.AST) -> None:  # hook for rules
+        pass
+
+    def scope_left(self, node: ast.AST) -> None:  # hook for rules
+        pass
+
+    def visit_FunctionDef(self, node):
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._enter_scope(node)
+
+    def visit_ClassDef(self, node):
+        self._enter_scope(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[type]] = None) -> List[Violation]:
+    """Lint one source string; returns unsuppressed violations."""
+    from repro.lint.rules import ALL_RULES
+    rule_classes = list(rules) if rules is not None else list(ALL_RULES)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(rule="E999", path=path, line=exc.lineno or 0,
+                          col=(exc.offset or 1) - 1,
+                          message=f"syntax error: {exc.msg}")]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    _scan_pragmas(ctx)
+    out: List[Violation] = []
+    for cls in rule_classes:
+        visitor = cls(ctx)
+        visitor.visit(tree)
+        for v in visitor.violations:
+            if not ctx.is_suppressed(v.rule, v.line):
+                out.append(v)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(sorted(
+                f for f in path.rglob("*.py")
+                if "__pycache__" not in f.parts))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Set[str]] = None
+               ) -> Tuple[List[Violation], int]:
+    """Lint files/directories; returns (violations, files_checked)."""
+    from repro.lint.rules import ALL_RULES
+    rule_classes = [r for r in ALL_RULES
+                    if select is None or r.rule in select]
+    files = discover_files(paths)
+    violations: List[Violation] = []
+    for f in files:
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            violations.append(Violation(
+                rule="E998", path=str(f), line=0, col=0,
+                message=f"cannot read file: {exc}"))
+            continue
+        violations.extend(lint_source(source, str(f), rule_classes))
+    return violations, len(files)

@@ -1,0 +1,65 @@
+"""Hot-kernel markers — the contract surface of ``repro.lint``.
+
+A *hot kernel* is code on the per-move critical path whose performance
+story depends on the paper's layout/precision invariants: vectorized
+operations over padded SoA rows, no per-particle Python loops, no
+hard-coded dtypes.  Marking code hot opts it into static analysis
+(``python -m repro.lint``) and, when ``REPRO_SANITIZE=1``, runtime
+sanitizer checks.
+
+Two marking mechanisms, recognized by both the AST linter and this
+runtime registry:
+
+* the :func:`hot_kernel` decorator on a function, method, or class
+  (a class marks every method);
+* a ``# repro: hot`` pragma comment — standalone at column 0 to mark a
+  whole module, or trailing a ``def``/``class`` line to mark one scope.
+  (``# repro: cold`` on a ``def``/``class`` line opts a scope back out,
+  e.g. an AoS-interop helper inside a hot module.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+#: qualname -> marked object, for tooling and tests.
+_HOT_REGISTRY: Dict[str, object] = {}
+
+Markable = Union[Callable, type]
+
+
+def hot_kernel(obj: Optional[Markable] = None) -> Markable:
+    """Mark a function, method, or class as a hot kernel.
+
+    Usable bare (``@hot_kernel``) or with parens (``@hot_kernel()``).
+    The object is returned unchanged — no wrapping, zero call overhead —
+    but is recorded in the registry and tagged ``__repro_hot__`` so the
+    linter and sanitizers can find it.
+    """
+
+    def mark(o: Markable) -> Markable:
+        qual = "{}.{}".format(
+            getattr(o, "__module__", "?"),
+            getattr(o, "__qualname__", getattr(o, "__name__", "?")))
+        _HOT_REGISTRY[qual] = o
+        try:
+            o.__repro_hot__ = True
+        except (AttributeError, TypeError):  # slots / builtins
+            pass
+        return o
+
+    if obj is None:
+        return mark  # used as @hot_kernel()
+    return mark(obj)
+
+
+def is_hot(obj) -> bool:
+    """True when ``obj`` (or its class) carries the hot-kernel tag."""
+    if getattr(obj, "__repro_hot__", False):
+        return True
+    return bool(getattr(type(obj), "__repro_hot__", False))
+
+
+def hot_kernels() -> Dict[str, object]:
+    """Snapshot of everything registered via :func:`hot_kernel`."""
+    return dict(_HOT_REGISTRY)

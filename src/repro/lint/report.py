@@ -1,0 +1,38 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.lint.engine import Violation
+
+
+def format_text(violations: Sequence[Violation], files_checked: int) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines: List[str] = [v.format() for v in violations]
+    counts = Counter(v.rule for v in violations)
+    if violations:
+        per_rule = ", ".join(f"{r}: {n}" for r, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"{len(violations)} violation(s) in {files_checked} "
+                     f"file(s) checked ({per_rule})")
+    else:
+        lines.append(f"clean: 0 violations in {files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """Machine-readable report (stable keys, sorted input)."""
+    payload = {
+        "files_checked": files_checked,
+        "violation_count": len(violations),
+        "counts": dict(sorted(Counter(v.rule for v in violations).items())),
+        "violations": [
+            {"rule": v.rule, "path": v.path, "line": v.line,
+             "col": v.col, "message": v.message}
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,249 @@
+"""Runtime sanitizers — the dynamic half of ``repro.lint``.
+
+Three checkers enforce at run time what rules R001-R004 enforce at parse
+time, catching violations that only materialize on real data:
+
+* :class:`DtypeSanitizer` — raises on silent ``float64`` upcasts of
+  value-precision arrays under a mixed policy (the 5N²→5N and SP-memory
+  wins silently evaporate when a kernel upcasts).
+* :class:`LayoutSanitizer` — asserts SoA buffers stay C-contiguous and
+  cache-aligned with zeroed padding (reductions over padded rows are only
+  safe when the padding is zero).
+* :class:`ForwardUpdateChecker` — cross-checks incrementally-updated
+  distance-table rows/columns against a from-scratch recompute: the
+  paper's drift safeguard for the forward-update scheme (Fig. 6b) and
+  single-precision accumulation error.
+
+All three are toggled by ``REPRO_SANITIZE=1`` (see
+:func:`sanitizers_enabled`); the QMC drivers consult that flag and run a
+:class:`SanitizerSuite` after accepted moves and at measurement time.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.precision.policy import PrecisionPolicy
+
+#: process-wide override used by the pytest ``sanitize`` fixture; None
+#: defers to the REPRO_SANITIZE environment variable.
+_FORCED: Optional[bool] = None
+
+
+class SanitizerError(AssertionError):
+    """An invariant the lint subsystem enforces was violated at run time."""
+
+
+def sanitizers_enabled() -> bool:
+    """True when runtime sanitizers should run (env or forced override)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_SANITIZE", "0").lower() in (
+        "1", "true", "yes", "on")
+
+
+def force_sanitizers(enabled: Optional[bool]) -> None:
+    """Override the env toggle (``None`` restores env behavior)."""
+    global _FORCED
+    _FORCED = enabled
+
+
+class DtypeSanitizer:
+    """Catch silent float64 upcasts of value-precision data.
+
+    Under a mixed policy every *value* array (positions, distance rows,
+    spline reads) must carry ``policy.value_dtype``; accumulators are
+    checked against ``policy.accum_dtype``.  Under a full-precision
+    policy the checks are vacuous (everything is float64).
+    """
+
+    def __init__(self, policy: PrecisionPolicy):
+        self.policy = policy
+
+    def check_array(self, name: str, arr) -> None:
+        """Assert one value-precision ndarray has the policy dtype."""
+        if not (self.policy.is_mixed and isinstance(arr, np.ndarray)):
+            return
+        if arr.dtype.kind == "f" and arr.dtype != self.policy.value_dtype:
+            raise SanitizerError(
+                f"dtype sanitizer: '{name}' is {arr.dtype.name} but the "
+                f"'{self.policy.name}' policy mandates value_dtype="
+                f"{self.policy.value_dtype.name} — a kernel silently "
+                f"upcast (or never downcast) this buffer")
+
+    def check_accum(self, name: str, arr) -> None:
+        """Assert an accumulator array has the accumulation dtype."""
+        if not isinstance(arr, np.ndarray):
+            return
+        if arr.dtype.kind == "f" and arr.dtype != self.policy.accum_dtype:
+            raise SanitizerError(
+                f"dtype sanitizer: accumulator '{name}' is "
+                f"{arr.dtype.name} but per-walker sums must use "
+                f"accum_dtype={self.policy.accum_dtype.name}")
+
+    def wrap(self, fn, label: Optional[str] = None):
+        """Wrap a kernel so its ndarray results are dtype-checked.
+
+        Tuples/lists of arrays are checked element-wise; non-array
+        results pass through untouched.
+        """
+        name = label or getattr(fn, "__qualname__", repr(fn))
+
+        @functools.wraps(fn)
+        def checked(*args, **kwargs):
+            out = fn(*args, **kwargs)
+            results = out if isinstance(out, (tuple, list)) else (out,)
+            for i, r in enumerate(results):
+                self.check_array(f"{name}[{i}]", r)
+            return out
+
+        return checked
+
+
+class LayoutSanitizer:
+    """Assert SoA buffers keep the layout the kernels were sold.
+
+    * C-contiguous storage (strided views would silently de-vectorize);
+    * data pointer aligned to the container's alignment;
+    * zeroed padding columns (row reductions include the padding).
+    """
+
+    def check_container(self, vsc) -> None:
+        """Validate a :class:`~repro.containers.vsc.VectorSoaContainer`."""
+        data = vsc.data
+        if not data.flags["C_CONTIGUOUS"]:
+            raise SanitizerError(
+                f"layout sanitizer: {vsc!r} data is not C-contiguous")
+        alignment = getattr(vsc, "alignment", 0)
+        if alignment and data.ctypes.data % alignment != 0:
+            raise SanitizerError(
+                f"layout sanitizer: {vsc!r} data pointer "
+                f"0x{data.ctypes.data:x} is not {alignment}-byte aligned")
+        if vsc.np > vsc.n and not np.all(data[:, vsc.n:] == 0):
+            raise SanitizerError(
+                f"layout sanitizer: {vsc!r} padding columns "
+                f"[{vsc.n}:{vsc.np}] are not zero — row reductions over "
+                f"the padded row are unsafe")
+
+    def check_table(self, table) -> None:
+        """Validate an SoA distance table's row storage, if it has any."""
+        distances = getattr(table, "distances", None)
+        displacements = getattr(table, "displacements", None)
+        if not isinstance(distances, np.ndarray):
+            return  # packed/reference tables have no row invariants
+        for name, arr in (("distances", distances),
+                          ("displacements", displacements)):
+            if isinstance(arr, np.ndarray) and not arr.flags["C_CONTIGUOUS"]:
+                raise SanitizerError(
+                    f"layout sanitizer: {type(table).__name__}.{name} "
+                    f"is not C-contiguous")
+        if np.isnan(distances).any():
+            raise SanitizerError(
+                f"layout sanitizer: {type(table).__name__}.distances "
+                f"contains NaN")
+        # Displacement padding must stay zero (rows are reduced whole).
+        n_src = getattr(table, "ns", getattr(table, "n", None))
+        if isinstance(displacements, np.ndarray) and n_src is not None \
+                and displacements.shape[-1] > n_src \
+                and not np.all(displacements[..., n_src:] == 0):
+            raise SanitizerError(
+                f"layout sanitizer: {type(table).__name__}.displacements "
+                f"padding beyond column {n_src} is not zero")
+
+
+class ForwardUpdateChecker:
+    """Cross-check incremental distance-table state against recompute.
+
+    The forward-update scheme guarantees (a) row ``k`` is exact right
+    after the sweep visits particle ``k``, and (b) for tables with
+    column maintenance, entries ``k' > k`` of column ``k`` are exact.
+    This checker recomputes those entries from the canonical positions
+    (in double precision — the paper's periodic-recompute safeguard) and
+    raises on drift beyond the table dtype's tolerance.
+    """
+
+    def __init__(self, tol_factor: float = 1e4):
+        self.tol_factor = tol_factor
+
+    def _tol(self, table) -> float:
+        dtype = getattr(table, "dtype", np.dtype(np.float64))
+        if np.dtype(dtype).kind != "f":
+            return 1e-10
+        return self.tol_factor * float(np.finfo(dtype).eps)
+
+    def _brute_row(self, table, P, k: int) -> np.ndarray:
+        source = getattr(table, "source", None)
+        if source is not None:  # AB table: distances to fixed sources
+            return P.lattice.min_image_dist(source.R - P.R[k])
+        return P.lattice.min_image_dist(P.R - P.R[k])
+
+    def check_row(self, table, P, k: int) -> None:
+        """Row ``k`` (just updated) must match a from-scratch recompute."""
+        if not isinstance(getattr(table, "distances", None), np.ndarray):
+            return
+        brute = self._brute_row(table, P, k)
+        row = np.asarray(table.dist_row(k), dtype=np.float64)
+        mask = np.ones(brute.shape[0], dtype=bool)
+        if getattr(table, "source", None) is None:
+            mask[k] = False  # self-distance holds the BIG sentinel
+        tol = self._tol(table)
+        scale = max(1.0, float(np.max(brute[mask], initial=0.0)))
+        bad = ~np.isclose(row[mask], brute[mask], rtol=tol, atol=tol * scale)
+        if bad.any():
+            idx = int(np.flatnonzero(mask)[np.argmax(bad)])
+            raise SanitizerError(
+                f"forward-update checker: {type(table).__name__} row {k} "
+                f"entry {idx} is stale: table={row[idx]:.8g} "
+                f"recompute={brute[idx]:.8g} (tol={tol:.2g})")
+
+    def check_column(self, table, P, k: int) -> None:
+        """Forward entries ``k' > k`` of column ``k`` must be current."""
+        if not getattr(table, "forward_update", False):
+            return  # compute-on-the-fly tables keep no forward column
+        n = table.n
+        if k + 1 >= n:
+            return
+        brute = P.lattice.min_image_dist(P.R[k + 1:n] - P.R[k])
+        col = np.asarray(table.distances[k + 1:n, k], dtype=np.float64)
+        tol = self._tol(table)
+        scale = max(1.0, float(np.max(brute, initial=0.0)))
+        bad = ~np.isclose(col, brute, rtol=tol, atol=tol * scale)
+        if bad.any():
+            kp = k + 1 + int(np.argmax(bad))
+            raise SanitizerError(
+                f"forward-update checker: {type(table).__name__} forward "
+                f"column entry d({kp}, {k}) is stale: table="
+                f"{col[kp - k - 1]:.8g} recompute={brute[kp - k - 1]:.8g} "
+                f"(tol={tol:.2g}) — column update after a rejected move?")
+
+
+class SanitizerSuite:
+    """The driver-facing bundle: all three sanitizers behind two hooks."""
+
+    def __init__(self, policy: PrecisionPolicy):
+        self.policy = policy
+        self.dtype = DtypeSanitizer(policy)
+        self.layout = LayoutSanitizer()
+        self.forward = ForwardUpdateChecker()
+
+    def after_accept(self, P, k: int) -> None:
+        """Run after a committed PbyP move: incremental state is fresh."""
+        for t in P.distance_tables:
+            self.forward.check_row(t, P, k)
+            self.forward.check_column(t, P, k)
+
+    def check_state(self, P) -> None:
+        """Run at measurement time: layout + dtype of all hot buffers."""
+        if P.Rsoa is not None:
+            self.layout.check_container(P.Rsoa)
+            self.dtype.check_array(f"{P.name}.Rsoa", P.Rsoa.data)
+        for t in P.distance_tables:
+            self.layout.check_table(t)
+            distances = getattr(t, "distances", None)
+            if isinstance(distances, np.ndarray):
+                self.dtype.check_array(
+                    f"{type(t).__name__}.distances", distances)

@@ -1,5 +1,7 @@
 """minijastrow — J1/J2 miniapp over real distance tables."""
 
+# repro: hot
+
 from __future__ import annotations
 
 import time
@@ -69,7 +71,7 @@ def run_minijastrow(n: int = 128, steps: int = 5,
     return result
 
 
-def main(argv=None) -> int:
+def main(argv=None) -> int:  # repro: cold
     p = base_parser("Jastrow miniapp (J1 + J2 hot spots)")
     args = p.parse_args(argv)
     res = run_minijastrow(args.nelectrons, args.steps, args.seed)

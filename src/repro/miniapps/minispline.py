@@ -1,5 +1,7 @@
 """minispline — 3D B-spline SPO miniapp (Bspline-v / Bspline-vgh)."""
 
+# repro: hot
+
 from __future__ import annotations
 
 import time
@@ -8,12 +10,18 @@ import numpy as np
 
 from repro.lattice.cell import CrystalLattice
 from repro.miniapps.common import MiniappResult
+from repro.precision.policy import resolve_value_dtype
 from repro.spo.sposet import build_planewave_spline
 
 
 def run_minispline(norb: int = 64, grid: int = 16, points: int = 200,
-                   seed: int = 7, dtype=np.float32) -> MiniappResult:
-    """Time value and vgh evaluation, per-orbital (ref) vs multi (SoA)."""
+                   seed: int = 7, dtype=None) -> MiniappResult:
+    """Time value and vgh evaluation, per-orbital (ref) vs multi (SoA).
+
+    ``dtype`` sets the coefficient-table element type; the default is the
+    paper's single-precision SPO storage.
+    """
+    dtype = resolve_value_dtype(dtype, default=np.float32)
     rng = np.random.default_rng(seed)
     a = 10.0
     lat = CrystalLattice.cubic(a)
@@ -51,7 +59,7 @@ def run_minispline(norb: int = 64, grid: int = 16, points: int = 200,
     return result
 
 
-def main(argv=None) -> int:
+def main(argv=None) -> int:  # repro: cold
     import argparse
     p = argparse.ArgumentParser(
         description="3D B-spline SPO miniapp (Bspline-v/vgh hot spots)")

@@ -24,6 +24,7 @@ from repro.containers.tinyvector import TinyVector
 from repro.containers.vsc import VectorSoaContainer
 from repro.lattice.cell import CrystalLattice
 from repro.particles.species import SpeciesSet
+from repro.precision.policy import resolve_value_dtype
 from repro.profiling.profiler import PROFILER
 
 
@@ -51,7 +52,9 @@ class ParticleSet:
     dtype:
         Element type of the SoA container (the AoS side and the canonical
         ``R`` stay float64; only kernels downcast, per the mixed-precision
-        design).
+        design).  Accepts a dtype-like, a
+        :class:`~repro.precision.policy.PrecisionPolicy` (its
+        ``value_dtype`` is used), or ``None`` for the default.
     """
 
     def __init__(
@@ -62,8 +65,9 @@ class ParticleSet:
         species: Optional[SpeciesSet] = None,
         species_ids: Optional[Sequence[int]] = None,
         layout: str = "both",
-        dtype=np.float64,
+        dtype=None,
     ):
+        dtype = resolve_value_dtype(dtype)
         positions = np.array(positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 3:
             raise ValueError(f"positions must be (N, 3), got {positions.shape}")

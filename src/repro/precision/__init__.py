@@ -9,6 +9,9 @@ Accuracy is preserved by periodically recomputing the walker state from
 scratch in full precision.
 """
 
-from repro.precision.policy import PrecisionPolicy, FULL, MIXED
+from repro.precision.policy import (
+    DEFAULT_VALUE_DTYPE, FULL, MIXED, PrecisionPolicy, resolve_value_dtype,
+)
 
-__all__ = ["PrecisionPolicy", "FULL", "MIXED"]
+__all__ = ["PrecisionPolicy", "FULL", "MIXED", "DEFAULT_VALUE_DTYPE",
+           "resolve_value_dtype"]

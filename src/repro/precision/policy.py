@@ -63,6 +63,27 @@ class PrecisionPolicy:
         return np.asarray(x, dtype=self.accum_dtype)
 
 
+#: Default element type of SoA containers and tables when no policy is
+#: threaded to a constructor.  Kernels must not hard-code this — they take
+#: a ``dtype``/policy argument and :func:`resolve_value_dtype` it.
+DEFAULT_VALUE_DTYPE = np.dtype(np.float64)
+
+
+def resolve_value_dtype(dtype_or_policy, default=None) -> np.dtype:
+    """Map a dtype-like, a :class:`PrecisionPolicy`, or ``None`` to a dtype.
+
+    This is the single funnel through which hot containers and kernels
+    resolve their element type, so call sites can pass a policy object
+    directly (``VectorSoaContainer(n, 3, dtype=MIXED)``) and ``None``
+    means "the default" without every signature hard-coding ``float64``.
+    """
+    if dtype_or_policy is None:
+        return DEFAULT_VALUE_DTYPE if default is None else np.dtype(default)
+    if isinstance(dtype_or_policy, PrecisionPolicy):
+        return dtype_or_policy.value_dtype
+    return np.dtype(dtype_or_policy)
+
+
 #: Double precision everywhere — the paper's baseline ``QMC_MIXED_PRECISION=0``.
 FULL = PrecisionPolicy("full", np.float64, np.float64, recompute_period=0)
 

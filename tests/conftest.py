@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.lattice.cell import CrystalLattice
+from repro.lint.sanitizers import force_sanitizers
 from repro.particles.particleset import ParticleSet
 from repro.particles.species import SpeciesSet
 
@@ -13,6 +14,14 @@ from repro.particles.species import SpeciesSet
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sanitize():
+    """Arm the runtime sanitizers for one test (same as REPRO_SANITIZE=1)."""
+    force_sanitizers(True)
+    yield
+    force_sanitizers(None)
 
 
 @pytest.fixture

@@ -69,17 +69,24 @@ class TestFullPipeline:
         assert totals["Bspline-v"].flops > 0
 
     def test_throughput_scales_with_walkers(self):
-        """Throughput (samples/sec) is roughly walker-count independent —
-        per-sample cost is flat, so samples/sec ~ constant."""
+        """Per-step work is deterministic: every generation sweeps each
+        electron of each walker exactly once, so the total move count
+        scales exactly with the walker count.  (Asserting on wall-clock
+        throughput here was flaky on loaded CI machines.)"""
         sys_ = QmcSystem.from_workload("NiO-32", scale=0.125, seed=8,
                                        with_nlpp=False)
         parts = sys_.build(CodeVersion.CURRENT)
+        n = parts.electrons.n
         r2 = run_vmc(sys_, CodeVersion.CURRENT, walkers=2, steps=2,
                      parts=parts, seed=5)
         parts2 = sys_.build(CodeVersion.CURRENT)
         r4 = run_vmc(sys_, CodeVersion.CURRENT, walkers=4, steps=2,
                      parts=parts2, seed=5)
-        assert r4.throughput == pytest.approx(r2.throughput, rel=0.5)
+        assert r2.extra["moves"] == 2 * 2 * n
+        assert r4.extra["moves"] == 4 * 2 * n
+        assert r4.extra["moves"] == 2 * r2.extra["moves"]
+        assert 0 < r2.extra["accepted"] <= r2.extra["moves"]
+        assert 0 < r4.extra["accepted"] <= r4.extra["moves"]
 
 
 class TestDmcPipeline:

@@ -1,0 +1,10 @@
+"""Bad fixture: per-particle scalar gather loop in a hot scope (R001)."""
+
+# repro: hot
+
+
+def row_sum(distances, n):
+    total = 0.0
+    for i in range(n):
+        total += distances[i]
+    return total

@@ -1,0 +1,11 @@
+"""Bad fixture: hard-coded dtype literals in a hot kernel (R002)."""
+
+# repro: hot
+
+import numpy as np
+
+
+def kernel(r, dtype=np.float32):
+    buf = np.zeros(8, dtype=np.float64)
+    buf[:] = r
+    return buf.astype(np.float32)

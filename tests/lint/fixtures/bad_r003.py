@@ -1,0 +1,11 @@
+"""Bad fixture: SoA row conversion and strided gather (R003)."""
+
+# repro: hot
+
+import numpy as np
+
+
+def gather(table, data, n):
+    row = np.asarray(table.dist_row(0))
+    x = data[:, 0]
+    return row, x

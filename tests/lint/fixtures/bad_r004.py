@@ -1,0 +1,12 @@
+"""Bad fixture: per-walker accumulation in value precision (R004)."""
+
+# repro: hot
+
+import numpy as np
+
+
+def accumulate(rows, n, policy):
+    total = np.zeros(3, dtype=policy.value_dtype)
+    for row in rows:
+        total += row
+    return np.sum(total, dtype=policy.value_dtype)

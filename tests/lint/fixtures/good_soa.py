@@ -1,0 +1,13 @@
+"""Good fixture: vectorized hot kernel with policy-threaded dtypes."""
+
+# repro: hot
+
+import numpy as np
+
+
+def row_kernel(distances, n, policy):
+    row = distances[0, :n]
+    total = float(np.sum(row, dtype=np.float64))
+    out = np.empty(n, dtype=policy.value_dtype)
+    out[:] = row
+    return total, out

@@ -1,0 +1,12 @@
+"""Fixture: per-line noqa pragmas silence specific rules."""
+
+# repro: hot
+
+import numpy as np
+
+
+def kernel(r):
+    # The double-precision promotion here is the mandated accumulation
+    # precision, not a layout bug.
+    buf = np.asarray(r, dtype=np.float64)  # repro: noqa R002
+    return buf

@@ -1,0 +1,65 @@
+"""CLI behavior: exit codes, report formats, and a clean repo tree."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_lint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, env=env, cwd=REPO)
+
+
+def test_repo_src_tree_is_clean():
+    proc = run_lint("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean: 0 violations" in proc.stdout
+
+
+def test_bad_fixture_exits_nonzero_with_rule_ids():
+    proc = run_lint(str(FIXTURES / "bad_r002.py"))
+    assert proc.returncode == 1
+    assert "R002" in proc.stdout
+
+
+def test_json_report_has_stable_schema():
+    proc = run_lint(str(FIXTURES / "bad_r001.py"), "--format=json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["files_checked"] == 1
+    assert payload["violation_count"] == 1
+    assert payload["counts"] == {"R001": 1}
+    v = payload["violations"][0]
+    assert v["rule"] == "R001"
+    assert v["line"] == 8
+
+
+def test_select_runs_only_named_rules():
+    proc = run_lint(str(FIXTURES / "bad_r002.py"), "--select", "R001")
+    assert proc.returncode == 0
+
+
+def test_missing_path_is_usage_error():
+    proc = run_lint("no/such/path")
+    assert proc.returncode == 2
+    assert "no such file" in proc.stderr
+
+
+def test_unknown_rule_is_usage_error():
+    proc = run_lint("--select", "R999", "src")
+    assert proc.returncode == 2
+
+
+def test_list_rules_prints_catalog():
+    proc = run_lint("--list-rules")
+    assert proc.returncode == 0
+    for rule in ("R001", "R002", "R003", "R004"):
+        assert rule in proc.stdout

@@ -1,0 +1,101 @@
+"""Golden-file tests: each rule fires with exact IDs and line numbers."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.hot import hot_kernel, hot_kernels, is_hot
+from repro.lint.rules import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name):
+    violations, checked = lint_paths([str(FIXTURES / name)])
+    assert checked == 1
+    return [(v.rule, v.line) for v in violations]
+
+
+class TestGoldenFixtures:
+    def test_good_fixture_clean(self):
+        assert lint_fixture("good_soa.py") == []
+
+    def test_r001_exact_line(self):
+        assert lint_fixture("bad_r001.py") == [("R001", 8)]
+
+    def test_r002_exact_lines(self):
+        assert lint_fixture("bad_r002.py") == [
+            ("R002", 8), ("R002", 9), ("R002", 11)]
+
+    def test_r003_exact_lines(self):
+        assert lint_fixture("bad_r003.py") == [("R003", 9), ("R003", 10)]
+
+    def test_r004_exact_lines(self):
+        assert lint_fixture("bad_r004.py") == [("R004", 11), ("R004", 12)]
+
+    def test_noqa_suppresses_named_rule(self):
+        assert lint_fixture("suppressed.py") == []
+
+
+class TestScopeResolution:
+    def test_decorator_marks_scope_hot(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.lint.hot import hot_kernel\n"
+            "@hot_kernel\n"
+            "def kernel(r):\n"
+            "    return np.asarray(r, dtype=np.float64)\n"
+        )
+        hits = [(v.rule, v.line) for v in lint_source(src, "x.py", ALL_RULES)]
+        assert hits == [("R002", 5)]
+
+    def test_cold_pragma_overrides_hot_module(self):
+        src = (
+            "# repro: hot\n"
+            "import numpy as np\n"
+            "def setup(r):  # repro: cold\n"
+            "    return np.asarray(r, dtype=np.float64)\n"
+        )
+        assert lint_source(src, "x.py", ALL_RULES) == []
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        src = (
+            "# repro: hot\n"
+            "import numpy as np\n"
+            "def kernel(r):\n"
+            "    return np.asarray(r, dtype=np.float64)  # repro: noqa\n"
+        )
+        assert lint_source(src, "x.py", ALL_RULES) == []
+
+    def test_unmarked_module_is_cold(self):
+        src = (
+            "import numpy as np\n"
+            "def kernel(r):\n"
+            "    return np.asarray(r, dtype=np.float64)\n"
+        )
+        assert lint_source(src, "x.py", ALL_RULES) == []
+
+    def test_syntax_error_reported_as_e999(self):
+        hits = lint_source("def broken(:\n", "x.py", ALL_RULES)
+        assert [v.rule for v in hits] == ["E999"]
+
+
+class TestHotRegistry:
+    def test_decorator_is_transparent_and_registers(self):
+        @hot_kernel
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert is_hot(fn)
+        assert any(name.endswith("fn") for name in hot_kernels())
+
+    def test_class_decoration_marks_instances(self):
+        from repro.jastrow.j2 import TwoBodyJastrowOtf
+
+        assert is_hot(TwoBodyJastrowOtf)
+
+    def test_repo_kernels_are_registered(self):
+        from repro.splines.bspline3d import BSpline3D
+
+        assert is_hot(BSpline3D.multi_v)
+        assert is_hot(BSpline3D.multi_vgh)
