@@ -1,0 +1,264 @@
+"""Walker-batched SoA distance tables.
+
+Same forward-update / compute-on-the-fly schemes as
+:mod:`repro.distances`, with every kernel widened by a leading walker
+axis: the per-walker row kernel's one-vector-op-per-component becomes
+one-vector-op-per-component *over the whole crowd*.
+
+Bitwise contract: for any single walker, the arithmetic here is
+element-for-element the same sequence of operations as the per-walker
+tables (`DistanceTableAASoA` / `DistanceTableAAOtf` /
+`DistanceTableABSoA`), so the differential suite can demand exact
+equality of the rows, not just closeness.
+"""
+
+# repro: hot
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.containers.aligned import aligned_empty, padded_size
+from repro.distances.base import BIG_DISTANCE
+from repro.perfmodel.opcount import OPS
+from repro.precision.policy import resolve_value_dtype
+
+
+def _batched_row_from(soa: np.ndarray, n: int, rk: np.ndarray, lattice,
+                      out_r: np.ndarray, out_dr: np.ndarray,
+                      self_index: int = -1) -> None:
+    """Distances/displacements from each walker's point ``rk[w]`` to all
+    of that walker's particles — the batched twin of ``_row_from``.
+
+    ``soa`` is the (W, 3, Np) position block, ``rk`` a (W, 3) block of
+    centers; outputs are (W, Np) and (W, 3, Np) views.  One contiguous
+    vector operation per Cartesian component, over all W walkers at once.
+    """
+    nw = soa.shape[0]
+    # Displacement intermediates stay in accumulation precision; the
+    # assignment into ``out_dr`` performs the policy downcast (exactly
+    # like the per-walker kernel).
+    dr64 = np.empty((nw, 3, n), dtype=np.float64)  # repro: noqa R002
+    for d in range(3):
+        dr64[:, d] = soa[:, d, :n] - rk[:, d, None]
+    if lattice.periodic:
+        dr64 = lattice.min_image_disp(
+            dr64.transpose(0, 2, 1)).transpose(0, 2, 1)
+    out_dr[:, :, :n] = dr64
+    r2 = dr64[:, 0] * dr64[:, 0] + dr64[:, 1] * dr64[:, 1] \
+        + dr64[:, 2] * dr64[:, 2]
+    out_r[:, :n] = np.sqrt(r2)
+    if self_index >= 0:
+        out_r[:, self_index] = BIG_DISTANCE
+        out_dr[:, :, self_index] = 0
+
+
+class BatchedDistTableAA:
+    """Symmetric electron-electron table over a WalkerBatch, forward update.
+
+    Storage is ``(W, N, Np)`` distances / ``(W, N, 3, Np)`` displacements
+    — W copies of the per-walker table, contiguous so the accept-commit
+    writes whole rows across the accepted subset of the crowd.
+    """
+
+    category = "DistTable-AA"
+    forward_update = True
+
+    def __init__(self, nwalkers: int, n: int, lattice, dtype=None):
+        self.nw = int(nwalkers)
+        self.n = int(n)
+        self.lattice = lattice
+        self.dtype = resolve_value_dtype(dtype)
+        self.np_ = padded_size(n, self.dtype)
+        self.distances = aligned_empty((self.nw, n, self.np_), self.dtype)
+        self.distances[...] = BIG_DISTANCE
+        self.displacements = aligned_empty((self.nw, n, 3, self.np_),
+                                           self.dtype)
+        self.displacements[...] = 0
+        self.temp_r = np.full((self.nw, self.np_), BIG_DISTANCE,
+                              dtype=self.dtype)
+        self.temp_dr = np.zeros((self.nw, 3, self.np_), dtype=self.dtype)
+
+    # -- full evaluation ---------------------------------------------------------
+    def evaluate(self, batch) -> None:
+        """From-scratch recompute of all W tables from the canonical R."""
+        R = batch.R  # (W, N, 3) float64
+        n = self.n
+        dr = R[:, None, :, :] - R[:, :, None, :]  # dr[w, k, i] = r_i - r_k
+        if self.lattice.periodic:
+            dr = self.lattice.min_image_disp(dr)
+        dist = np.sqrt(np.sum(np.square(dr), axis=-1))
+        self.distances[:, :, :n] = dist
+        idx = np.arange(n)
+        self.distances[:, idx, idx] = BIG_DISTANCE
+        self.displacements[:, :, :, :n] = np.transpose(dr, (0, 1, 3, 2))
+        self.displacements[:, idx, :, idx] = 0
+        itemsize = self.dtype.itemsize
+        OPS.record(self.category, flops=9.0 * self.nw * n * n,
+                   rbytes=24.0 * self.nw * n,
+                   wbytes=4.0 * itemsize * self.nw * n * n)
+
+    # -- PbyP protocol -----------------------------------------------------------
+    def move(self, batch, rnew: np.ndarray, k: int) -> None:
+        """Fill the temporaries for all W proposed moves of particle k."""
+        rk = np.asarray(rnew, dtype=np.float64)  # repro: noqa R002
+        _batched_row_from(batch.Rsoa, self.n, rk, self.lattice,
+                          self.temp_r, self.temp_dr, k)
+        itemsize = self.dtype.itemsize
+        OPS.record(self.category, flops=9.0 * self.nw * self.n,
+                   rbytes=24.0 * self.nw * self.n,
+                   wbytes=4.0 * itemsize * self.nw * self.n)
+
+    def update(self, k: int, accepted: np.ndarray) -> None:
+        """Commit row k (and the forward column) for the accepted subset."""
+        n = self.n
+        self.distances[accepted, k, :] = self.temp_r[accepted]
+        self.displacements[accepted, k, :, :] = self.temp_dr[accepted]
+        if k + 1 < n:
+            self.distances[accepted, k + 1:n, k] = \
+                self.temp_r[accepted, k + 1:n]
+            self.displacements[accepted, k + 1:n, :, k] = \
+                -self.temp_dr[accepted][:, :, k + 1:n].transpose(0, 2, 1)
+        itemsize = self.dtype.itemsize
+        nacc = int(np.count_nonzero(accepted))
+        OPS.record(self.category,
+                   rbytes=4.0 * itemsize * nacc * n,
+                   wbytes=4.0 * itemsize * nacc * (self.np_ + (n - k)))
+
+    # -- consumer access ---------------------------------------------------------
+    def dist_rows(self, k: int) -> np.ndarray:
+        """(W, N) distance rows for particle k across the crowd."""
+        return self.distances[:, k, : self.n]
+
+    def disp_rows(self, k: int) -> np.ndarray:
+        """(W, 3, N) displacement rows for particle k across the crowd."""
+        return self.displacements[:, k, :, : self.n]
+
+    def temp_rows(self) -> np.ndarray:
+        return self.temp_r[:, : self.n]
+
+    def temp_disp_rows(self) -> np.ndarray:
+        return self.temp_dr[:, :, : self.n]
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.distances.nbytes + self.displacements.nbytes
+
+
+class BatchedDistTableAAOtf(BatchedDistTableAA):
+    """Compute-on-the-fly flavor: row k refreshed on move, no column
+    maintenance — the batched twin of ``DistanceTableAAOtf``."""
+
+    forward_update = False
+
+    def move(self, batch, rnew: np.ndarray, k: int) -> None:
+        # Refresh row k from the current positions first, for every
+        # walker (move happens crowd-wide; the refresh replaces all the
+        # column maintenance the forward-update table performs).
+        _batched_row_from(batch.Rsoa, self.n, batch.R[:, k], self.lattice,
+                          self.distances[:, k], self.displacements[:, k], k)
+        itemsize = self.dtype.itemsize
+        OPS.record(self.category, flops=9.0 * self.nw * self.n,
+                   rbytes=24.0 * self.nw * self.n,
+                   wbytes=4.0 * itemsize * self.nw * self.n)
+        super().move(batch, rnew, k)
+
+    def update(self, k: int, accepted: np.ndarray) -> None:
+        # Contiguous row writes only, restricted to the accepted subset.
+        self.distances[accepted, k, :] = self.temp_r[accepted]
+        self.displacements[accepted, k, :, :] = self.temp_dr[accepted]
+        itemsize = self.dtype.itemsize
+        nacc = int(np.count_nonzero(accepted))
+        OPS.record(self.category,
+                   rbytes=4.0 * itemsize * nacc * self.n,
+                   wbytes=4.0 * itemsize * nacc * self.np_)
+
+
+class BatchedDistTableAB:
+    """Electron-ion table over a WalkerBatch.
+
+    The ion positions are fixed and shared by every walker (one
+    double-precision SoA block for the whole crowd — Sec. 7.3's shared
+    read-only resource), so acceptance is a contiguous row write into the
+    accepted walkers' slabs and there is no column bookkeeping at all.
+    """
+
+    category = "DistTable-AB"
+
+    def __init__(self, source, nwalkers: int, n_target: int, lattice,
+                 dtype=None):
+        self.source = source
+        self.nw = int(nwalkers)
+        self.ns = source.n
+        self.nt = int(n_target)
+        self.n = self.ns
+        self.lattice = lattice
+        self.dtype = resolve_value_dtype(dtype)
+        self.nsp = padded_size(self.ns, self.dtype)
+        # Shared fixed sources in accumulation precision (read-only).
+        src = np.empty((3, self.ns), dtype=np.float64)  # repro: noqa R002
+        src[...] = source.R.T
+        self._src_soa = src
+        self.distances = aligned_empty((self.nw, self.nt, self.nsp),
+                                       self.dtype)
+        self.distances[...] = 0
+        self.displacements = aligned_empty((self.nw, self.nt, 3, self.nsp),
+                                           self.dtype)
+        self.displacements[...] = 0
+        self.temp_r = np.zeros((self.nw, self.nsp), dtype=self.dtype)
+        self.temp_dr = np.zeros((self.nw, 3, self.nsp), dtype=self.dtype)
+
+    def evaluate(self, batch) -> None:
+        R = batch.R  # (W, Nt, 3)
+        # dr[w, k, I] = R_I - r_k, matching the per-walker AB convention.
+        dr = self.source.R[None, None, :, :] - R[:, :, None, :]
+        if self.lattice.periodic:
+            dr = self.lattice.min_image_disp(dr)
+        self.distances[:, :, : self.ns] = np.sqrt(
+            np.sum(np.square(dr), axis=-1))
+        self.displacements[:, :, :, : self.ns] = np.transpose(dr, (0, 1, 3, 2))
+        itemsize = self.dtype.itemsize
+        OPS.record(self.category, flops=9.0 * self.nw * self.nt * self.ns,
+                   rbytes=24.0 * self.nw * (self.nt + self.ns),
+                   wbytes=4.0 * itemsize * self.nw * self.nt * self.ns)
+
+    def move(self, batch, rnew: np.ndarray, k: int) -> None:
+        rk = np.asarray(rnew, dtype=np.float64)  # repro: noqa R002
+        nw, ns = self.nw, self.ns
+        dr64 = np.empty((nw, 3, ns), dtype=np.float64)  # repro: noqa R002
+        for d in range(3):
+            dr64[:, d] = self._src_soa[d, :ns][None, :] - rk[:, d, None]
+        if self.lattice.periodic:
+            dr64 = self.lattice.min_image_disp(
+                dr64.transpose(0, 2, 1)).transpose(0, 2, 1)
+        self.temp_dr[:, :, :ns] = dr64
+        self.temp_r[:, :ns] = np.sqrt(
+            dr64[:, 0] * dr64[:, 0] + dr64[:, 1] * dr64[:, 1]
+            + dr64[:, 2] * dr64[:, 2])
+        itemsize = self.dtype.itemsize
+        OPS.record(self.category, flops=9.0 * nw * ns,
+                   rbytes=24.0 * nw * ns, wbytes=4.0 * itemsize * nw * ns)
+
+    def update(self, k: int, accepted: np.ndarray) -> None:
+        self.distances[accepted, k, :] = self.temp_r[accepted]
+        self.displacements[accepted, k, :, :] = self.temp_dr[accepted]
+        itemsize = self.dtype.itemsize
+        nacc = int(np.count_nonzero(accepted))
+        OPS.record(self.category, rbytes=4.0 * itemsize * nacc * self.ns,
+                   wbytes=4.0 * itemsize * nacc * self.nsp)
+
+    def dist_rows(self, k: int) -> np.ndarray:
+        return self.distances[:, k, : self.ns]
+
+    def disp_rows(self, k: int) -> np.ndarray:
+        return self.displacements[:, k, :, : self.ns]
+
+    def temp_rows(self) -> np.ndarray:
+        return self.temp_r[:, : self.ns]
+
+    def temp_disp_rows(self) -> np.ndarray:
+        return self.temp_dr[:, :, : self.ns]
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.distances.nbytes + self.displacements.nbytes

@@ -1,0 +1,209 @@
+"""``BatchedCrowdDriver`` — one fused accept/reject step per electron.
+
+Where :class:`~repro.drivers.crowd.CrowdDriver` loops
+``load_walker/sweep/store_walker`` per walker, this driver moves electron
+``k`` of *all* W walkers at once: one batched distance-row recompute, one
+batched Jastrow ratio, one masked commit.  The Python-interpreter
+overhead per Metropolis move is paid once per crowd instead of once per
+walker — the walker-axis analogue of the paper's SoA argument, following
+the batched QMCPACK drivers and QMCkl.
+
+RNG-stream contract (see docs/batched_walkers.md): walker ``w`` owns
+stream ``w`` and draws, per sweep, first its (n, 3) Gaussian block and
+then its n uniforms — the identical call pattern the per-walker driver
+makes, so with equal seeds both paths see equal random numbers and the
+accept/reject sequences match bitwise.
+"""
+
+# repro: hot
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.batched.jastrow import exp_rows
+from repro.batched.sanitize import BatchedSanitizerSuite
+from repro.batched.system import JastrowSystemSpec, walker_streams
+from repro.batched.walkerbatch import WalkerBatch
+from repro.drivers.result import QMCResult
+from repro.estimators.scalar import EstimatorManager
+from repro.lint.sanitizers import sanitizers_enabled
+from repro.precision.policy import FULL, PrecisionPolicy
+
+
+class BatchedCrowdDriver:
+    """VMC over a WalkerBatch with per-walker RNG streams."""
+
+    #: cap on the drift displacement per move, in units of sqrt(tau)
+    DRIFT_CAP = 2.0
+
+    def __init__(self, spec: JastrowSystemSpec, nwalkers: int,
+                 master_seed: int, timestep: float = 0.5,
+                 use_drift: bool = True,
+                 precision: PrecisionPolicy = FULL):
+        self.spec = spec
+        self.nw = int(nwalkers)
+        self.n = spec.n
+        self.tau = float(timestep)
+        self.use_drift = use_drift
+        self.precision = precision
+        self.rngs = walker_streams(master_seed, nwalkers)
+        self.batch = WalkerBatch.from_positions(
+            spec.initial_positions(nwalkers), dtype=precision)
+        self.tables, self.components, self.ham = spec.build_batched(nwalkers)
+        #: per-walker grad/lap of log Psi: (W, n, 3) and (W, n)
+        self.G = np.zeros((self.nw, self.n, 3))
+        self.L = np.zeros((self.nw, self.n))
+        self.n_accept = 0
+        self.n_moves = 0
+        self.estimators = EstimatorManager()
+        self.sanitizers = (BatchedSanitizerSuite(precision)
+                           if sanitizers_enabled() else None)
+        #: optional fused-step trace: list of (W,) bool masks, one per move
+        self.move_log: Optional[List[np.ndarray]] = None
+        for t in self.tables:
+            t.evaluate(self.batch)
+        self.batch.logpsi[...] = self._evaluate_log()
+
+    # -- wavefunction over components ---------------------------------------------
+    def _evaluate_log(self) -> np.ndarray:
+        self.G[...] = 0.0
+        self.L[...] = 0.0
+        logpsi = np.zeros(self.nw)
+        for c in self.components:
+            logpsi += c.evaluate_log(self.tables, self.G, self.L)
+        return logpsi
+
+    def _evaluate_gl(self) -> None:
+        self.G[...] = 0.0
+        self.L[...] = 0.0
+        for c in self.components:
+            c.evaluate_gl(self.tables, self.G, self.L)
+
+    def _grad(self, k: int) -> np.ndarray:
+        g = np.zeros((self.nw, 3))
+        for c in self.components:
+            g += c.grad(self.tables, k)
+        return g
+
+    def _ratio(self, k: int) -> np.ndarray:
+        rho = np.ones(self.nw)
+        for c in self.components:
+            rho *= c.ratio(self.tables, k)
+        return rho
+
+    def _ratio_grad(self, k: int):
+        rho = np.ones(self.nw)
+        g = np.zeros((self.nw, 3))
+        for c in self.components:
+            r, gc = c.ratio_grad(self.tables, k)
+            rho *= r
+            g += gc
+        return rho, g
+
+    def _limited_drift(self, g: np.ndarray) -> np.ndarray:
+        """Batched norm-capped drift; the norm uses the same BLAS dot the
+        per-walker ``np.linalg.norm`` lowers to, for bitwise agreement."""
+        drift = self.tau * g
+        norm = np.sqrt(np.matmul(drift[:, None, :],
+                                 drift[:, :, None])[:, 0, 0])
+        cap = self.DRIFT_CAP * math.sqrt(self.tau)
+        over = norm > cap
+        if np.any(over):
+            drift[over] *= (cap / norm[over])[:, None]
+        return drift
+
+    # -- the fused sweep -----------------------------------------------------------
+    def sweep(self) -> int:
+        """One PbyP pass: W walkers advance electron k together."""
+        batch = self.batch
+        tau = self.tau
+        sqrt_tau = math.sqrt(tau)
+        n = self.n
+        # Per-walker streams, per-walker draw order (the RNG contract).
+        chi_all = np.stack([rng.normal(scale=sqrt_tau, size=(n, 3))
+                            for rng in self.rngs])
+        uniforms = np.stack([rng.uniform(size=n) for rng in self.rngs])
+        accepted_total = 0
+        for k in range(n):
+            chi = chi_all[:, k]
+            if self.use_drift:
+                drift_old = self._limited_drift(self._grad(k))
+                rnew = batch.R[:, k] + drift_old + chi
+            else:
+                rnew = batch.R[:, k] + chi
+            for t in self.tables:
+                t.move(batch, rnew, k)
+            if self.use_drift:
+                rho, g_new = self._ratio_grad(k)
+                drift_new = self._limited_drift(g_new)
+                # log T(R'->R) - log T(R->R'), batched over the crowd:
+                back = batch.R[:, k] - rnew - drift_new
+                fwd = rnew - batch.R[:, k] - drift_old
+                log_t = (-np.matmul(back[:, None, :], back[:, :, None])[:, 0, 0]
+                         + np.matmul(fwd[:, None, :],
+                                     fwd[:, :, None])[:, 0, 0]) / (2.0 * tau)
+                A = np.minimum(1.0, rho * rho * exp_rows(log_t))
+            else:
+                rho = self._ratio(k)
+                A = np.minimum(1.0, rho * rho)
+            acc = (uniforms[:, k] < A) & (rho != 0.0)
+            if self.move_log is not None:
+                self.move_log.append(acc.copy())
+            for t in self.tables:
+                t.update(k, acc)
+            batch.commit(k, rnew, acc)
+            if self.sanitizers is not None:
+                self.sanitizers.after_accept(batch, self.tables, k, acc)
+            accepted_total += int(np.count_nonzero(acc))
+        self.n_accept += accepted_total
+        self.n_moves += n * self.nw
+        return accepted_total
+
+    # -- measurement ----------------------------------------------------------------
+    def measure(self) -> np.ndarray:
+        """Refresh tables from scratch and evaluate E_L per walker —
+        the batched ``store_walker``."""
+        for t in self.tables:
+            t.evaluate(self.batch)
+        if self.sanitizers is not None:
+            self.sanitizers.check_state(self.batch, self.tables)
+        self._evaluate_gl()
+        el = self.ham.evaluate(self.batch, self.tables, self.G, self.L)
+        self.batch.local_energy[...] = el
+        comps = self.ham.last_components
+        for w in range(self.nw):
+            weight = float(self.batch.weight[w])
+            self.estimators.accumulate("LocalEnergy", float(el[w]), weight)
+            for name in self.ham.names:
+                self.estimators.accumulate(name, float(comps[name][w]),
+                                           weight)
+        return el
+
+    # -- the driver loop --------------------------------------------------------------
+    def run(self, steps: int = 10) -> QMCResult:
+        """Run ``steps`` fused generations over the whole crowd."""
+        t0 = time.perf_counter()
+        result = QMCResult(method="VMC(batched)", steps=steps)
+        for step in range(1, steps + 1):
+            if self.precision.should_recompute(step):
+                self.batch.logpsi[...] = self._evaluate_log()
+            self.sweep()
+            el = self.measure()
+            self.batch.age += 1
+            result.energies.append(float(np.mean(el)))
+            result.populations.append(self.nw)
+        result.elapsed = time.perf_counter() - t0
+        result.acceptance = self.acceptance_ratio
+        result.estimators = self.estimators
+        result.extra["moves"] = float(self.n_moves)
+        result.extra["accepted"] = float(self.n_accept)
+        return result
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.n_accept / self.n_moves if self.n_moves else 0.0

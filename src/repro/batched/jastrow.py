@@ -1,0 +1,234 @@
+"""Walker-batched Jastrow kernels (J1 + J2).
+
+The per-walker row kernels in :mod:`repro.jastrow` evaluate one
+(electron, all-partners) row at a time; here the same kernels take the
+(W, n) row *block* of a :class:`~repro.batched.distances` table and
+produce per-walker scalars as (W,) vectors.
+
+Bitwise contract with the per-walker path (relied on by the
+differential suite):
+
+* functor evaluation is elementwise, so ``evaluate_v((W, n))`` rows
+  match ``evaluate_v((n,))`` per walker exactly;
+* row sums use ``np.sum(..., axis=-1)``, which performs the same
+  pairwise reduction per row as the per-walker 1-D ``np.sum``;
+* gradients use batched ``np.matmul`` — NumPy lowers both the
+  per-walker ``(3, n) @ (n,)`` and the batched ``(W, 3, n) @ (W, n, 1)``
+  forms to the same BLAS reduction, verified bitwise;
+* ratios apply ``math.exp`` per walker (a short scalar loop):
+  ``np.exp``'s SIMD path differs from libm by 1 ulp on a few percent of
+  arguments, which is enough to flip a Metropolis comparison.
+"""
+
+# repro: hot
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.jastrow.functor import BsplineFunctor
+from repro.lint.hot import hot_kernel
+from repro.perfmodel.opcount import OPS
+from repro.profiling.profiler import PROFILER
+
+
+def exp_rows(x: np.ndarray) -> np.ndarray:
+    """Per-walker libm exp — bitwise-matches the scalar path's math.exp."""
+    out = np.empty_like(x)
+    for w in range(x.shape[0]):
+        out[w] = math.exp(x[w])
+    return out
+
+
+@hot_kernel
+class BatchedTwoBodyJastrow:
+    """J2 over a batched AA table: per-walker scalars become (W,) vectors."""
+
+    name = "J2"
+
+    def __init__(self, nwalkers: int, n: int,
+                 group_slices: List[Tuple[int, slice]],
+                 functors: Dict[Tuple[int, int], BsplineFunctor],
+                 table_index: int = 0):
+        self.nw = int(nwalkers)
+        self.n = int(n)
+        self.group_slices = group_slices
+        self.functors = {}
+        for (gi, gj), f in functors.items():
+            self.functors[(min(gi, gj), max(gi, gj))] = f
+        self.group_of = np.empty(n, dtype=np.int64)
+        for g, s in group_slices:
+            self.group_of[s] = g
+        self.table_index = table_index
+
+    def functor_for(self, gi: int, gj: int) -> BsplineFunctor:
+        return self.functors[(min(gi, gj), max(gi, gj))]
+
+    # -- row-block kernels -------------------------------------------------------
+    def _rows_v(self, rows_r: np.ndarray, k: int) -> np.ndarray:
+        """sum_j u(r_kj) for each walker's row; rows_r is (W, n)."""
+        gk = self.group_of[k]
+        total = np.zeros(self.nw)
+        for g, s in self.group_slices:
+            f = self.functor_for(gk, g)
+            total += np.sum(f.evaluate_v(rows_r[:, s]), axis=-1)
+        OPS.record("J2", flops=10.0 * self.nw * self.n,
+                   rbytes=8.0 * self.nw * self.n, wbytes=8.0 * self.nw)
+        return total
+
+    def _rows_vgl(self, rows_r: np.ndarray, rows_dr: np.ndarray, k: int):
+        """(sum u, grad_k, lap_k) per walker; rows_dr is (W, 3, n)."""
+        gk = self.group_of[k]
+        u_sum = np.zeros(self.nw)
+        grad = np.zeros((self.nw, 3))
+        lap = np.zeros(self.nw)
+        for g, s in self.group_slices:
+            f = self.functor_for(gk, g)
+            r = rows_r[:, s]
+            u, du, d2u = f.evaluate_vgl(r)
+            u_sum += np.sum(u, axis=-1)
+            w = du / r  # safe: du == 0 wherever r >= rcut (incl. BIG diag)
+            grad += np.matmul(rows_dr[:, :, s], w[:, :, None])[:, :, 0]
+            lap -= np.sum(d2u + 2.0 * w, axis=-1)
+        OPS.record("J2", flops=20.0 * self.nw * self.n,
+                   rbytes=32.0 * self.nw * self.n, wbytes=40.0 * self.nw)
+        return u_sum, grad, lap
+
+    # -- batched component API ---------------------------------------------------
+    def evaluate_log(self, tables, G: np.ndarray, L: np.ndarray) -> np.ndarray:
+        """Full log Psi_J2 per walker; accumulates into G (W,n,3), L (W,n)."""
+        with PROFILER.timer("J2"):
+            table = tables[self.table_index]
+            logpsi = np.zeros(self.nw)
+            for i in range(self.n):
+                u_sum, grad, lap = self._rows_vgl(table.dist_rows(i),
+                                                  table.disp_rows(i), i)
+                logpsi -= 0.5 * u_sum
+                G[:, i] += grad
+                L[:, i] += lap
+            return logpsi
+
+    def grad(self, tables, k: int) -> np.ndarray:
+        """(W, 3) gradient at the current positions (for the drift)."""
+        with PROFILER.timer("J2"):
+            table = tables[self.table_index]
+            _, g, _ = self._rows_vgl(table.dist_rows(k), table.disp_rows(k),
+                                     k)
+            return g
+
+    def ratio(self, tables, k: int) -> np.ndarray:
+        """(W,) Psi(R')/Psi(R) for the proposed crowd-wide move of k."""
+        with PROFILER.timer("J2"):
+            table = tables[self.table_index]
+            u_new = self._rows_v(table.temp_rows(), k)
+            u_old = self._rows_v(table.dist_rows(k), k)
+            return exp_rows(-(u_new - u_old))
+
+    def ratio_grad(self, tables, k: int):
+        """((W,) ratio, (W, 3) gradient at the proposed positions)."""
+        with PROFILER.timer("J2"):
+            table = tables[self.table_index]
+            u_new, grad_new, _ = self._rows_vgl(table.temp_rows(),
+                                                table.temp_disp_rows(), k)
+            u_old = self._rows_v(table.dist_rows(k), k)
+            return exp_rows(-(u_new - u_old)), grad_new
+
+    def evaluate_gl(self, tables, G: np.ndarray, L: np.ndarray) -> None:
+        """Measurement-time grad/lap recomputed from the row blocks."""
+        with PROFILER.timer("J2"):
+            table = tables[self.table_index]
+            for i in range(self.n):
+                _, grad, lap = self._rows_vgl(table.dist_rows(i),
+                                              table.disp_rows(i), i)
+                G[:, i] += grad
+                L[:, i] += lap
+
+
+@hot_kernel
+class BatchedOneBodyJastrow:
+    """J1 over a batched AB table, one functor per ion species."""
+
+    name = "J1"
+
+    def __init__(self, nwalkers: int, n: int, ion_species_ids: np.ndarray,
+                 functors: Dict[int, BsplineFunctor], table_index: int = 1):
+        self.nw = int(nwalkers)
+        self.n = int(n)
+        self.ion_species_ids = np.asarray(ion_species_ids, dtype=np.int64)
+        self.nions = self.ion_species_ids.size
+        self.functors = dict(functors)
+        self.table_index = table_index
+        self._species_masks = {
+            g: np.where(self.ion_species_ids == g)[0]
+            for g in self.functors
+        }
+
+    def _rows_v(self, rows_r: np.ndarray) -> np.ndarray:
+        total = np.zeros(self.nw)
+        for g, idx in self._species_masks.items():
+            f = self.functors[g]
+            total += np.sum(f.evaluate_v(rows_r[:, idx]), axis=-1)
+        OPS.record("J1", flops=10.0 * self.nw * self.nions,
+                   rbytes=8.0 * self.nw * self.nions, wbytes=8.0 * self.nw)
+        return total
+
+    def _rows_vgl(self, rows_r: np.ndarray, rows_dr: np.ndarray):
+        u_sum = np.zeros(self.nw)
+        grad = np.zeros((self.nw, 3))
+        lap = np.zeros(self.nw)
+        for g, idx in self._species_masks.items():
+            f = self.functors[g]
+            r = rows_r[:, idx]
+            u, du, d2u = f.evaluate_vgl(r)
+            u_sum += np.sum(u, axis=-1)
+            w = du / r
+            grad += np.matmul(rows_dr[:, :, idx], w[:, :, None])[:, :, 0]
+            lap -= np.sum(d2u + 2.0 * w, axis=-1)
+        OPS.record("J1", flops=20.0 * self.nw * self.nions,
+                   rbytes=32.0 * self.nw * self.nions, wbytes=40.0 * self.nw)
+        return u_sum, grad, lap
+
+    def evaluate_log(self, tables, G: np.ndarray, L: np.ndarray) -> np.ndarray:
+        with PROFILER.timer("J1"):
+            table = tables[self.table_index]
+            logpsi = np.zeros(self.nw)
+            for k in range(self.n):
+                u, g, l = self._rows_vgl(table.dist_rows(k),
+                                         table.disp_rows(k))
+                logpsi -= u
+                G[:, k] += g
+                L[:, k] += l
+            return logpsi
+
+    def grad(self, tables, k: int) -> np.ndarray:
+        with PROFILER.timer("J1"):
+            table = tables[self.table_index]
+            _, g, _ = self._rows_vgl(table.dist_rows(k), table.disp_rows(k))
+            return g
+
+    def ratio(self, tables, k: int) -> np.ndarray:
+        with PROFILER.timer("J1"):
+            table = tables[self.table_index]
+            u_new = self._rows_v(table.temp_rows())
+            u_old = self._rows_v(table.dist_rows(k))
+            return exp_rows(-(u_new - u_old))
+
+    def ratio_grad(self, tables, k: int):
+        with PROFILER.timer("J1"):
+            table = tables[self.table_index]
+            u_new, grad_new, _ = self._rows_vgl(table.temp_rows(),
+                                                table.temp_disp_rows())
+            u_old = self._rows_v(table.dist_rows(k))
+            return exp_rows(-(u_new - u_old)), grad_new
+
+    def evaluate_gl(self, tables, G: np.ndarray, L: np.ndarray) -> None:
+        with PROFILER.timer("J1"):
+            table = tables[self.table_index]
+            for k in range(self.n):
+                _, g, l = self._rows_vgl(table.dist_rows(k),
+                                         table.disp_rows(k))
+                G[:, k] += g
+                L[:, k] += l

@@ -1,0 +1,78 @@
+"""Per-walker reference runner for the differential suite.
+
+Drives the *genuine* per-walker machinery (:class:`QMCDriverBase` with
+one compute-object set, walkers loaded/stored one at a time) with the
+same per-walker RNG streams the batched driver consumes, and records the
+per-move accept/reject trace.  Nothing here is a reimplementation — any
+divergence the differential suite finds is therefore attributable to the
+batched execution path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.batched.system import JastrowSystemSpec, walker_streams
+from repro.drivers.base import QMCDriverBase
+from repro.particles.walker import Walker
+from repro.precision.policy import FULL, PrecisionPolicy
+
+
+@dataclass
+class ReferenceTrace:
+    """What the per-walker path did, move by move and step by step."""
+
+    #: energies[s, w] = E_L of walker w at the end of step s+1
+    energies: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: move_log[w][m] = accept decision of walker w's m-th move
+    move_log: List[List[bool]] = field(default_factory=list)
+    #: final (W, n, 3) configurations
+    positions: np.ndarray = field(default_factory=lambda: np.empty(0))
+    n_moves: int = 0
+    n_accept: int = 0
+    #: the per-walker driver's EstimatorManager after the run
+    estimators: object = None
+
+
+def run_reference(spec: JastrowSystemSpec, nwalkers: int, steps: int,
+                  master_seed: int, timestep: float = 0.5,
+                  use_drift: bool = True,
+                  precision: PrecisionPolicy = FULL) -> ReferenceTrace:
+    """Run the per-walker path over ``nwalkers`` independent RNG streams."""
+    P, twf, ham = spec.build_scalar()
+    driver = QMCDriverBase(P, twf, ham, np.random.default_rng(0),
+                           timestep=timestep, use_drift=use_drift,
+                           precision=precision)
+    rngs = walker_streams(master_seed, nwalkers)
+    positions = spec.initial_positions(nwalkers)
+    walkers = []
+    for w in range(nwalkers):
+        walker = Walker.from_positions(positions[w],
+                                       dtype=precision.value_dtype)
+        P.load_walker(walker)
+        logpsi = twf.evaluate_log(P)
+        twf.register_data(P, walker.buffer)
+        twf.update_buffer(P, walker.buffer)
+        walker.properties["logpsi"] = logpsi
+        walker.properties["local_energy"] = ham.evaluate(P, twf)
+        walkers.append(walker)
+    trace = ReferenceTrace(move_log=[[] for _ in range(nwalkers)])
+    energies = np.empty((steps, nwalkers))
+    for step in range(1, steps + 1):
+        recompute = precision.should_recompute(step)
+        for w, walker in enumerate(walkers):
+            driver.rng = rngs[w]  # walker w always consumes stream w
+            driver.move_log = trace.move_log[w]
+            driver.load_walker(walker, recompute=recompute)
+            driver.sweep()
+            energies[step - 1, w] = driver.store_walker(walker)
+            walker.age += 1
+    trace.energies = energies
+    trace.positions = np.stack([w.R for w in walkers])
+    trace.n_moves = driver.n_moves
+    trace.n_accept = driver.n_accept
+    trace.estimators = driver.estimators
+    return trace

@@ -1,0 +1,107 @@
+"""Runtime sanitizers for the walker-batched path.
+
+Reuses the repro.lint sanitizer pieces (dtype / layout / tolerance
+conventions) and adds the batched layout contract: the ``(W, 3, Np)``
+block must stay contiguous, aligned, value-dtype and zero-padded, and
+the incrementally-updated table row blocks must agree with a
+from-scratch recompute for every *accepted* walker after each fused
+accept/reject step.
+
+Armed by the same ``REPRO_SANITIZE=1`` toggle as the per-walker suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lint.sanitizers import (DtypeSanitizer, ForwardUpdateChecker,
+                                   LayoutSanitizer, SanitizerError)
+from repro.precision.policy import PrecisionPolicy
+
+
+class BatchedSanitizerSuite:
+    """Driver-facing bundle for :class:`BatchedCrowdDriver`."""
+
+    def __init__(self, policy: PrecisionPolicy):
+        self.policy = policy
+        self.dtype = DtypeSanitizer(policy)
+        self.layout = LayoutSanitizer()
+        self.forward = ForwardUpdateChecker()
+
+    # -- the (W, 3, Np) layout contract ------------------------------------------
+    def check_batch(self, batch) -> None:
+        soa = batch.Rsoa
+        if not soa.flags["C_CONTIGUOUS"]:
+            raise SanitizerError(
+                "batched layout sanitizer: WalkerBatch.Rsoa is not "
+                "C-contiguous")
+        if batch.alignment and soa.ctypes.data % batch.alignment != 0:
+            raise SanitizerError(
+                f"batched layout sanitizer: WalkerBatch.Rsoa pointer "
+                f"0x{soa.ctypes.data:x} is not {batch.alignment}-byte "
+                f"aligned")
+        if batch.np > batch.n and not np.all(soa[:, :, batch.n:] == 0):
+            raise SanitizerError(
+                f"batched layout sanitizer: WalkerBatch.Rsoa padding "
+                f"columns [{batch.n}:{batch.np}] are not zero")
+        self.dtype.check_array("WalkerBatch.Rsoa", soa)
+        if batch.R.dtype != np.float64:
+            raise SanitizerError(
+                f"batched layout sanitizer: canonical WalkerBatch.R must "
+                f"stay float64, got {batch.R.dtype.name}")
+
+    def check_state(self, batch, tables) -> None:
+        """Measurement-time pass: batch layout + every table's storage."""
+        self.check_batch(batch)
+        for t in tables:
+            self.layout.check_table(t)
+            distances = getattr(t, "distances", None)
+            if isinstance(distances, np.ndarray):
+                self.dtype.check_array(
+                    f"{type(t).__name__}.distances", distances)
+
+    # -- incremental-update cross-check ------------------------------------------
+    def after_accept(self, batch, tables, k: int,
+                     accepted: np.ndarray) -> None:
+        """Row/column blocks of every accepted walker must match a
+        double-precision from-scratch recompute after the commit."""
+        if not np.any(accepted):
+            return
+        R = batch.R[accepted]  # (Wa, n, 3) — post-commit positions
+        for t in tables:
+            source = getattr(t, "source", None)
+            if source is not None:
+                brute = t.lattice.min_image_dist(
+                    source.R[None, :, :] - R[:, k, None, :])
+            else:
+                brute = t.lattice.min_image_dist(R - R[:, k, None, :])
+            rows = np.asarray(t.dist_rows(k)[accepted], dtype=np.float64)
+            mask = np.ones(brute.shape[1], dtype=bool)
+            if source is None:
+                mask[k] = False  # self-distance holds the BIG sentinel
+            tol = self.forward._tol(t)
+            scale = max(1.0, float(np.max(brute[:, mask], initial=0.0)))
+            bad = ~np.isclose(rows[:, mask], brute[:, mask], rtol=tol,
+                              atol=tol * scale)
+            if bad.any():
+                w, j = np.argwhere(bad)[0]
+                raise SanitizerError(
+                    f"batched forward-update checker: {type(t).__name__} "
+                    f"row {k} of accepted walker #{int(w)} is stale at "
+                    f"partner {int(np.flatnonzero(mask)[j])} "
+                    f"(tol={tol:.2g})")
+            if getattr(t, "forward_update", False) and k + 1 < t.n:
+                brute_col = t.lattice.min_image_dist(
+                    R[:, k + 1:] - R[:, k, None, :])
+                col = np.asarray(t.distances[accepted, k + 1:, k],
+                                 dtype=np.float64)
+                bad = ~np.isclose(col, brute_col, rtol=tol,
+                                  atol=tol * scale)
+                if bad.any():
+                    w, j = np.argwhere(bad)[0]
+                    raise SanitizerError(
+                        f"batched forward-update checker: "
+                        f"{type(t).__name__} forward column entry "
+                        f"d({k + 1 + int(j)}, {k}) of accepted walker "
+                        f"#{int(w)} is stale (tol={tol:.2g}) — column "
+                        f"update after a rejected move?")

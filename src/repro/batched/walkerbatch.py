@@ -1,0 +1,145 @@
+"""``WalkerBatch`` — the crowd-wide SoA position block.
+
+The paper's SoA transformation vectorizes over *particles* within one
+walker (``Rsoa[3][Np]``).  Its successors (the QMCPACK batched drivers,
+QMCkl) extend the same layout argument across *walkers*: W walkers'
+electron positions live as one aligned ``(W, 3, Np)`` block so a single
+wide kernel sweeps the walker axis the way Fig. 5's kernels sweep the
+particle axis.
+
+Layout contract (checked by the batched sanitizers):
+
+* ``Rsoa`` is C-contiguous, cache-aligned, ``value_dtype`` (the
+  mixed-precision hot copy); padding columns ``[n:Np]`` are zero so row
+  reductions over padded rows stay safe;
+* ``R`` is the canonical ``(W, n, 3)`` double-precision configuration
+  (the AoS-side the high-level physics and the min-image math read),
+  exactly mirroring ``ParticleSet.R`` vs ``ParticleSet.Rsoa``;
+* per-walker scalars (weight, log Psi, E_L) are accumulation-precision.
+"""
+
+# repro: hot
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.containers.aligned import CACHE_LINE_BYTES, aligned_empty, \
+    padded_size
+from repro.particles.walker import Walker
+from repro.precision.policy import resolve_value_dtype
+
+
+class WalkerBatch:
+    """W walkers' positions as one padded, aligned SoA block.
+
+    Parameters
+    ----------
+    nwalkers, n:
+        Walker count W and particles per walker N.
+    dtype:
+        Element type of the hot ``Rsoa`` block — a dtype-like, a
+        :class:`~repro.precision.policy.PrecisionPolicy`, or ``None``.
+        The canonical ``R`` stays double regardless (mixed-precision
+        contract: only kernels downcast).
+    """
+
+    def __init__(self, nwalkers: int, n: int, dtype=None,
+                 alignment: int = CACHE_LINE_BYTES):
+        if nwalkers < 1:
+            raise ValueError(f"need at least one walker, got {nwalkers}")
+        if n < 1:
+            raise ValueError(f"need at least one particle, got {n}")
+        self.nw = int(nwalkers)
+        self.n = int(n)
+        self.dtype = resolve_value_dtype(dtype)
+        self.alignment = int(alignment)
+        self.np = padded_size(self.n, self.dtype, alignment)
+        # Canonical configuration: accumulation precision, like
+        # ParticleSet.R (np.zeros defaults to double — by design).
+        self.R = np.zeros((self.nw, self.n, 3))
+        # The hot block: one aligned (W, 3, Np) slab in value precision.
+        self.Rsoa = aligned_empty((self.nw, 3, self.np), self.dtype,
+                                  alignment)
+        self.Rsoa[...] = 0  # zeroed padding: reductions over rows are safe
+        # Per-walker accumulators (always double; np default dtype).
+        self.weight = np.ones(self.nw)
+        self.logpsi = np.zeros(self.nw)
+        self.local_energy = np.zeros(self.nw)
+        self.age = np.zeros(self.nw, dtype=np.int64)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_positions(cls, positions: np.ndarray, dtype=None,
+                       alignment: int = CACHE_LINE_BYTES) -> "WalkerBatch":
+        """Build from a (W, N, 3) position array."""
+        positions = np.asarray(positions)
+        if positions.ndim != 3 or positions.shape[2] != 3:
+            raise ValueError(
+                f"positions must be (W, N, 3), got {positions.shape}")
+        batch = cls(positions.shape[0], positions.shape[1], dtype=dtype,
+                    alignment=alignment)
+        batch.R[...] = positions
+        batch.sync_soa()
+        return batch
+
+    @classmethod
+    def from_walkers(cls, walkers: Sequence[Walker], dtype=None,
+                     alignment: int = CACHE_LINE_BYTES) -> "WalkerBatch":
+        """Gather a list of per-walker objects into one SoA block."""
+        if not walkers:
+            raise ValueError("need at least one walker")
+        batch = cls(len(walkers), walkers[0].n, dtype=dtype,
+                    alignment=alignment)
+        for w, walker in enumerate(walkers):
+            batch.R[w] = walker.R
+            batch.weight[w] = walker.weight
+            batch.age[w] = walker.age
+            batch.logpsi[w] = walker.properties.get("logpsi", 0.0)
+            batch.local_energy[w] = walker.properties.get(
+                "local_energy", 0.0)
+        batch.sync_soa()
+        return batch
+
+    def to_walkers(self) -> List[Walker]:  # repro: cold
+        """Scatter back into per-walker objects (AoS interop)."""
+        out = []
+        for w in range(self.nw):
+            walker = Walker.from_positions(self.R[w], dtype=self.dtype)
+            walker.weight = float(self.weight[w])
+            walker.age = int(self.age[w])
+            walker.properties["logpsi"] = float(self.logpsi[w])
+            walker.properties["local_energy"] = float(self.local_energy[w])
+            out.append(walker)
+        return out
+
+    # -- layout maintenance -----------------------------------------------------
+    def sync_soa(self) -> None:
+        """Rebuild the hot (W, 3, Np) block from the canonical R — the
+        batched ``loadWalker`` assignment (AoS-to-SoA, downcasting)."""
+        self.Rsoa[:, :, : self.n] = np.transpose(self.R, (0, 2, 1))
+
+    def commit(self, k: int, rnew: np.ndarray, accepted: np.ndarray) -> None:
+        """Commit particle ``k``'s accepted moves across the batch.
+
+        ``rnew`` is the (W, 3) block of proposed positions; ``accepted``
+        the (W,) boolean mask.  Per accepted walker this writes the same
+        6 floats the paper's scalar ``acceptMove`` writes (R + Rsoa).
+        """
+        self.R[accepted, k, :] = rnew[accepted]
+        self.Rsoa[accepted, :, k] = rnew[accepted]
+
+    # -- bookkeeping ------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the hot block including padding."""
+        return self.Rsoa.nbytes
+
+    def __len__(self) -> int:
+        return self.nw
+
+    def __repr__(self) -> str:
+        return (f"WalkerBatch(nw={self.nw}, n={self.n}, np={self.np}, "
+                f"dtype={self.dtype.name})")

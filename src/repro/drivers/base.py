@@ -47,6 +47,10 @@ class QMCDriverBase:
         self.precision = precision
         self.n_accept = 0
         self.n_moves = 0
+        #: optional per-move accept/reject trace (list of bools); assign a
+        #: list to record — the differential suite compares it against the
+        #: batched path's fused-step decisions
+        self.move_log: list | None = None
         #: per-walker scalar accumulation (E_L, components, acceptance)
         self.estimators = EstimatorManager()
         #: runtime invariant checks, armed by REPRO_SANITIZE=1 (repro.lint)
@@ -126,7 +130,10 @@ class QMCDriverBase:
             else:
                 rho = twf.ratio(P, k)
                 A = min(1.0, rho * rho)
-            if uniforms[k] < A and rho != 0.0:
+            accept = uniforms[k] < A and rho != 0.0
+            if self.move_log is not None:
+                self.move_log.append(bool(accept))
+            if accept:
                 twf.accept_move(P, k, math.log(abs(rho)))
                 P.accept_move(k)
                 accepted += 1

@@ -26,7 +26,19 @@ import numpy as np
 from repro.core.version import VERSION_CONFIGS, CodeVersion
 from repro.drivers.result import QMCResult
 from repro.drivers.vmc import VMCDriver
+from repro.estimators.scalar import EstimatorManager
 from repro.workloads.builder import SystemParts
+
+
+def shared_functors(twf):
+    """Yield the read-only Jastrow functors reachable from *any*
+    wavefunction component — clones alias these rather than copying.
+    Components without a ``functors`` dict (determinants, test doubles)
+    simply contribute nothing."""
+    for c in twf.components:
+        functors = getattr(c, "functors", None)
+        if isinstance(functors, dict):
+            yield from functors.values()
 
 
 def clone_parts(parts: SystemParts) -> SystemParts:
@@ -37,11 +49,14 @@ def clone_parts(parts: SystemParts) -> SystemParts:
     memo = {}
     # Shared read-only objects: register them in the memo so deepcopy
     # aliases instead of copying.
-    for shared in (parts.ions, parts.spo_up.spline, parts.spo_dn.spline,
-                   parts.lattice, parts.workload):
-        memo[id(shared)] = shared
-    j2 = parts.twf.component_by_name("J2")
-    for f in j2.functors.values():
+    for shared in (parts.ions, parts.lattice, parts.workload):
+        if shared is not None:
+            memo[id(shared)] = shared
+    for spo in (parts.spo_up, parts.spo_dn):
+        spline = getattr(spo, "spline", None)
+        if spline is not None:
+            memo[id(spline)] = spline
+    for f in shared_functors(parts.twf):
         memo[id(f)] = f
     electrons = copy.deepcopy(parts.electrons, memo)
     twf = copy.deepcopy(parts.twf, memo)
@@ -66,6 +81,11 @@ class CrowdDriver:
             raise ValueError("need at least one crowd")
         self.n_crowds = n_crowds
         cfg = VERSION_CONFIGS[version]
+        # Walker-level seed drawn FIRST: the per-walker streams (spawn
+        # jitter + sweep randomness) depend only on the master rng, not
+        # on how many per-crowd seeds are drawn afterwards.  That is what
+        # makes run() bitwise-reproducible across crowd counts.
+        self._walker_seed = int(rng.integers(2 ** 63))
         self.drivers: List[VMCDriver] = []
         for c in range(n_crowds):
             p = parts if c == 0 else clone_parts(parts)
@@ -79,40 +99,71 @@ class CrowdDriver:
             else None)
 
     def run(self, walkers: int = 8, steps: int = 5) -> QMCResult:
-        """Distribute ``walkers`` round-robin over crowds and run."""
-        # Each crowd spawns its share around its own configuration.
-        shares = [walkers // self.n_crowds] * self.n_crowds
-        for i in range(walkers % self.n_crowds):
-            shares[i] += 1
-        pops = [d.create_walkers(s) if s > 0 else []
-                for d, s in zip(self.drivers, shares)]
+        """Distribute ``walkers`` over crowds with fixed dealing
+        (walker w drives crowd ``w % n_crowds``) and run.
+
+        Determinism contract: walker w's spawn jitter and sweep
+        randomness come from stream w of one SeedSequence, and the
+        per-step mean reduces a walker-indexed array — so the energy
+        trace is bitwise identical across crowd counts and across
+        ``workers=0`` vs a thread pool.
+        """
+        children = np.random.SeedSequence(self._walker_seed).spawn(
+            walkers + 1)
+        spawn_rng = np.random.default_rng(children[0])
+        streams = [np.random.default_rng(c) for c in children[1:]]
+        # Spawn the whole population centrally (crowd clones evaluate
+        # identically, so any driver may host the initial evaluation).
+        d0 = self.drivers[0]
+        saved_rng = d0.rng
+        d0.rng = spawn_rng
+        pop = d0.create_walkers(walkers)
+        d0.rng = saved_rng
+        deals = [[(i, pop[i]) for i in range(walkers)
+                  if i % self.n_crowds == c] for c in range(self.n_crowds)]
         result = QMCResult(method="VMC(crowds)", steps=steps)
         t0 = time.perf_counter()
-        for _ in range(steps):
-            def crowd_step(idx: int) -> List[float]:
+        for step in range(1, steps + 1):
+            recompute = self.drivers[0].precision.should_recompute(step)
+            energies = np.empty(walkers)
+
+            def crowd_step(idx: int) -> None:
                 d = self.drivers[idx]
-                energies = []
-                for w in pops[idx]:
-                    d.load_walker(w)
+                for i, w in deals[idx]:
+                    d.rng = streams[i]  # walker i always consumes stream i
+                    d.load_walker(w, recompute=recompute)
                     d.sweep()
-                    energies.append(d.store_walker(w))
-                return energies
+                    energies[i] = d.store_walker(w)
+                    w.age += 1
 
             if self._pool is not None:
-                all_e = list(self._pool.map(crowd_step,
-                                            range(self.n_crowds)))
+                list(self._pool.map(crowd_step, range(self.n_crowds)))
             else:
-                all_e = [crowd_step(i) for i in range(self.n_crowds)]
-            flat = [e for es in all_e for e in es]
-            result.energies.append(float(np.mean(flat)))
+                for i in range(self.n_crowds):
+                    crowd_step(i)
+            result.energies.append(float(np.mean(energies)))
             result.populations.append(walkers)
         result.elapsed = time.perf_counter() - t0
         moves = sum(d.n_moves for d in self.drivers)
         accepts = sum(d.n_accept for d in self.drivers)
         result.acceptance = accepts / moves if moves else 0.0
+        # Reduce the per-crowd accumulators, as the per-walker VMCDriver
+        # reports its own (same QMCResult surface for both drivers).
+        merged = EstimatorManager()
+        for d in self.drivers:
+            merged.merge(d.estimators)
+        result.estimators = merged
+        result.extra["moves"] = float(moves)
+        result.extra["accepted"] = float(accepts)
         return result
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def __enter__(self) -> "CrowdDriver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

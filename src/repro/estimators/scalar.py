@@ -101,6 +101,13 @@ class EstimatorManager:
         tau = autocorrelation_time(xt)
         return ScalarEstimate(name, mean, err, var, tau, xt.size, t0)
 
+    def merge(self, other: "EstimatorManager") -> None:
+        """Fold another manager's samples into this one — the crowd-level
+        reduction that collects per-thread accumulators after a run."""
+        for name, samples in other._samples.items():
+            self._samples.setdefault(name, []).extend(samples)
+            self._weights.setdefault(name, []).extend(other._weights[name])
+
     def report(self) -> str:
         return "\n".join(str(self.estimate(n)) for n in self.names())
 

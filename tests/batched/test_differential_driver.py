@@ -1,0 +1,141 @@
+"""Driver-level differential gate: the batched crowd driver must
+reproduce the genuine per-walker machinery move for move.
+
+Contract (docs/batched_walkers.md):
+
+* accept/reject sequences are EXACTLY equal — the Metropolis arithmetic
+  (row sums, math.exp ratios, RNG draw order) is bitwise-shared;
+* per-step energies agree within the precision policy's tolerance
+  (1e4 * eps of the value dtype, the sanitizer convention);
+* final configurations agree to 1e-12 — drift gradients go through
+  BLAS, where batched-gemm vs per-walker-gemv costs the odd ulp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batched import BatchedCrowdDriver, JastrowSystemSpec, run_reference
+from repro.precision.policy import FULL, MIXED
+
+W = 6
+STEPS = 3
+SEED = 42
+
+
+def _tol(precision):
+    return 1e4 * float(np.finfo(precision.value_dtype).eps)
+
+
+def _run_pair(flavor, use_drift, precision, n=16, steps=STEPS):
+    spec = JastrowSystemSpec(n=n, seed=7, aa_flavor=flavor,
+                             precision=precision)
+    ref = run_reference(spec, W, steps, SEED, timestep=0.5,
+                        use_drift=use_drift, precision=precision)
+    drv = BatchedCrowdDriver(spec, W, SEED, timestep=0.5,
+                             use_drift=use_drift, precision=precision)
+    drv.move_log = []
+    result = drv.run(steps)
+    return ref, drv, result
+
+
+@pytest.mark.parametrize("flavor", ["soa", "otf"])
+@pytest.mark.parametrize("use_drift", [False, True],
+                         ids=["diffusion", "drift"])
+@pytest.mark.parametrize("precision", [FULL, MIXED], ids=["fp64", "fp32"])
+class TestDifferentialDriver:
+    def test_accept_reject_sequences_exact(self, flavor, use_drift,
+                                           precision):
+        ref, drv, _ = _run_pair(flavor, use_drift, precision)
+        batched = np.array(drv.move_log)  # (steps*n, W)
+        for w in range(W):
+            assert ref.move_log[w] == list(batched[:, w])
+
+    def test_energies_within_policy_tolerance(self, flavor, use_drift,
+                                              precision):
+        ref, drv, result = _run_pair(flavor, use_drift, precision)
+        tol = _tol(precision)
+        np.testing.assert_allclose(drv.batch.local_energy,
+                                   ref.energies[-1], rtol=tol, atol=tol)
+        np.testing.assert_allclose(result.energies,
+                                   np.mean(ref.energies, axis=1),
+                                   rtol=tol, atol=tol)
+
+    def test_final_positions_agree(self, flavor, use_drift, precision):
+        ref, drv, _ = _run_pair(flavor, use_drift, precision)
+        np.testing.assert_allclose(drv.batch.R, ref.positions,
+                                   rtol=0, atol=1e-12)
+
+    def test_move_counters_match(self, flavor, use_drift, precision):
+        ref, drv, result = _run_pair(flavor, use_drift, precision)
+        assert drv.n_moves == ref.n_moves
+        assert drv.n_accept == ref.n_accept
+        assert result.extra["moves"] == float(ref.n_moves)
+        assert result.extra["accepted"] == float(ref.n_accept)
+
+
+class TestFullPrecisionIsBitwise:
+    """In full precision the energy trace is not merely close — the
+    sum/exp arithmetic is identical, so it is bitwise equal."""
+
+    @pytest.mark.parametrize("flavor", ["soa", "otf"])
+    @pytest.mark.parametrize("use_drift", [False, True],
+                             ids=["diffusion", "drift"])
+    def test_per_step_energies_bitwise(self, flavor, use_drift):
+        ref, drv, result = _run_pair(flavor, use_drift, FULL)
+        assert np.array_equal(drv.batch.local_energy, ref.energies[-1])
+
+    def test_estimator_series_match(self):
+        ref, drv, _ = _run_pair("soa", True, FULL)
+        # Row-sum terms are bitwise; Kinetic carries the BLAS G/L ulps.
+        for name in ("LocalEnergy", "ElecElec", "ElecIon"):
+            np.testing.assert_array_equal(
+                drv.estimators.series(name), ref.estimators.series(name))
+        np.testing.assert_allclose(drv.estimators.series("Kinetic"),
+                                   ref.estimators.series("Kinetic"),
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestSanitized:
+    """One differential pass with the runtime sanitizers armed: layout,
+    dtype, and forward-update invariants hold along the batched
+    trajectory (REPRO_SANITIZE=1 equivalent)."""
+
+    @pytest.mark.parametrize("flavor", ["soa", "otf"])
+    def test_sanitized_differential(self, sanitize, flavor):
+        ref, drv, _ = _run_pair(flavor, True, FULL, steps=2)
+        assert drv.sanitizers is not None  # actually armed
+        batched = np.array(drv.move_log)
+        for w in range(W):
+            assert ref.move_log[w] == list(batched[:, w])
+        assert np.array_equal(drv.batch.local_energy, ref.energies[-1])
+
+    def test_sanitized_mixed(self, sanitize):
+        _, drv, result = _run_pair("soa", True, MIXED, steps=2)
+        assert drv.sanitizers is not None
+        assert np.all(np.isfinite(result.energies))
+
+
+class TestBatchedDriverSurface:
+    def test_result_fields(self):
+        spec = JastrowSystemSpec(n=16, seed=7)
+        drv = BatchedCrowdDriver(spec, 4, 1)
+        res = drv.run(2)
+        assert res.method == "VMC(batched)"
+        assert len(res.energies) == 2
+        assert res.populations == [4, 4]
+        assert 0 < res.acceptance <= 1
+        assert res.extra["moves"] == 2 * 4 * 16
+        assert "LocalEnergy" in res.estimators.names()
+        assert res.throughput > 0
+
+    def test_rng_streams_independent_of_batch(self):
+        """Stream w depends only on (master_seed, w): prefixes of a
+        bigger crowd reproduce a smaller crowd exactly."""
+        spec = JastrowSystemSpec(n=16, seed=7)
+        small = BatchedCrowdDriver(spec, 3, 5)
+        small.run(2)
+        big = BatchedCrowdDriver(spec, 6, 5)
+        big.run(2)
+        assert np.array_equal(big.batch.R[:3], small.batch.R)
+        assert np.array_equal(big.batch.local_energy[:3],
+                              small.batch.local_energy)

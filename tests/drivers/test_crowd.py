@@ -1,11 +1,14 @@
 """Tests for per-thread cloning and the crowd driver (Fig. 4 structure)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core.system import QmcSystem
 from repro.core.version import CodeVersion
-from repro.drivers.crowd import CrowdDriver, clone_parts
+from repro.drivers.crowd import CrowdDriver, clone_parts, shared_functors
+from repro.wavefunction.trialwf import TrialWaveFunction
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +52,36 @@ class TestCloneParts:
         lp_b = c.twf.evaluate_log(c.electrons)
         assert lp_a == pytest.approx(lp_b, rel=1e-12)
 
+    def test_clone_without_j2(self, parts):
+        """Regression: cloning must not assume a J2 component exists."""
+        no_j2 = dataclasses.replace(parts, twf=TrialWaveFunction(
+            [c for c in parts.twf.components
+             if getattr(c, "name", "") != "J2"]))
+        c = clone_parts(no_j2)  # used to raise KeyError("J2")
+        assert c.twf is not no_j2.twf
+        # The remaining functor-bearing components still share functors.
+        j1a = no_j2.twf.component_by_name("J1")
+        j1b = c.twf.component_by_name("J1")
+        for key in j1a.functors:
+            assert j1b.functors[key] is j1a.functors[key]
+
+    def test_clone_determinant_only(self, parts):
+        """No functor-bearing component at all: cloning still works."""
+        det_only = dataclasses.replace(parts, twf=TrialWaveFunction(
+            [c for c in parts.twf.components
+             if not hasattr(c, "functors")]))
+        assert list(shared_functors(det_only.twf)) == []
+        c = clone_parts(det_only)
+        assert c.twf is not det_only.twf
+        assert len(c.twf.components) == len(det_only.twf.components)
+
+    def test_shared_functors_covers_all_jastrows(self, parts):
+        fs = list(shared_functors(parts.twf))
+        j1 = parts.twf.component_by_name("J1")
+        j2 = parts.twf.component_by_name("J2")
+        for f in list(j1.functors.values()) + list(j2.functors.values()):
+            assert any(f is g for g in fs)
+
 
 class TestCrowdDriver:
     def test_runs_and_partitions(self, parts):
@@ -78,3 +111,55 @@ class TestCrowdDriver:
     def test_invalid_crowds(self, parts):
         with pytest.raises(ValueError):
             CrowdDriver(parts, n_crowds=0, rng=np.random.default_rng(0))
+
+    def test_result_parity_with_vmc(self, parts):
+        """CrowdDriver fills the same QMCResult surface as VMCDriver:
+        move counters in extra and a populated estimator manager."""
+        drv = CrowdDriver(parts, n_crowds=2,
+                          rng=np.random.default_rng(4), timestep=0.3)
+        res = drv.run(walkers=4, steps=2)
+        assert res.extra["moves"] == pytest.approx(
+            2 * 4 * parts.n_electrons)
+        assert 0 < res.extra["accepted"] <= res.extra["moves"]
+        assert "LocalEnergy" in res.estimators.names()
+        le = res.estimators.series("LocalEnergy")
+        assert le.size == 2 * 4  # steps x walkers
+        assert np.all(np.isfinite(le))
+
+    def test_context_manager_closes_pool(self, parts):
+        with CrowdDriver(parts, n_crowds=2,
+                         rng=np.random.default_rng(5), timestep=0.3,
+                         workers=2) as drv:
+            res = drv.run(walkers=4, steps=1)
+            assert np.all(np.isfinite(res.energies))
+        assert drv._pool is None
+
+
+class TestCrowdDeterminism:
+    """Same master seed => bitwise-identical energy trace, however the
+    population is dealt to crowds or threads."""
+
+    def _run(self, parts, n_crowds, workers, seed=11):
+        p = clone_parts(parts)  # fresh mutable state per experiment
+        with CrowdDriver(p, n_crowds=n_crowds,
+                         rng=np.random.default_rng(seed),
+                         timestep=0.3, workers=workers) as drv:
+            return drv.run(walkers=5, steps=3)
+
+    def test_energy_trace_independent_of_crowd_count(self, parts):
+        base = self._run(parts, n_crowds=1, workers=0)
+        for nc in (2, 3, 5):
+            res = self._run(parts, n_crowds=nc, workers=0)
+            assert res.energies == base.energies  # bitwise
+            assert res.extra["moves"] == base.extra["moves"]
+            assert res.extra["accepted"] == base.extra["accepted"]
+
+    def test_energy_trace_independent_of_threading(self, parts):
+        serial = self._run(parts, n_crowds=2, workers=0)
+        threaded = self._run(parts, n_crowds=2, workers=2)
+        assert threaded.energies == serial.energies  # bitwise
+
+    def test_different_seeds_diverge(self, parts):
+        a = self._run(parts, n_crowds=2, workers=0, seed=11)
+        b = self._run(parts, n_crowds=2, workers=0, seed=12)
+        assert a.energies != b.energies
