@@ -1,8 +1,10 @@
 # Convenience targets for the repro package.
 
 PYTHON ?= python
+BENCH_OUT ?= /tmp/repro-bench
 
-.PHONY: install test test-fast lint check bench report examples clean
+.PHONY: install test test-fast lint check bench bench-check bench-figures \
+	report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,11 +16,23 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
 
 lint:
-	$(PYTHON) -m repro.lint src/ --format=json
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ --format=json
 
+# lint + tier-1 tests; run `make bench-check` too before perf-sensitive PRs.
 check: lint test
 
+# Quick bench suite -> BENCH_<tag>.json (REPRO_METRICS embeds the timer tree).
 bench:
+	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench --quick \
+		--tag local --out $(BENCH_OUT)
+
+# Regression gate: quick suite vs the committed baseline artifact.
+bench-check: bench
+	PYTHONPATH=src $(PYTHON) -m repro.bench.compare \
+		benchmarks/baselines/baseline.json $(BENCH_OUT)/BENCH_local.json
+
+# Per-figure/table paper benchmarks (pytest-benchmark harness).
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 report:

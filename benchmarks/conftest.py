@@ -7,4 +7,21 @@ output so the regenerated tables/figures are visible in the bench log.
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_harness_caches():
+    """Isolate each benchmark module's measurements.
+
+    Cached ``QmcSystem`` instances carry mutable particle/wavefunction
+    state across runs, so a figure must never inherit a system (or a
+    measurement) warmed up by a previous module.
+    """
+    import harness
+
+    harness.clear_caches()
+    yield
+    harness.clear_caches()

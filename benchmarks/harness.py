@@ -20,22 +20,25 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.bench.suite import BENCH_SCALE  # canonical home of the scales
 from repro.core.system import QmcSystem, run_vmc
 from repro.core.version import VERSION_CONFIGS, CodeVersion
 from repro.perfmodel.opcount import OPS, KernelOps
 from repro.profiling.profiler import PROFILER
 
-#: Scales keeping pure-Python Ref runs to seconds while preserving the
-#: workload's species mix, density and code paths.
-BENCH_SCALE = {
-    "Graphite": 0.25,    # 4 cells  -> 64 electrons
-    "Be-64": 0.125,      # 4 cells  -> 32 electrons
-    "NiO-32": 0.25,      # 2 cells  -> 96 electrons
-    "NiO-64": 0.25,      # 4 cells  -> 192 electrons
-}
-
 _system_cache: Dict[tuple, QmcSystem] = {}
 _measure_cache: Dict[tuple, "Measurement"] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoized systems and measurements.
+
+    The conftest fixture calls this between benchmark modules so a
+    mutated cached ``QmcSystem`` (or a measurement taken under one
+    precision policy) can never bleed into the next figure's numbers.
+    """
+    _system_cache.clear()
+    _measure_cache.clear()
 
 
 @dataclass
@@ -73,7 +76,9 @@ def measure(workload: str, version: CodeVersion, steps: int = 2,
             scale: float | None = None, seed: int = 21) -> Measurement:
     """Run a short profiled VMC and collect timings + op counts (cached
     per configuration so multiple figures reuse one run)."""
-    key = (workload, version, steps, walkers, with_nlpp, scale, seed)
+    cfg = VERSION_CONFIGS[version]
+    key = (workload, version, steps, walkers, with_nlpp, scale, seed,
+           cfg.precision.name, np.dtype(cfg.value_dtype).str)
     if key in _measure_cache:
         return _measure_cache[key]
     sys_ = get_system(workload, with_nlpp, scale, seed)

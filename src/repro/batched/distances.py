@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.containers.aligned import aligned_empty, padded_size
 from repro.distances.base import BIG_DISTANCE
+from repro.metrics.registry import METRICS
 from repro.perfmodel.opcount import OPS
 from repro.precision.policy import resolve_value_dtype
 
@@ -124,6 +125,8 @@ class BatchedDistTableAA:
         OPS.record(self.category,
                    rbytes=4.0 * itemsize * nacc * n,
                    wbytes=4.0 * itemsize * nacc * (self.np_ + (n - k)))
+        METRICS.count("forward_update_rows", nacc)
+        METRICS.add_bytes(4 * itemsize * nacc * (self.np_ + (n - k)))
 
     # -- consumer access ---------------------------------------------------------
     def dist_rows(self, k: int) -> np.ndarray:
@@ -161,6 +164,8 @@ class BatchedDistTableAAOtf(BatchedDistTableAA):
         OPS.record(self.category, flops=9.0 * self.nw * self.n,
                    rbytes=24.0 * self.nw * self.n,
                    wbytes=4.0 * itemsize * self.nw * self.n)
+        METRICS.count("otf_row_recomputes", self.nw)
+        METRICS.add_bytes(4 * itemsize * self.nw * self.n)
         super().move(batch, rnew, k)
 
     def update(self, k: int, accepted: np.ndarray) -> None:

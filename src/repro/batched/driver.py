@@ -32,7 +32,9 @@ from repro.batched.walkerbatch import WalkerBatch
 from repro.drivers.result import QMCResult
 from repro.estimators.scalar import EstimatorManager
 from repro.lint.sanitizers import sanitizers_enabled
+from repro.metrics.registry import METRICS
 from repro.precision.policy import FULL, PrecisionPolicy
+from repro.profiling.profiler import PROFILER
 
 
 class BatchedCrowdDriver:
@@ -120,6 +122,10 @@ class BatchedCrowdDriver:
     # -- the fused sweep -----------------------------------------------------------
     def sweep(self) -> int:
         """One PbyP pass: W walkers advance electron k together."""
+        with METRICS.scope("sweep"):
+            return self._sweep()
+
+    def _sweep(self) -> int:
         batch = self.batch
         tau = self.tau
         sqrt_tau = math.sqrt(tau)
@@ -137,7 +143,8 @@ class BatchedCrowdDriver:
             else:
                 rnew = batch.R[:, k] + chi
             for t in self.tables:
-                t.move(batch, rnew, k)
+                with PROFILER.timer(t.category):
+                    t.move(batch, rnew, k)
             if self.use_drift:
                 rho, g_new = self._ratio_grad(k)
                 drift_new = self._limited_drift(g_new)
@@ -155,7 +162,8 @@ class BatchedCrowdDriver:
             if self.move_log is not None:
                 self.move_log.append(acc.copy())
             for t in self.tables:
-                t.update(k, acc)
+                with PROFILER.timer(t.category):
+                    t.update(k, acc)
             batch.commit(k, rnew, acc)
             if self.sanitizers is not None:
                 self.sanitizers.after_accept(batch, self.tables, k, acc)
@@ -168,8 +176,13 @@ class BatchedCrowdDriver:
     def measure(self) -> np.ndarray:
         """Refresh tables from scratch and evaluate E_L per walker —
         the batched ``store_walker``."""
+        with METRICS.scope("measure"):
+            return self._measure()
+
+    def _measure(self) -> np.ndarray:
         for t in self.tables:
-            t.evaluate(self.batch)
+            with PROFILER.timer(t.category):
+                t.evaluate(self.batch)
         if self.sanitizers is not None:
             self.sanitizers.check_state(self.batch, self.tables)
         self._evaluate_gl()
@@ -189,14 +202,15 @@ class BatchedCrowdDriver:
         """Run ``steps`` fused generations over the whole crowd."""
         t0 = time.perf_counter()
         result = QMCResult(method="VMC(batched)", steps=steps)
-        for step in range(1, steps + 1):
-            if self.precision.should_recompute(step):
-                self.batch.logpsi[...] = self._evaluate_log()
-            self.sweep()
-            el = self.measure()
-            self.batch.age += 1
-            result.energies.append(float(np.mean(el)))
-            result.populations.append(self.nw)
+        with METRICS.scope("BatchedVMC"):
+            for step in range(1, steps + 1):
+                if self.precision.should_recompute(step):
+                    self.batch.logpsi[...] = self._evaluate_log()
+                self.sweep()
+                el = self.measure()
+                self.batch.age += 1
+                result.energies.append(float(np.mean(el)))
+                result.populations.append(self.nw)
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators

@@ -1,0 +1,14 @@
+"""repro.bench — machine-readable performance trajectory.
+
+``python -m repro.bench`` runs the reduced-scale workload suite across
+code versions (Ref / Ref+MP / Current, plus the per-walker-vs-batched
+pair) and emits a schema-validated ``BENCH_<tag>.json`` artifact;
+``python -m repro.bench.compare`` diffs two artifacts with per-metric
+tolerance bands and exits nonzero on regression.  See
+docs/observability.md.
+"""
+
+from repro.bench.suite import BENCH_SCALE, SUITES, BenchCase
+from repro.bench.fingerprint import host_fingerprint
+
+__all__ = ["BENCH_SCALE", "SUITES", "BenchCase", "host_fingerprint"]

@@ -1,0 +1,29 @@
+"""Host fingerprint embedded in every BENCH artifact.
+
+Regression comparisons are only meaningful with the host in hand: a
+throughput drop between artifacts from different machines is a machine
+difference, not a regression.  :mod:`repro.bench.compare` prints both
+fingerprints and widens nothing automatically — tolerance policy is the
+caller's job (CI passes wide bands for shared runners).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+import numpy as np
+
+
+def host_fingerprint() -> dict:
+    """Stable description of the machine and software stack."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "hostname": platform.node(),
+    }

@@ -1,0 +1,196 @@
+"""Execute a bench suite and assemble the BENCH artifact document.
+
+Every case runs each of its code versions through the real drivers with
+the kernel profiler armed, so the artifact carries measured hot-spot
+fractions (the paper's Fig. 2 taxonomy), throughput, and a measured
+per-walker memory footprint.  When the global metrics registry is armed
+(``REPRO_METRICS=1``) the artifact additionally embeds the hierarchical
+scope tree of the whole suite run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.bench.fingerprint import host_fingerprint
+from repro.bench.suite import SUITES, BenchCase
+from repro.metrics.registry import METRICS
+from repro.metrics.schema import BENCH_SCHEMA_VERSION, validate_artifact
+from repro.profiling.profiler import PROFILER
+
+#: artifact version label -> CodeVersion value (resolved lazily to keep
+#: import costs out of ``repro.bench.compare``)
+_SYSTEM_VERSIONS = {"ref": "ref", "ref+mp": "ref+mp", "current": "current"}
+
+
+def _version_entry(throughput: float, seconds_per_step: float,
+                   total_seconds: float, hotspots: Dict[str, float],
+                   peak_walker_bytes: float) -> dict:
+    return {
+        "throughput": float(throughput),
+        "seconds_per_step": float(seconds_per_step),
+        "total_seconds": float(total_seconds),
+        "hotspots": {k: float(v) for k, v in hotspots.items()},
+        "peak_walker_bytes": float(peak_walker_bytes),
+    }
+
+
+def _system_walker_bytes(parts, precision) -> int:
+    """Measured per-walker footprint: positions + registered buffer."""
+    from repro.particles.walker import Walker
+    w = Walker.from_positions(parts.electrons.R.copy(),
+                              dtype=precision.value_dtype)
+    parts.electrons.load_walker(w)
+    parts.twf.evaluate_log(parts.electrons)
+    parts.twf.register_data(parts.electrons, w.buffer)
+    return int(w.message_nbytes())
+
+
+def run_system_case(case: BenchCase) -> dict:
+    """Run one full-workload case across its code versions."""
+    from repro.core.system import QmcSystem, run_vmc
+    from repro.core.version import CodeVersion, VERSION_CONFIGS
+
+    sys_ = QmcSystem.from_workload(case.workload, scale=case.scale,
+                                   seed=case.seed, with_nlpp=False)
+    versions: Dict[str, dict] = {}
+    for label in case.versions:
+        version = CodeVersion(_SYSTEM_VERSIONS[label])
+        parts = sys_.build(version)
+        res = run_vmc(sys_, version, walkers=case.walkers, steps=case.steps,
+                      parts=parts, profile=True, seed=case.seed + 1)
+        versions[label] = _version_entry(
+            throughput=res.throughput,
+            seconds_per_step=res.elapsed / case.steps,
+            total_seconds=res.elapsed,
+            hotspots=res.profile.normalized(),
+            peak_walker_bytes=_system_walker_bytes(
+                parts, VERSION_CONFIGS[version].precision),
+        )
+    out = {
+        "name": case.name, "kind": "system", "workload": case.workload,
+        "scale": case.scale, "steps": case.steps, "walkers": case.walkers,
+        "n_electrons": parts.n_electrons, "versions": versions,
+        "speedups": {},
+    }
+    if "ref" in versions and "current" in versions:
+        out["speedups"]["current_over_ref"] = (
+            versions["current"]["throughput"] / versions["ref"]["throughput"])
+    return out
+
+
+def run_batched_case(case: BenchCase) -> dict:
+    """Run the per-walker-vs-batched differential pair on one spec."""
+    from repro.batched import (BatchedCrowdDriver, JastrowSystemSpec,
+                               run_reference)
+    from repro.particles.walker import Walker
+    from repro.precision.policy import FULL
+
+    spec = JastrowSystemSpec(n=case.n, seed=7, aa_flavor="otf")
+    # -- per-walker reference --------------------------------------------------
+    PROFILER.start_run()
+    t0 = time.perf_counter()
+    run_reference(spec, case.nwalkers, case.steps, case.seed, use_drift=True)
+    ref_elapsed = time.perf_counter() - t0
+    ref_prof = PROFILER.stop_run(f"{case.name}/ref")
+    P, twf, _ = spec.build_scalar()
+    w = Walker.from_positions(spec.base_positions, dtype=FULL.value_dtype)
+    P.load_walker(w)
+    twf.evaluate_log(P)
+    twf.register_data(P, w.buffer)
+    ref_walker_bytes = int(w.message_nbytes())
+    # -- batched ---------------------------------------------------------------
+    drv = BatchedCrowdDriver(spec, case.nwalkers, case.seed, use_drift=True)
+    PROFILER.start_run()
+    t0 = time.perf_counter()
+    drv.run(case.steps)
+    bat_elapsed = time.perf_counter() - t0
+    bat_prof = PROFILER.stop_run(f"{case.name}/batched")
+    bat_walker_bytes = (
+        drv.batch.R.nbytes + drv.batch.Rsoa.nbytes
+        + sum(t.storage_bytes for t in drv.tables)) / case.nwalkers
+    steps_walkers = case.steps * case.nwalkers
+    versions = {
+        "ref": _version_entry(
+            throughput=steps_walkers / ref_elapsed,
+            seconds_per_step=ref_elapsed / case.steps,
+            total_seconds=ref_elapsed,
+            hotspots=ref_prof.normalized(),
+            peak_walker_bytes=ref_walker_bytes),
+        "batched": _version_entry(
+            throughput=steps_walkers / bat_elapsed,
+            seconds_per_step=bat_elapsed / case.steps,
+            total_seconds=bat_elapsed,
+            hotspots=bat_prof.normalized(),
+            peak_walker_bytes=bat_walker_bytes),
+    }
+    return {
+        "name": case.name, "kind": "batched", "n_electrons": case.n,
+        "steps": case.steps, "walkers": case.nwalkers, "versions": versions,
+        "speedups": {"batched_over_ref": versions["batched"]["throughput"]
+                     / versions["ref"]["throughput"]},
+    }
+
+
+def run_suite(suite_name: str, tag: str,
+              progress=None) -> dict:
+    """Run every case of a named suite and return the artifact document."""
+    cases = SUITES[suite_name]
+    if METRICS.enabled:
+        METRICS.reset()
+    workloads = []
+    for case in cases:
+        if progress is not None:
+            progress(f"running {case.kind} case {case.name} "
+                     f"(versions: {', '.join(case.versions)})")
+        with METRICS.scope(f"bench:{case.name}"):
+            if case.kind == "system":
+                workloads.append(run_system_case(case))
+            else:
+                workloads.append(run_batched_case(case))
+    doc = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "tag": tag,
+        "suite": suite_name,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": host_fingerprint(),
+        "workloads": workloads,
+    }
+    if METRICS.enabled:
+        doc["metrics"] = METRICS.snapshot()
+    return doc
+
+
+def write_artifact(doc: dict, out_dir: str) -> str:
+    """Schema-validate and write ``BENCH_<tag>.json``; returns the path."""
+    errors = validate_artifact(doc)
+    if errors:
+        raise ValueError("refusing to write non-conforming artifact:\n  "
+                         + "\n  ".join(errors))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{doc['tag']}.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_summary(doc: dict) -> str:
+    """Human-readable digest of an artifact."""
+    lines = [f"BENCH artifact '{doc['tag']}' (suite={doc.get('suite', '?')}, "
+             f"host={doc['host'].get('hostname', '?')})"]
+    for wl in doc["workloads"]:
+        lines.append(f"  {wl['name']} [{wl['kind']}]")
+        for label, entry in wl["versions"].items():
+            top = sorted(entry["hotspots"].items(), key=lambda kv: -kv[1])[:3]
+            hot = ", ".join(f"{c} {100 * f:.0f}%" for c, f in top)
+            lines.append(
+                f"    {label:<8s} {entry['throughput']:10.2f} walker-steps/s"
+                f"  walker={entry['peak_walker_bytes'] / 1024.0:8.1f} KiB"
+                f"  [{hot}]")
+        for name, value in wl.get("speedups", {}).items():
+            lines.append(f"    speedup {name} = {value:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Workload suites for the ``python -m repro.bench`` CLI.
+
+``BENCH_SCALE`` is the canonical home of the reduced scales the
+per-figure benchmarks under ``benchmarks/`` also use (``harness.py``
+imports it from here): each keeps a pure-Python Ref run to seconds while
+preserving the workload's species mix, density and code paths.
+
+Two kinds of cases:
+
+* ``system`` — a full workload (``QmcSystem``) run at reduced scale
+  through the real VMC driver, once per code version (Ref / Ref+MP /
+  Current a.k.a. the SoA+OTF build).
+* ``batched`` — the Jastrow-level differential pair: the genuine
+  per-walker machinery (``ref``) vs the walker-batched driver
+  (``batched``) on the identical :class:`JastrowSystemSpec`, the repo's
+  headline ~18x walker-throughput win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Scales keeping pure-Python Ref runs to seconds while preserving the
+#: workload's species mix, density and code paths.
+BENCH_SCALE: Dict[str, float] = {
+    "Graphite": 0.25,    # 4 cells  -> 64 electrons
+    "Be-64": 0.125,      # 4 cells  -> 32 electrons
+    "NiO-32": 0.25,      # 2 cells  -> 96 electrons
+    "NiO-64": 0.25,      # 4 cells  -> 192 electrons
+}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One row of a bench suite."""
+
+    name: str
+    kind: str                      # "system" | "batched"
+    versions: Tuple[str, ...]
+    # system-kind knobs
+    workload: str = ""
+    scale: float = 1.0
+    walkers: int = 1
+    # batched-kind knobs
+    n: int = 0
+    nwalkers: int = 0
+    # shared
+    steps: int = 2
+    seed: int = 21
+
+    def __post_init__(self):
+        if self.kind not in ("system", "batched"):
+            raise ValueError(f"unknown bench kind {self.kind!r}")
+
+
+#: The CI / acceptance suite: one reduced full-system workload across
+#: code versions plus the batched-vs-per-walker pair.  Runs in well
+#: under a minute on a laptop.
+QUICK_SUITE = (
+    BenchCase(name="Graphite-x0.125", kind="system",
+              versions=("ref", "current"),
+              workload="Graphite", scale=0.125, walkers=2, steps=2),
+    BenchCase(name="jastrow-N32-W16", kind="batched",
+              versions=("ref", "batched"), n=32, nwalkers=16, steps=2),
+)
+
+#: The fuller trajectory: two chemistries, all three versions, and a
+#: larger batched crowd.
+FULL_SUITE = (
+    BenchCase(name="Graphite-x0.25", kind="system",
+              versions=("ref", "ref+mp", "current"),
+              workload="Graphite", scale=BENCH_SCALE["Graphite"],
+              walkers=2, steps=2),
+    BenchCase(name="NiO-32-x0.25", kind="system",
+              versions=("ref", "current"),
+              workload="NiO-32", scale=BENCH_SCALE["NiO-32"],
+              walkers=2, steps=2),
+    BenchCase(name="jastrow-N32-W32", kind="batched",
+              versions=("ref", "batched"), n=32, nwalkers=32, steps=2),
+)
+
+#: Sub-second smoke suite for the test suite itself.
+SMOKE_SUITE = (
+    BenchCase(name="Graphite-x0.0625", kind="system",
+              versions=("ref", "current"),
+              workload="Graphite", scale=0.0625, walkers=1, steps=1),
+    BenchCase(name="jastrow-N12-W4", kind="batched",
+              versions=("ref", "batched"), n=12, nwalkers=4, steps=1),
+)
+
+SUITES = {"quick": QUICK_SUITE, "full": FULL_SUITE, "smoke": SMOKE_SUITE}

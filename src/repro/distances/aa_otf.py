@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distances.aa_soa import DistanceTableAASoA
+from repro.metrics.registry import METRICS
 from repro.perfmodel.opcount import OPS
 
 
@@ -32,6 +33,8 @@ class DistanceTableAAOtf(DistanceTableAASoA):
         itemsize = self.dtype.itemsize
         OPS.record(self.category, flops=9.0 * self.n,
                    rbytes=24.0 * self.n, wbytes=4.0 * itemsize * self.n)
+        METRICS.count("otf_row_recomputes")
+        METRICS.add_bytes(4 * itemsize * self.n)
         super().move(P, rnew, k)
 
     def update(self, k: int) -> None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.containers.aligned import aligned_empty, padded_size
 from repro.distances.base import BIG_DISTANCE, DistanceTable
+from repro.metrics.registry import METRICS
 from repro.perfmodel.opcount import OPS
 from repro.precision.policy import resolve_value_dtype
 
@@ -115,6 +116,8 @@ class DistanceTableAASoA(DistanceTable):
         OPS.record(self.category,
                    rbytes=4.0 * itemsize * n,
                    wbytes=4.0 * itemsize * (self.np_ + (n - k)))
+        METRICS.count("forward_update_rows")
+        METRICS.add_bytes(4 * itemsize * (self.np_ + (n - k)))
 
     # -- consumer access -----------------------------------------------------------
     def dist_row(self, k: int) -> np.ndarray:

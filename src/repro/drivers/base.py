@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.estimators.scalar import EstimatorManager
 from repro.lint.sanitizers import SanitizerSuite, sanitizers_enabled
+from repro.metrics.registry import METRICS
 from repro.particles.walker import Walker
 from repro.precision.policy import FULL, PrecisionPolicy
 
@@ -61,8 +62,13 @@ class QMCDriverBase:
     def create_walkers(self, nw: int, jitter: float = 0.05) -> List[Walker]:
         """Spawn walkers around the current configuration and initialize
         their buffers (register + first from-scratch evaluation)."""
-        walkers = []
         base = self.P.R.copy()
+        with METRICS.scope("spawn"):
+            return self._create_walkers(nw, jitter, base)
+
+    def _create_walkers(self, nw: int, jitter: float,
+                        base: np.ndarray) -> List[Walker]:
+        walkers = []
         for _ in range(nw):
             w = Walker.from_positions(
                 base + jitter * self.rng.normal(size=base.shape),
@@ -78,14 +84,19 @@ class QMCDriverBase:
         return walkers
 
     def load_walker(self, w: Walker, recompute: bool = False) -> None:
-        self.P.load_walker(w)
-        if recompute:
-            self.twf.evaluate_log(self.P)
-        else:
-            self.twf.copy_from_buffer(self.P, w.buffer)
+        with METRICS.scope("load"):
+            self.P.load_walker(w)
+            if recompute:
+                self.twf.evaluate_log(self.P)
+            else:
+                self.twf.copy_from_buffer(self.P, w.buffer)
 
     def store_walker(self, w: Walker) -> float:
         """Measure E_L at the sweep's final configuration and store state."""
+        with METRICS.scope("measure"):
+            return self._store_walker(w)
+
+    def _store_walker(self, w: Walker) -> float:
         self.P.update_tables()
         if self.sanitizers is not None:
             self.sanitizers.check_state(self.P)
@@ -102,6 +113,10 @@ class QMCDriverBase:
     # -- the drift-diffusion sweep (Alg. 1, L4-L10) ---------------------------------------
     def sweep(self) -> int:
         """One PbyP pass over all electrons; returns acceptance count."""
+        with METRICS.scope("sweep"):
+            return self._sweep()
+
+    def _sweep(self) -> int:
         P = self.P
         twf = self.twf
         tau = self.tau

@@ -27,6 +27,7 @@ from repro.core.version import VERSION_CONFIGS, CodeVersion
 from repro.drivers.result import QMCResult
 from repro.drivers.vmc import VMCDriver
 from repro.estimators.scalar import EstimatorManager
+from repro.metrics.registry import METRICS
 from repro.workloads.builder import SystemParts
 
 
@@ -123,26 +124,27 @@ class CrowdDriver:
                   if i % self.n_crowds == c] for c in range(self.n_crowds)]
         result = QMCResult(method="VMC(crowds)", steps=steps)
         t0 = time.perf_counter()
-        for step in range(1, steps + 1):
-            recompute = self.drivers[0].precision.should_recompute(step)
-            energies = np.empty(walkers)
+        with METRICS.scope("CrowdVMC"):
+            for step in range(1, steps + 1):
+                recompute = self.drivers[0].precision.should_recompute(step)
+                energies = np.empty(walkers)
 
-            def crowd_step(idx: int) -> None:
-                d = self.drivers[idx]
-                for i, w in deals[idx]:
-                    d.rng = streams[i]  # walker i always consumes stream i
-                    d.load_walker(w, recompute=recompute)
-                    d.sweep()
-                    energies[i] = d.store_walker(w)
-                    w.age += 1
+                def crowd_step(idx: int) -> None:
+                    d = self.drivers[idx]
+                    for i, w in deals[idx]:
+                        d.rng = streams[i]  # walker i always consumes stream i
+                        d.load_walker(w, recompute=recompute)
+                        d.sweep()
+                        energies[i] = d.store_walker(w)
+                        w.age += 1
 
-            if self._pool is not None:
-                list(self._pool.map(crowd_step, range(self.n_crowds)))
-            else:
-                for i in range(self.n_crowds):
-                    crowd_step(i)
-            result.energies.append(float(np.mean(energies)))
-            result.populations.append(walkers)
+                if self._pool is not None:
+                    list(self._pool.map(crowd_step, range(self.n_crowds)))
+                else:
+                    for i in range(self.n_crowds):
+                        crowd_step(i)
+                result.energies.append(float(np.mean(energies)))
+                result.populations.append(walkers)
         result.elapsed = time.perf_counter() - t0
         moves = sum(d.n_moves for d in self.drivers)
         accepts = sum(d.n_accept for d in self.drivers)

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.drivers.base import QMCDriverBase
 from repro.drivers.result import QMCResult
+from repro.metrics.registry import METRICS
 from repro.particles.walker import Walker
 from repro.profiling.profiler import PROFILER
 
@@ -46,11 +47,27 @@ class DMCDriver(QMCDriverBase):
             pop = walkers
         target = target_population if target_population else len(pop)
         e_trial = float(np.mean([w.properties["local_energy"] for w in pop]))
-        e_best = e_trial
         if profile:
             PROFILER.start_run()
         t0 = time.perf_counter()
         result = QMCResult(method="DMC", steps=steps)
+        with METRICS.scope("DMC"):
+            pop, e_trial, result = self._generations(
+                pop, steps, target, branching, e_trial, result)
+        result.elapsed = time.perf_counter() - t0
+        result.acceptance = self.acceptance_ratio
+        result.estimators = self.estimators
+        result.extra["moves"] = float(self.n_moves)
+        result.extra["accepted"] = float(self.n_accept)
+        if profile:
+            result.profile = PROFILER.stop_run(label)
+        result.extra["final_population"] = len(pop)
+        return result
+
+    def _generations(self, pop: List[Walker], steps: int, target: int,
+                     branching: str, e_trial: float,
+                     result: QMCResult):
+        e_best = e_trial
         for step in range(1, steps + 1):
             energies = []
             weights = []
@@ -81,10 +98,11 @@ class DMCDriver(QMCDriverBase):
             e_mixed = float(np.sum(weights * np.asarray(energies)) / wsum)
             result.energies.append(e_mixed)
             # Branch (Alg. 1, L13) and update E_T (L14).
-            if branching == "comb":
-                pop = self._branch_comb(pop, target)
-            else:
-                pop = self._branch(pop)
+            with METRICS.scope("branch"):
+                if branching == "comb":
+                    pop = self._branch_comb(pop, target)
+                else:
+                    pop = self._branch(pop)
             # Track the mixed estimator closely: with a drifting E_L during
             # equilibration a heavily-smoothed E_best starves the population.
             e_best = 0.25 * e_best + 0.75 * e_mixed
@@ -93,15 +111,7 @@ class DMCDriver(QMCDriverBase):
                 max(len(pop), 1) / target)
             result.populations.append(len(pop))
             result.trial_energies.append(e_trial)
-        result.elapsed = time.perf_counter() - t0
-        result.acceptance = self.acceptance_ratio
-        result.estimators = self.estimators
-        result.extra["moves"] = float(self.n_moves)
-        result.extra["accepted"] = float(self.n_accept)
-        if profile:
-            result.profile = PROFILER.stop_run(label)
-        result.extra["final_population"] = len(pop)
-        return result
+        return pop, e_trial, result
 
     def _branch(self, pop: List[Walker]) -> List[Walker]:
         """Stochastic-rounding branching; resets surviving weights to ~1."""

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.drivers.base import QMCDriverBase
 from repro.drivers.result import QMCResult
+from repro.metrics.registry import METRICS
 from repro.particles.walker import Walker
 from repro.profiling.profiler import PROFILER
 
@@ -31,16 +32,17 @@ class VMCDriver(QMCDriverBase):
             PROFILER.start_run()
         t0 = time.perf_counter()
         result = QMCResult(method="VMC", steps=steps)
-        for step in range(1, steps + 1):
-            energies = []
-            recompute = self.precision.should_recompute(step)
-            for w in pop:
-                self.load_walker(w, recompute=recompute)
-                self.sweep()
-                energies.append(self.store_walker(w))
-                w.age += 1
-            result.energies.append(float(np.mean(energies)))
-            result.populations.append(len(pop))
+        with METRICS.scope("VMC"):
+            for step in range(1, steps + 1):
+                energies = []
+                recompute = self.precision.should_recompute(step)
+                for w in pop:
+                    self.load_walker(w, recompute=recompute)
+                    self.sweep()
+                    energies.append(self.store_walker(w))
+                    w.age += 1
+                result.energies.append(float(np.mean(energies)))
+                result.populations.append(len(pop))
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators

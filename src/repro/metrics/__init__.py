@@ -1,0 +1,16 @@
+"""repro.metrics — hierarchical timers, counters and BENCH artifacts.
+
+The :data:`METRICS` registry is the process-global instrumentation
+spine: hot paths open named scopes (``with METRICS.scope("sweep")``),
+attribute data traffic (``METRICS.add_bytes(row.nbytes)``) and bump
+event counters.  It is a near-zero-cost no-op unless armed by
+``REPRO_METRICS=1``.  The legacy :data:`repro.profiling.PROFILER` is a
+thin category-profile adapter over this registry.
+"""
+
+from repro.metrics.registry import (METRICS, MetricsRegistry, ScopeNode,
+                                    metrics_enabled)
+from repro.metrics.schema import BENCH_SCHEMA_VERSION, validate_artifact
+
+__all__ = ["METRICS", "MetricsRegistry", "ScopeNode", "metrics_enabled",
+           "BENCH_SCHEMA_VERSION", "validate_artifact"]

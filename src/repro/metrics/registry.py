@@ -1,0 +1,277 @@
+"""Hierarchical timer/counter registry — the repo's observability spine.
+
+Modeled on QMCPACK's hierarchical ``TimerManager`` (Luo et al., the
+hierarchical-parallelism design paper): named scopes nest, so entering
+``sweep`` while ``VMC`` is open produces the tree node ``VMC/sweep``.
+Every node tracks
+
+* ``calls`` — how many times the scope was entered,
+* ``seconds`` — **inclusive** wall time (children included),
+* ``bytes_moved`` — explicitly attributed data traffic, and
+* named ``counters`` (row updates, OTF recomputes, ...).
+
+Exclusive time (inclusive minus the children's inclusive) is derived at
+snapshot time, so hot-path bookkeeping is one ``perf_counter`` pair per
+scope entry and nothing else.
+
+Threading: each thread records into its own tree (crowd workers never
+contend on a lock); :meth:`MetricsRegistry.snapshot` merges the
+per-thread trees path-by-path under the registry lock.
+
+Cost discipline: the registry is armed by ``REPRO_METRICS=1`` (or
+:meth:`enable`).  When disarmed, :meth:`scope` returns a shared no-op
+context manager and the counter methods return immediately — one
+attribute check per call site, so production sweeps pay effectively
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "ScopeNode", "METRICS", "metrics_enabled"]
+
+#: Environment variable arming the global registry.
+METRICS_ENV = "REPRO_METRICS"
+
+
+def metrics_enabled() -> bool:
+    """True when the environment arms the global registry."""
+    return os.environ.get(METRICS_ENV, "") not in ("", "0")
+
+
+class _NullScope:
+    """Shared do-nothing context manager handed out while disarmed."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class ScopeNode:
+    """One named node of a thread's scope tree."""
+
+    __slots__ = ("name", "calls", "seconds", "bytes_moved", "counters",
+                 "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0          # inclusive
+        self.bytes_moved = 0
+        self.counters: Dict[str, float] = {}
+        self.children: Dict[str, "ScopeNode"] = {}
+
+    def child(self, name: str) -> "ScopeNode":
+        node = self.children.get(name)
+        if node is None:
+            node = ScopeNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def exclusive(self) -> float:
+        """Inclusive time minus the children's inclusive time."""
+        return self.seconds - sum(c.seconds for c in self.children.values())
+
+    def merge(self, other: "ScopeNode") -> None:
+        """Fold ``other`` (same name) into this node, recursively."""
+        self.calls += other.calls
+        self.seconds += other.seconds
+        self.bytes_moved += other.bytes_moved
+        for key, val in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + val
+        for name, theirs in other.children.items():
+            self.child(name).merge(theirs)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view: inclusive/exclusive seconds, counts, children."""
+        out = {
+            "name": self.name,
+            "calls": self.calls,
+            "inclusive_s": self.seconds,
+            "exclusive_s": self.exclusive,
+        }
+        if self.bytes_moved:
+            out["bytes_moved"] = int(self.bytes_moved)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children.values()]
+        return out
+
+
+class _ThreadState:
+    """Per-thread recording state: a private root plus the open-scope stack."""
+
+    __slots__ = ("root", "stack", "generation")
+
+    def __init__(self, generation: int):
+        self.root = ScopeNode("<root>")
+        self.stack: List[Tuple[ScopeNode, float]] = []
+        self.generation = generation
+
+    @property
+    def current(self) -> ScopeNode:
+        return self.stack[-1][0] if self.stack else self.root
+
+
+class _ScopeTimer:
+    """Context manager pushing one node onto the owning thread's stack."""
+
+    __slots__ = ("_registry", "_name")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self):
+        state = self._registry._state()
+        node = state.current.child(self._name)
+        state.stack.append((node, time.perf_counter()))
+        return self
+
+    def __exit__(self, *exc):
+        state = self._registry._state()
+        if state.stack:
+            node, t0 = state.stack.pop()
+            node.calls += 1
+            node.seconds += time.perf_counter() - t0
+        return False
+
+
+class MetricsRegistry:
+    """Registry of hierarchical timers and counters; see module docstring."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._states: List[Tuple[str, _ThreadState]] = []
+        self._generation = 0
+
+    @classmethod
+    def from_env(cls) -> "MetricsRegistry":
+        return cls(enabled=metrics_enabled())
+
+    # -- arming -----------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded data (all threads) without touching arming."""
+        with self._lock:
+            self._generation += 1
+            self._states.clear()
+
+    # -- recording --------------------------------------------------------------
+    def _state(self) -> _ThreadState:
+        state: Optional[_ThreadState] = getattr(self._local, "state", None)
+        if state is None or state.generation != self._generation:
+            state = _ThreadState(self._generation)
+            self._local.state = state
+            with self._lock:
+                self._states.append((threading.current_thread().name, state))
+        return state
+
+    def scope(self, name: str):
+        """Context manager timing a named scope nested under the current one."""
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _ScopeTimer(self, name)
+
+    def add_bytes(self, nbytes: int) -> None:
+        """Attribute data traffic to the innermost open scope."""
+        if not self.enabled:
+            return
+        self._state().current.bytes_moved += int(nbytes)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Bump a named counter on the innermost open scope."""
+        if not self.enabled:
+            return
+        counters = self._state().current.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Directly attribute time to child ``name`` of the current scope
+        (for modeled rather than measured time).  Works even while the
+        registry is disarmed — explicit attribution is never a hot path."""
+        node = self._state().current.child(name)
+        node.calls += 1
+        node.seconds += float(seconds)
+
+    # -- reporting --------------------------------------------------------------
+    def _merged_root(self) -> ScopeNode:
+        root = ScopeNode("<root>")
+        with self._lock:
+            states = [s for _, s in self._states
+                      if s.generation == self._generation]
+        for state in states:
+            root.merge(state.root)
+        return root
+
+    def snapshot(self) -> dict:
+        """Merged tree of every thread's scopes, JSON-ready.
+
+        Call with all worker threads quiescent: open scopes contribute
+        their calls-so-far but not their in-flight interval.
+        """
+        root = self._merged_root()
+        return {"scopes": [c.as_dict() for c in root.children.values()]}
+
+    def flat(self) -> Dict[str, dict]:
+        """``{"A/B/C": {calls, inclusive_s, exclusive_s, bytes_moved}}``."""
+        out: Dict[str, dict] = {}
+
+        def walk(node: ScopeNode, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}/{child.name}" if prefix else child.name
+                entry = out.setdefault(path, {
+                    "calls": 0, "inclusive_s": 0.0, "exclusive_s": 0.0,
+                    "bytes_moved": 0})
+                entry["calls"] += child.calls
+                entry["inclusive_s"] += child.seconds
+                entry["exclusive_s"] += child.exclusive
+                entry["bytes_moved"] += child.bytes_moved
+                walk(child, path)
+
+        walk(self._merged_root(), "")
+        return out
+
+    def exclusive_by_name(self) -> Dict[str, float]:
+        """Exclusive seconds summed over every node with a given *leaf*
+        name, anywhere in any thread's tree.  This is exactly the
+        innermost-category attribution the flat hot-spot profiles
+        (Fig. 2 / Fig. 7) are built from."""
+        out: Dict[str, float] = {}
+
+        def walk(node: ScopeNode) -> None:
+            for child in node.children.values():
+                out[child.name] = out.get(child.name, 0.0) + child.exclusive
+                walk(child)
+
+        walk(self._merged_root())
+        return out
+
+    def total_calls(self) -> int:
+        def count(node: ScopeNode) -> int:
+            return node.calls + sum(count(c) for c in node.children.values())
+        return count(self._merged_root())
+
+
+#: The process-global registry, armed by ``REPRO_METRICS=1``.
+METRICS = MetricsRegistry.from_env()

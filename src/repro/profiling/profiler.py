@@ -1,12 +1,28 @@
-"""Category timers and normalized hot-spot profiles."""
+"""Category timers and normalized hot-spot profiles.
+
+Since the repro.metrics tentpole, :class:`KernelProfiler` is a thin
+adapter over :class:`repro.metrics.MetricsRegistry`: each profiler owns
+a private registry, ``timer(category)`` opens a scope in it, and
+``stop_run`` reduces the scope tree to the flat per-category seconds the
+paper's figures use (exclusive time summed by leaf name — identical to
+the old innermost-attribution semantics).
+
+When the global :data:`repro.metrics.METRICS` registry is armed
+(``REPRO_METRICS=1``), every ``timer`` call *also* opens the same-named
+scope there, so kernel categories appear nested under whatever driver
+scope is active without double instrumentation.  When neither the
+profiler nor the global registry is live, ``timer`` returns a shared
+no-op context manager — cheaper than the pre-registry implementation,
+which allocated a timer object per call.
+"""
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.metrics.registry import METRICS, MetricsRegistry, _NULL_SCOPE
 
 #: Profile rows in the paper's display order (Figs. 2 and 7).
 PAPER_CATEGORIES = [
@@ -30,6 +46,8 @@ class HotspotProfile:
     seconds: Dict[str, float]
     total: float
     label: str = ""
+    #: hierarchical registry snapshot of the same run (scope tree)
+    tree: dict = field(default_factory=dict)
 
     def fraction(self, category: str) -> float:
         """Fraction of total time spent in ``category``."""
@@ -62,6 +80,26 @@ class HotspotProfile:
         return "\n".join(lines)
 
 
+class _PairedScope:
+    """Enter the profiler's private scope and the global METRICS scope."""
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(self, first, second):
+        self._first = first
+        self._second = second
+
+    def __enter__(self):
+        self._first.__enter__()
+        self._second.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        self._second.__exit__(*exc)
+        self._first.__exit__(*exc)
+        return False
+
+
 class KernelProfiler:
     """Accumulates wall-clock per category; nestable timers.
 
@@ -71,15 +109,19 @@ class KernelProfiler:
 
     def __init__(self):
         self.enabled = False
-        self._seconds: Dict[str, float] = defaultdict(float)
-        self._stack: List[tuple] = []  # (category, start, child_time)
+        self.registry = MetricsRegistry(enabled=False)
         self._t0: Optional[float] = None
         self._total: float = 0.0
 
+    @property
+    def _seconds(self) -> Dict[str, float]:
+        """Flat category seconds recorded so far (exclusive by leaf name)."""
+        return self.registry.exclusive_by_name()
+
     # -- run lifecycle -----------------------------------------------------------
     def start_run(self) -> None:
-        self._seconds.clear()
-        self._stack.clear()
+        self.registry.reset()
+        self.registry.enable()
         self._t0 = time.perf_counter()
         self.enabled = True
 
@@ -88,36 +130,28 @@ class KernelProfiler:
             raise RuntimeError("stop_run without start_run")
         self._total = time.perf_counter() - self._t0
         self.enabled = False
-        prof = HotspotProfile(dict(self._seconds), self._total, label)
+        self.registry.disable()
+        prof = HotspotProfile(self.registry.exclusive_by_name(), self._total,
+                              label, tree=self.registry.snapshot())
         self._t0 = None
         return prof
 
     # -- timers -------------------------------------------------------------------
     def timer(self, category: str):
-        prof = self
-
-        class _Timer:
-            __slots__ = ("_start",)
-
-            def __enter__(self):
-                if prof.enabled:
-                    prof._stack.append([category, time.perf_counter(), 0.0])
-                return self
-
-            def __exit__(self, *exc):
-                if prof.enabled and prof._stack:
-                    cat, start, child = prof._stack.pop()
-                    elapsed = time.perf_counter() - start
-                    prof._seconds[cat] += elapsed - child
-                    if prof._stack:
-                        prof._stack[-1][2] += elapsed
-                return False
-
-        return _Timer()
+        mine = self.enabled
+        theirs = METRICS.enabled
+        if mine and theirs:
+            return _PairedScope(self.registry.scope(category),
+                                METRICS.scope(category))
+        if mine:
+            return self.registry.scope(category)
+        if theirs:
+            return METRICS.scope(category)
+        return _NULL_SCOPE
 
     def add_seconds(self, category: str, seconds: float) -> None:
         """Direct attribution (for modeled rather than measured time)."""
-        self._seconds[category] += seconds
+        self.registry.add_seconds(category, seconds)
 
 
 #: The process-global profiler all components report to.

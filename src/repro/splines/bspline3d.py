@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lint.hot import hot_kernel
+from repro.metrics.registry import METRICS
 from repro.perfmodel.opcount import OPS
 
 # Segment matrix and derivatives (see cubic1d.py), as (4, 4) acting on
@@ -160,6 +161,7 @@ class BSpline3D:
         OPS.record("Bspline-v", flops=2.0 * 64 * self.norb + 200,
                    rbytes=64.0 * self.norb * self.dtype.itemsize,
                    wbytes=8.0 * self.norb)
+        METRICS.add_bytes(64 * self.norb * self.dtype.itemsize)
         return v
 
     @hot_kernel
@@ -204,6 +206,7 @@ class BSpline3D:
         OPS.record("Bspline-vgh", flops=2.0 * 64 * self.norb * 10 + 500,
                    rbytes=64.0 * self.norb * self.dtype.itemsize,
                    wbytes=8.0 * self.norb * 13)
+        METRICS.add_bytes(64 * self.norb * self.dtype.itemsize)
         return v, g, h
 
     @hot_kernel

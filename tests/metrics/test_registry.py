@@ -1,0 +1,210 @@
+"""Tests for the hierarchical metrics registry."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.metrics.registry import (METRICS, MetricsRegistry, ScopeNode,
+                                    _NULL_SCOPE)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+# -- nesting and exclusive accounting -----------------------------------------
+
+def test_nested_scopes_build_a_tree(reg):
+    with reg.scope("VMC"):
+        with reg.scope("sweep"):
+            pass
+        with reg.scope("sweep"):
+            pass
+        with reg.scope("measure"):
+            pass
+    flat = reg.flat()
+    assert flat["VMC"]["calls"] == 1
+    assert flat["VMC/sweep"]["calls"] == 2
+    assert flat["VMC/measure"]["calls"] == 1
+    assert "sweep" not in flat  # nested, not top-level
+
+
+def test_exclusive_is_inclusive_minus_children(reg):
+    with reg.scope("outer"):
+        time.sleep(0.004)
+        with reg.scope("inner"):
+            time.sleep(0.008)
+    flat = reg.flat()
+    outer, inner = flat["outer"], flat["outer/inner"]
+    assert inner["inclusive_s"] >= 0.008
+    assert outer["inclusive_s"] >= inner["inclusive_s"]
+    assert abs(outer["exclusive_s"]
+               - (outer["inclusive_s"] - inner["inclusive_s"])) < 1e-12
+    # the sleep inside `inner` must not count against outer's exclusive
+    assert outer["exclusive_s"] < outer["inclusive_s"]
+
+
+def test_exclusive_by_name_sums_across_paths(reg):
+    reg.add_seconds("J2", 1.0)
+    with reg.scope("VMC"):
+        reg.add_seconds("J2", 2.0)
+    assert reg.exclusive_by_name()["J2"] == pytest.approx(3.0)
+
+
+def test_same_name_at_different_depths_stays_distinct(reg):
+    with reg.scope("sweep"):
+        with reg.scope("sweep"):
+            pass
+    flat = reg.flat()
+    assert flat["sweep"]["calls"] == 1
+    assert flat["sweep/sweep"]["calls"] == 1
+
+
+def test_counters_and_bytes_attach_to_innermost_scope(reg):
+    with reg.scope("sweep"):
+        with reg.scope("DistTable-AA"):
+            reg.count("forward_update_rows", 3)
+            reg.add_bytes(4096)
+    scopes = reg.snapshot()["scopes"]
+    node = scopes[0]["children"][0]
+    assert node["name"] == "DistTable-AA"
+    assert node["counters"] == {"forward_update_rows": 3}
+    assert node["bytes_moved"] == 4096
+    assert "bytes_moved" not in scopes[0]  # outer scope untouched
+
+
+def test_reset_drops_data_but_keeps_arming(reg):
+    with reg.scope("a"):
+        pass
+    reg.reset()
+    assert reg.enabled
+    assert reg.flat() == {}
+    with reg.scope("b"):
+        pass
+    assert list(reg.flat()) == ["b"]
+
+
+def test_scope_survives_exceptions(reg):
+    with pytest.raises(RuntimeError):
+        with reg.scope("outer"):
+            raise RuntimeError("boom")
+    # the stack unwound: new top-level scopes are not nested under "outer"
+    with reg.scope("after"):
+        pass
+    flat = reg.flat()
+    assert flat["outer"]["calls"] == 1
+    assert "after" in flat and "outer/after" not in flat
+
+
+# -- thread-safety ------------------------------------------------------------
+
+def test_threads_record_into_private_trees_and_merge(reg):
+    n_threads, n_iter = 4, 200
+    barrier = threading.Barrier(n_threads)
+
+    def work():
+        barrier.wait()
+        for _ in range(n_iter):
+            with reg.scope("sweep"):
+                with reg.scope("J2"):
+                    reg.count("evals")
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    flat = reg.flat()
+    assert flat["sweep"]["calls"] == n_threads * n_iter
+    assert flat["sweep/J2"]["calls"] == n_threads * n_iter
+    snap = reg.snapshot()["scopes"]
+    (sweep,) = [s for s in snap if s["name"] == "sweep"]
+    assert sweep["children"][0]["counters"]["evals"] == n_threads * n_iter
+
+
+def test_crowd_driver_threads_merge_cleanly():
+    """The registry survives the real crowd thread pool."""
+    np = pytest.importorskip("numpy")
+    from repro.core.system import QmcSystem
+    from repro.core.version import CodeVersion
+    from repro.drivers.crowd import CrowdDriver
+
+    sys_ = QmcSystem.from_workload("Graphite", scale=0.0625, seed=9,
+                                   with_nlpp=False)
+    parts = sys_.build(CodeVersion.CURRENT)
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enable()
+    try:
+        with CrowdDriver(parts, n_crowds=2,
+                         rng=np.random.default_rng(5), workers=2) as drv:
+            drv.run(walkers=4, steps=2)
+        flat = METRICS.flat()
+    finally:
+        if not was_enabled:
+            METRICS.disable()
+        METRICS.reset()
+    assert flat["CrowdVMC"]["calls"] == 1
+    # Pool threads each record into a private tree (their stacks are
+    # empty, so their sweep scopes sit at their own roots); the merge
+    # must still account for every sweep exactly once.
+    sweeps = sum(v["calls"] for k, v in flat.items()
+                 if k.split("/")[-1] == "sweep")
+    assert sweeps == 4 * 2  # walkers * steps
+    assert all(v["calls"] > 0 for v in flat.values())
+
+
+# -- disarmed cost ------------------------------------------------------------
+
+def test_disarmed_scope_is_the_shared_null_scope():
+    reg = MetricsRegistry(enabled=False)
+    assert reg.scope("anything") is _NULL_SCOPE
+    assert reg.scope("other") is reg.scope("else")  # no per-call allocation
+    reg.add_bytes(10)
+    reg.count("x")
+    assert reg.flat() == {}  # counters were dropped, not recorded
+
+
+def test_disarmed_overhead_is_bounded():
+    reg = MetricsRegistry(enabled=False)
+    n = 50_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with reg.scope("hot"):
+            pass
+    per_call = (time.perf_counter() - t0) / n
+    # generous bound (~50x the expected cost) so loaded CI never flakes,
+    # while still catching any accidental allocation/locking on the path
+    assert per_call < 2e-5, f"disarmed scope costs {per_call * 1e6:.2f} us"
+
+
+# -- JSON round-trip ----------------------------------------------------------
+
+def _rebuild(d: dict) -> ScopeNode:
+    node = ScopeNode(d["name"])
+    node.calls = d["calls"]
+    node.seconds = d["inclusive_s"]
+    node.bytes_moved = d.get("bytes_moved", 0)
+    node.counters = dict(d.get("counters", {}))
+    for child in d.get("children", []):
+        node.children[child["name"]] = _rebuild(child)
+    return node
+
+
+def test_snapshot_json_round_trip(reg):
+    with reg.scope("VMC"):
+        with reg.scope("sweep"):
+            reg.add_bytes(128)
+            reg.count("rows", 2)
+        reg.add_seconds("J1", 0.25)
+    snap = reg.snapshot()
+    clone = json.loads(json.dumps(snap))
+    assert clone == snap
+    vmc = _rebuild(clone["scopes"][0])
+    assert vmc.name == "VMC"
+    assert vmc.exclusive == pytest.approx(
+        snap["scopes"][0]["exclusive_s"])
+    assert vmc.children["sweep"].bytes_moved == 128
+    assert vmc.children["J1"].seconds == pytest.approx(0.25)
