@@ -3,8 +3,8 @@
 PYTHON ?= python
 BENCH_OUT ?= /tmp/repro-bench
 
-.PHONY: install test test-fast lint check bench bench-check bench-figures \
-	report examples clean
+.PHONY: install test test-fast lint check bench bench-check bench-parallel \
+	bench-figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,6 +30,13 @@ bench:
 bench-check: bench
 	PYTHONPATH=src $(PYTHON) -m repro.bench.compare \
 		benchmarks/baselines/baseline.json $(BENCH_OUT)/BENCH_local.json
+
+# Multi-core crowd scaling (workers = 0/1/2/4; counts the host cannot
+# seat are skipped).  The runner asserts bitwise-identical energy traces
+# across worker counts, so this doubles as the determinism smoke.
+bench-parallel:
+	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench \
+		--suite parallel --tag parallel --out $(BENCH_OUT)
 
 # Per-figure/table paper benchmarks (pytest-benchmark harness).
 bench-figures:

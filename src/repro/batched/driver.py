@@ -46,22 +46,39 @@ class BatchedCrowdDriver:
     def __init__(self, spec: JastrowSystemSpec, nwalkers: int,
                  master_seed: int, timestep: float = 0.5,
                  use_drift: bool = True,
-                 precision: PrecisionPolicy = FULL):
+                 precision: PrecisionPolicy = FULL,
+                 batch: Optional[WalkerBatch] = None,
+                 rngs: Optional[List[np.random.Generator]] = None):
         self.spec = spec
         self.nw = int(nwalkers)
         self.n = spec.n
         self.tau = float(timestep)
         self.use_drift = use_drift
         self.precision = precision
-        self.rngs = walker_streams(master_seed, nwalkers)
-        self.batch = WalkerBatch.from_positions(
-            spec.initial_positions(nwalkers), dtype=precision)
+        # A crowd hosting a subset of a larger population injects its
+        # walkers' streams and a batch viewing shared storage; the
+        # default standalone driver owns both (stream w of master_seed,
+        # private canonical arrays).
+        self.rngs = (rngs if rngs is not None
+                     else walker_streams(master_seed, nwalkers))
+        if len(self.rngs) != self.nw:
+            raise ValueError(f"need {self.nw} RNG streams, "
+                             f"got {len(self.rngs)}")
+        self.batch = (batch if batch is not None
+                      else WalkerBatch.from_positions(
+                          spec.initial_positions(nwalkers), dtype=precision))
+        if self.batch.nw != self.nw:
+            raise ValueError(f"batch holds {self.batch.nw} walkers, "
+                             f"expected {self.nw}")
         self.tables, self.components, self.ham = spec.build_batched(nwalkers)
         #: per-walker grad/lap of log Psi: (W, n, 3) and (W, n)
         self.G = np.zeros((self.nw, self.n, 3))
         self.L = np.zeros((self.nw, self.n))
         self.n_accept = 0
         self.n_moves = 0
+        #: (W,) accepted-move counts of the most recent sweep (DMC's
+        #: age-based stuck-walker control reads this)
+        self.last_sweep_accepts = np.zeros(self.nw, dtype=np.int64)
         self.estimators = EstimatorManager()
         self.sanitizers = (BatchedSanitizerSuite(precision)
                            if sanitizers_enabled() else None)
@@ -135,6 +152,7 @@ class BatchedCrowdDriver:
                             for rng in self.rngs])
         uniforms = np.stack([rng.uniform(size=n) for rng in self.rngs])
         accepted_total = 0
+        accepts_per_walker = np.zeros(self.nw, dtype=np.int64)
         for k in range(n):
             chi = chi_all[:, k]
             if self.use_drift:
@@ -167,10 +185,28 @@ class BatchedCrowdDriver:
             batch.commit(k, rnew, acc)
             if self.sanitizers is not None:
                 self.sanitizers.after_accept(batch, self.tables, k, acc)
+            accepts_per_walker += acc
             accepted_total += int(np.count_nonzero(acc))
+        self.last_sweep_accepts = accepts_per_walker
         self.n_accept += accepted_total
         self.n_moves += n * self.nw
         return accepted_total
+
+    # -- external-commit resync -----------------------------------------------------
+    def refresh_from_positions(self) -> np.ndarray:
+        """Resynchronize every derived structure (Rsoa, tables, log Psi,
+        E_L) from the canonical ``batch.R`` — required after an external
+        writer (the DMC branch commit of the process-parallel crowds)
+        rewrites positions behind the driver's back.  Estimators are not
+        touched.  Returns the refreshed per-walker local energies."""
+        self.batch.sync_soa()
+        for t in self.tables:
+            with PROFILER.timer(t.category):
+                t.evaluate(self.batch)
+        self.batch.logpsi[...] = self._evaluate_log()
+        el = self.ham.evaluate(self.batch, self.tables, self.G, self.L)
+        self.batch.local_energy[...] = el
+        return el
 
     # -- measurement ----------------------------------------------------------------
     def measure(self) -> np.ndarray:

@@ -103,6 +103,37 @@ class WalkerBatch:
         batch.sync_soa()
         return batch
 
+    @classmethod
+    def attach(cls, R: np.ndarray, weight: np.ndarray, logpsi: np.ndarray,
+               local_energy: np.ndarray, age: np.ndarray, dtype=None,
+               alignment: int = CACHE_LINE_BYTES) -> "WalkerBatch":
+        """Wrap externally owned canonical storage (e.g. a crowd's strided
+        views of a shared-memory block) instead of allocating it.
+
+        ``R`` and the per-walker scalars become the batch's canonical
+        arrays, so every ``commit`` lands directly in the caller's
+        storage — the zero-copy contract of the process-parallel crowds.
+        Only the hot ``Rsoa`` scratch block stays private (it must be
+        cache-aligned and value-precision, which arbitrary views are not).
+        """
+        R = np.asarray(R)
+        if R.ndim != 3 or R.shape[2] != 3:
+            raise ValueError(f"R must be (W, N, 3), got {R.shape}")
+        nw, n = R.shape[0], R.shape[1]
+        for name, arr in (("weight", weight), ("logpsi", logpsi),
+                          ("local_energy", local_energy), ("age", age)):
+            if np.asarray(arr).shape != (nw,):
+                raise ValueError(f"{name} must be ({nw},), "
+                                 f"got {np.asarray(arr).shape}")
+        batch = cls(nw, n, dtype=dtype, alignment=alignment)
+        batch.R = R
+        batch.weight = weight
+        batch.logpsi = logpsi
+        batch.local_energy = local_energy
+        batch.age = age
+        batch.sync_soa()
+        return batch
+
     def to_walkers(self) -> List[Walker]:  # repro: cold
         """Scatter back into per-walker objects (AoS interop)."""
         out = []

@@ -17,6 +17,13 @@ Three metric families, three bands:
 * **speedups** (dimensionless — the repo's headline claims): the
   candidate's speedup must stay above ``--min-speedup-ratio`` times the
   baseline's.
+* **speedup floors** (absolute): a baseline workload may carry a
+  ``speedup_floors`` object (e.g. the multi-core crowd gate
+  ``{"w4_over_serial": 2.5}``); a candidate that *measured* the named
+  speedup must meet the floor outright.  A candidate missing it — the
+  bench runner's CPU guard skips worker counts the host cannot seat —
+  passes by default; ``--enforce-floors`` makes absence itself a
+  regression (for runners known to have the cores).
 
 A workload or version present in the baseline but missing from the
 candidate is itself a regression (the suite silently lost coverage)
@@ -61,7 +68,8 @@ def compare_artifacts(baseline: dict, candidate: dict,
                       frac_tol: float = 0.25,
                       frac_floor: float = 0.05,
                       min_speedup_ratio: float = 0.4,
-                      allow_missing: bool = False) -> List[Check]:
+                      allow_missing: bool = False,
+                      enforce_floors: bool = False) -> List[Check]:
     """All per-metric checks of candidate against baseline."""
     checks: List[Check] = []
     cand_workloads = {wl["name"]: wl for wl in candidate["workloads"]}
@@ -108,6 +116,19 @@ def compare_artifacts(baseline: dict, candidate: dict,
                 f"{name}/speedup/{sname}", base_speedup, cand_speedup,
                 f"ratio {ratio:.2f} (floor {min_speedup_ratio:.2f})",
                 ok=ratio >= min_speedup_ratio))
+        for sname, floor in wl.get("speedup_floors", {}).items():
+            cand_speedup = cand_wl.get("speedups", {}).get(sname)
+            if cand_speedup is None:
+                checks.append(Check(
+                    f"{name}/floor/{sname}", floor, 0.0,
+                    "not measured (CPU guard)" if not enforce_floors
+                    else "floor speedup missing from candidate",
+                    ok=not enforce_floors))
+                continue
+            checks.append(Check(
+                f"{name}/floor/{sname}", floor, cand_speedup,
+                f"absolute floor {floor:.2f}",
+                ok=cand_speedup >= floor))
     return checks
 
 
@@ -148,6 +169,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="minimum candidate/baseline speedup ratio")
     parser.add_argument("--allow-missing", action="store_true",
                         help="missing workloads/versions are not regressions")
+    parser.add_argument("--enforce-floors", action="store_true",
+                        help="a speedup_floors entry the candidate did not "
+                             "measure is itself a regression (use on "
+                             "runners known to have the cores)")
     args = parser.parse_args(argv)
     try:
         baseline = _load(args.baseline)
@@ -160,7 +185,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         min_throughput_ratio=args.min_throughput_ratio,
         frac_tol=args.frac_tol, frac_floor=args.frac_floor,
         min_speedup_ratio=args.min_speedup_ratio,
-        allow_missing=args.allow_missing)
+        allow_missing=args.allow_missing,
+        enforce_floors=args.enforce_floors)
     print(format_report(checks, baseline, candidate))
     return 1 if any(not c.ok for c in checks) else 0
 

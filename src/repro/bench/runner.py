@@ -135,6 +135,78 @@ def run_batched_case(case: BenchCase) -> dict:
     }
 
 
+def run_parallel_case(case: BenchCase, progress=None) -> dict:
+    """Run the multi-core crowd-scaling case across its worker counts.
+
+    Worker counts that would oversubscribe the host (``workers + 1``
+    processes: the parent coordinates while workers compute) are skipped
+    and reported in the workload's ``skipped`` list — the CPU guard that
+    keeps the case meaningful on small CI runners.  Energy traces must
+    come out bitwise identical across every count that ran (the
+    determinism contract of docs/parallel_crowds.md); a mismatch fails
+    the whole bench run.
+
+    Kernel-level hot-spot taxonomy is not meaningful from the parent
+    process (the kernels run inside the workers), so entries carry a
+    single ``crowd`` category; the per-scope breakdown lives in the
+    metrics tree when ``REPRO_METRICS=1`` is armed.
+    """
+    from repro.batched import JastrowSystemSpec
+    from repro.parallel.crowds import ParallelCrowdDriver
+    from repro.parallel.shm import _layout
+
+    ncpu = os.cpu_count() or 1
+    spec = JastrowSystemSpec(n=case.n, seed=7)
+    _, state_bytes = _layout(case.nwalkers, case.n)
+    versions: Dict[str, dict] = {}
+    skipped = []
+    traces: Dict[str, tuple] = {}
+    for nworkers in case.workers:
+        label = "serial" if nworkers == 0 else f"w{nworkers}"
+        if nworkers + 1 > ncpu:
+            skipped.append(label)
+            if progress is not None:
+                progress(f"  {case.name}: skipping {label} "
+                         f"(needs {nworkers + 1} CPUs, host has {ncpu})")
+            continue
+        drv = ParallelCrowdDriver(spec, case.nwalkers, case.seed,
+                                  workers=nworkers, timestep=0.3)
+        try:
+            res = drv.run(case.steps, mode="vmc")
+        finally:
+            drv.close()
+        traces[label] = tuple(res.energies)
+        entry = _version_entry(
+            throughput=res.throughput,
+            seconds_per_step=res.elapsed / case.steps,
+            total_seconds=res.elapsed,
+            hotspots={"crowd": 1.0},
+            peak_walker_bytes=state_bytes / case.nwalkers)
+        entry["workers"] = nworkers
+        entry["setup_seconds"] = float(res.extra.get("setup_seconds", 0.0))
+        versions[label] = entry
+    if len(set(traces.values())) > 1:
+        raise RuntimeError(
+            f"{case.name}: energy traces are NOT bitwise identical across "
+            f"worker counts {sorted(traces)} — determinism regression")
+    speedups = {}
+    serial = versions.get("serial")
+    if serial is not None:
+        for label, entry in versions.items():
+            if label != "serial":
+                speedups[f"{label}_over_serial"] = (
+                    entry["throughput"] / serial["throughput"])
+    return {
+        "name": case.name, "kind": "parallel", "n_electrons": case.n,
+        "steps": case.steps, "walkers": case.nwalkers,
+        "versions": versions, "speedups": speedups, "skipped": skipped,
+        "trace_bitwise_identical": bool(traces),
+    }
+
+
+_CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case}
+
+
 def run_suite(suite_name: str, tag: str,
               progress=None) -> dict:
     """Run every case of a named suite and return the artifact document."""
@@ -147,10 +219,10 @@ def run_suite(suite_name: str, tag: str,
             progress(f"running {case.kind} case {case.name} "
                      f"(versions: {', '.join(case.versions)})")
         with METRICS.scope(f"bench:{case.name}"):
-            if case.kind == "system":
-                workloads.append(run_system_case(case))
+            if case.kind == "parallel":
+                workloads.append(run_parallel_case(case, progress=progress))
             else:
-                workloads.append(run_batched_case(case))
+                workloads.append(_CASE_RUNNERS[case.kind](case))
     doc = {
         "schema": BENCH_SCHEMA_VERSION,
         "tag": tag,

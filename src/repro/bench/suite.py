@@ -14,6 +14,12 @@ Two kinds of cases:
   per-walker machinery (``ref``) vs the walker-batched driver
   (``batched``) on the identical :class:`JastrowSystemSpec`, the repo's
   headline ~18x walker-throughput win.
+* ``parallel`` — multi-core crowd scaling: the same batched workload
+  through :class:`~repro.parallel.crowds.ParallelCrowdDriver` at each
+  worker count in ``workers`` (0 = in-process serial).  Worker counts
+  needing more CPUs than the host has are skipped (the CPU guard), and
+  the runner asserts the energy traces are bitwise identical across all
+  counts that did run.
 """
 
 from __future__ import annotations
@@ -36,21 +42,23 @@ class BenchCase:
     """One row of a bench suite."""
 
     name: str
-    kind: str                      # "system" | "batched"
+    kind: str                      # "system" | "batched" | "parallel"
     versions: Tuple[str, ...]
     # system-kind knobs
     workload: str = ""
     scale: float = 1.0
     walkers: int = 1
-    # batched-kind knobs
+    # batched-kind knobs (parallel reuses n / nwalkers)
     n: int = 0
     nwalkers: int = 0
+    # parallel-kind knobs: worker-process counts (0 = in-process serial)
+    workers: Tuple[int, ...] = ()
     # shared
     steps: int = 2
     seed: int = 21
 
     def __post_init__(self):
-        if self.kind not in ("system", "batched"):
+        if self.kind not in ("system", "batched", "parallel"):
             raise ValueError(f"unknown bench kind {self.kind!r}")
 
 
@@ -63,6 +71,9 @@ QUICK_SUITE = (
               workload="Graphite", scale=0.125, walkers=2, steps=2),
     BenchCase(name="jastrow-N32-W16", kind="batched",
               versions=("ref", "batched"), n=32, nwalkers=16, steps=2),
+    BenchCase(name="crowds-N32-W32", kind="parallel",
+              versions=("serial", "w2", "w4"),
+              n=32, nwalkers=32, workers=(0, 2, 4), steps=2),
 )
 
 #: The fuller trajectory: two chemistries, all three versions, and a
@@ -87,6 +98,20 @@ SMOKE_SUITE = (
               workload="Graphite", scale=0.0625, walkers=1, steps=1),
     BenchCase(name="jastrow-N12-W4", kind="batched",
               versions=("ref", "batched"), n=12, nwalkers=4, steps=1),
+    BenchCase(name="crowds-N8-W4", kind="parallel",
+              versions=("serial", "w1"),
+              n=8, nwalkers=4, workers=(0, 1), steps=1),
 )
 
-SUITES = {"quick": QUICK_SUITE, "full": FULL_SUITE, "smoke": SMOKE_SUITE}
+#: Multi-core crowd scaling (``make bench-parallel``): one sized
+#: workload, workers = 0/1/2/4.  Per-walker compute dominates at this
+#: size, so the speedup-vs-workers curve reflects crowd parallelism
+#: rather than sync overhead.
+PARALLEL_SUITE = (
+    BenchCase(name="crowds-N48-W64", kind="parallel",
+              versions=("serial", "w1", "w2", "w4"),
+              n=48, nwalkers=64, workers=(0, 1, 2, 4), steps=2),
+)
+
+SUITES = {"quick": QUICK_SUITE, "full": FULL_SUITE, "smoke": SMOKE_SUITE,
+          "parallel": PARALLEL_SUITE}

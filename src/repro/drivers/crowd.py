@@ -12,12 +12,19 @@ Execution is cooperative (one OS thread — the structural fidelity is
 the point: clone correctness, shared read-only state, disjoint mutable
 state), with an optional real thread pool since NumPy kernels release
 the GIL.
+
+.. deprecated:: the ``workers > 0`` thread pool.  The Python-level
+   bookkeeping between kernels keeps the GIL, so threads cannot deliver
+   real multi-core speedup here; use
+   :class:`repro.parallel.crowds.ParallelCrowdDriver`, which runs one
+   crowd per OS *process* over shared-memory walker blocks.
 """
 
 from __future__ import annotations
 
 import copy
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
@@ -95,9 +102,15 @@ class CrowdDriver:
                 np.random.default_rng(rng.integers(2 ** 63)),
                 timestep=timestep, use_drift=use_drift,
                 precision=cfg.precision))
-        self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=workers) if workers > 0
-            else None)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if workers > 0:
+            warnings.warn(
+                "CrowdDriver(workers>0) is thread-based and GIL-bound; "
+                "use repro.parallel.crowds.ParallelCrowdDriver for real "
+                "multi-core crowd parallelism",
+                DeprecationWarning, stacklevel=2)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="crowd")
 
     def run(self, walkers: int = 8, steps: int = 5) -> QMCResult:
         """Distribute ``walkers`` over crowds with fixed dealing
@@ -124,6 +137,29 @@ class CrowdDriver:
                   if i % self.n_crowds == c] for c in range(self.n_crowds)]
         result = QMCResult(method="VMC(crowds)", steps=steps)
         t0 = time.perf_counter()
+        try:
+            self._run_steps(steps, walkers, deals, streams, result)
+        except BaseException:
+            # A crowd_step that raised inside the pool must not leave
+            # queued work running against half-updated walker state.
+            self.close(cancel=True)
+            raise
+        result.elapsed = time.perf_counter() - t0
+        moves = sum(d.n_moves for d in self.drivers)
+        accepts = sum(d.n_accept for d in self.drivers)
+        result.acceptance = accepts / moves if moves else 0.0
+        # Reduce the per-crowd accumulators, as the per-walker VMCDriver
+        # reports its own (same QMCResult surface for both drivers).
+        merged = EstimatorManager()
+        for d in self.drivers:
+            merged.merge(d.estimators)
+        result.estimators = merged
+        result.extra["moves"] = float(moves)
+        result.extra["accepted"] = float(accepts)
+        return result
+
+    def _run_steps(self, steps: int, walkers: int, deals, streams,
+                   result: QMCResult) -> None:
         with METRICS.scope("CrowdVMC"):
             for step in range(1, steps + 1):
                 recompute = self.drivers[0].precision.should_recompute(step)
@@ -145,27 +181,18 @@ class CrowdDriver:
                         crowd_step(i)
                 result.energies.append(float(np.mean(energies)))
                 result.populations.append(walkers)
-        result.elapsed = time.perf_counter() - t0
-        moves = sum(d.n_moves for d in self.drivers)
-        accepts = sum(d.n_accept for d in self.drivers)
-        result.acceptance = accepts / moves if moves else 0.0
-        # Reduce the per-crowd accumulators, as the per-walker VMCDriver
-        # reports its own (same QMCResult surface for both drivers).
-        merged = EstimatorManager()
-        for d in self.drivers:
-            merged.merge(d.estimators)
-        result.estimators = merged
-        result.extra["moves"] = float(moves)
-        result.extra["accepted"] = float(accepts)
-        return result
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+    def close(self, cancel: bool = False) -> None:
+        """Idempotent pool shutdown; ``cancel`` drops queued work."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True, cancel_futures=cancel)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
 
     def __enter__(self) -> "CrowdDriver":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        self.close(cancel=exc_type is not None)

@@ -11,6 +11,10 @@ R003  element-wise / strided SoA-row access in a hot scope: converting a
       a slice (``data[:, i]``) instead of consuming the contiguous row
 R004  accumulation carried in ``value_dtype`` where the paper mandates
       ``accum_dtype`` (per-walker sums are always double; Sec. 7.2)
+R005  per-step serialization of array payloads in a hot scope — pickling
+      walker state, or shipping arrays through ``.send()``/``.put()``
+      pipes/queues; bulk state crosses processes only through the
+      shared-memory blocks (docs/parallel_crowds.md zero-copy contract)
 ===== =====================================================================
 
 The checks are deliberately heuristic: they key off the naming and idiom
@@ -339,7 +343,52 @@ class RuleR004(ScopedVisitor):
         self.generic_visit(node)
 
 
-ALL_RULES = [RuleR001, RuleR002, RuleR003, RuleR004]
+class RuleR005(ScopedVisitor):
+    """Per-step serialization of array payloads inside a hot scope."""
+
+    rule = "R005"
+
+    PICKLE_MODULES = {"pickle", "cPickle", "cloudpickle", "marshal"}
+    PICKLE_FUNCS = {"dumps", "loads", "dump", "load"}
+    SHIP_METHODS = {"send", "put", "send_bytes", "put_nowait"}
+    #: names whose appearance in a shipped payload marks it array-ish —
+    #: the canonical walker-state fields plus the SoA containers.
+    ARRAYISH: Set[str] = SOA_RECEIVERS | {
+        "R", "weight", "logpsi", "local_energy", "age",
+        "batch", "positions", "walkers", "G", "L",
+    }
+
+    def _is_pickle_call(self, node: ast.Call) -> bool:
+        return (isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.PICKLE_FUNCS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in self.PICKLE_MODULES)
+
+    def _mentions_array(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            name = _receiver_name(sub)
+            if name in self.ARRAYISH:
+                return True
+        return False
+
+    def visit_Call(self, node: ast.Call):
+        if self.hot:
+            if self._is_pickle_call(node):
+                self.report(node, (
+                    "pickling inside a hot scope — walker state crosses "
+                    "process boundaries through shared-memory blocks "
+                    "(SharedWalkerState), never per-step serialization"))
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in self.SHIP_METHODS \
+                    and any(self._mentions_array(a) for a in node.args):
+                self.report(node, (
+                    f".{node.func.attr}() of an array payload in a hot "
+                    f"scope — only small control tuples ride the pipes; "
+                    f"bulk walker arrays go through shared memory"))
+        self.generic_visit(node)
+
+
+ALL_RULES = [RuleR001, RuleR002, RuleR003, RuleR004, RuleR005]
 
 #: short catalog for reporters and docs
 RULE_CATALOG = {
@@ -347,4 +396,5 @@ RULE_CATALOG = {
     "R002": "hard-coded dtype literal in a hot kernel",
     "R003": "SoA row conversion/copy or strided gather in a hot kernel",
     "R004": "accumulation in value_dtype where accum_dtype is mandated",
+    "R005": "per-step pickling or pipe-shipping of arrays in a hot kernel",
 }

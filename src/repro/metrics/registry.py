@@ -84,6 +84,20 @@ class ScopeNode:
         """Inclusive time minus the children's inclusive time."""
         return self.seconds - sum(c.seconds for c in self.children.values())
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScopeNode":
+        """Rebuild a node (recursively) from its :meth:`as_dict` form —
+        the inverse used when merging another *process's* snapshot."""
+        node = cls(str(data.get("name", "?")))
+        node.calls = int(data.get("calls", 0))
+        node.seconds = float(data.get("inclusive_s", 0.0))
+        node.bytes_moved = int(data.get("bytes_moved", 0))
+        node.counters = dict(data.get("counters", {}))
+        for child in data.get("children", ()):
+            rebuilt = cls.from_dict(child)
+            node.children[rebuilt.name] = rebuilt
+        return node
+
     def merge(self, other: "ScopeNode") -> None:
         """Fold ``other`` (same name) into this node, recursively."""
         self.calls += other.calls
@@ -213,6 +227,25 @@ class MetricsRegistry:
         node = self._state().current.child(name)
         node.calls += 1
         node.seconds += float(seconds)
+
+    def merge_snapshot(self, snapshot: dict, label: str = "remote") -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is the cross-*process* analogue of the per-thread merge: a
+        worker process snapshots its private registry at join time, ships
+        the JSON-ready dict over the control pipe (one message per worker
+        per run, never per step), and the parent grafts it here.  The
+        merged tree is indistinguishable from one recorded by an extra
+        thread, so ``snapshot``/``flat``/``exclusive_by_name`` all see
+        the workers' scopes."""
+        root = ScopeNode("<root>")
+        for child in snapshot.get("scopes", ()):
+            rebuilt = ScopeNode.from_dict(child)
+            root.children[rebuilt.name] = rebuilt
+        state = _ThreadState(self._generation)
+        state.root = root
+        with self._lock:
+            self._states.append((label, state))
 
     # -- reporting --------------------------------------------------------------
     def _merged_root(self) -> ScopeNode:

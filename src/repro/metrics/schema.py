@@ -73,8 +73,9 @@ def _check_workload(entry: Any, index: int, errors: List[str]) -> None:
     for key, typ in (("name", str), ("kind", str), ("versions", dict)):
         if not isinstance(entry.get(key), typ):
             _err(errors, f"{path}.{key}", f"missing or not a {typ.__name__}")
-    if entry.get("kind") not in (None, "system", "batched"):
-        _err(errors, f"{path}.kind", "must be 'system' or 'batched'")
+    if entry.get("kind") not in (None, "system", "batched", "parallel"):
+        _err(errors, f"{path}.kind",
+             "must be 'system', 'batched' or 'parallel'")
     versions = entry.get("versions")
     if isinstance(versions, dict):
         if not versions:
@@ -89,6 +90,18 @@ def _check_workload(entry: Any, index: int, errors: List[str]) -> None:
             if not isinstance(value, (int, float)) or isinstance(value, bool) \
                     or value <= 0:
                 _err(errors, f"{path}.speedups.{label}",
+                     "must be a positive number")
+    # Absolute floors a candidate's speedups must meet (the multi-core
+    # scaling gate); enforced by repro.bench.compare when the candidate
+    # actually measured the named speedup (the CPU guard may skip it).
+    floors = entry.get("speedup_floors", {})
+    if not isinstance(floors, dict):
+        _err(errors, f"{path}.speedup_floors", "must be an object")
+    else:
+        for label, value in floors.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value <= 0:
+                _err(errors, f"{path}.speedup_floors.{label}",
                      "must be a positive number")
 
 

@@ -1,21 +1,34 @@
-"""Simulated multi-node layer (Fig. 1).
+"""Multi-node and multi-core parallelism layers.
 
-QMCPACK's communication pattern is tiny and fixed (Sec. 8): an allreduce
-per generation for E_T / global averages, plus send/recv of serialized
+Two tiers live here.  The *simulated* tier (Fig. 1): QMCPACK's
+communication pattern is tiny and fixed (Sec. 8) — an allreduce per
+generation for E_T / global averages, plus send/recv of serialized
 Walker objects during load balancing.  :class:`SimComm` reproduces that
 pattern in-process with full byte accounting; :class:`WalkerLoadBalancer`
-implements the excess-to-deficit walker exchange;
-:class:`SimCluster` combines them with a node performance model and an
-interconnect model into the strong-scaling curves of Fig. 1.
+implements the excess-to-deficit walker exchange; :class:`SimCluster`
+combines them with a node performance model and an interconnect model
+into the strong-scaling curves of Fig. 1.
+
+The *real-cores* tier (docs/parallel_crowds.md):
+:class:`ParallelCrowdDriver` runs one batched crowd per worker process
+over :class:`SharedWalkerState` shared-memory blocks, with
+:class:`SharedMemComm` carrying the same collective vocabulary as
+:class:`SimComm` across genuine OS processes.
 """
 
 from repro.parallel.simcomm import SimComm
 from repro.parallel.balancer import WalkerLoadBalancer
 from repro.parallel.cluster import SimCluster, Interconnect, ScalingPoint
 from repro.parallel.distributed import DistributedDMCDriver
+from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
+from repro.parallel.shmcomm import CommPeerLost, CommTimeout, SharedMemComm
+from repro.parallel.crowds import ParallelCrowdDriver
 
 __all__ = [
     "SimComm", "WalkerLoadBalancer",
     "SimCluster", "Interconnect", "ScalingPoint",
     "DistributedDMCDriver",
+    "SharedWalkerState", "SharedTraceBlock",
+    "SharedMemComm", "CommTimeout", "CommPeerLost",
+    "ParallelCrowdDriver",
 ]

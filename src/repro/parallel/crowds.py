@@ -1,0 +1,649 @@
+"""Process-pool crowds over shared-memory WalkerBatch blocks.
+
+This is the repo's real-cores realization of the paper's hierarchical
+parallelism: the population of W walkers is dealt round-robin into K
+*crowds*, each driven by a :class:`~repro.batched.driver.BatchedCrowdDriver`
+running in its own OS process.  The canonical walker state — positions,
+weights, log Psi, E_L, age — lives in one
+:class:`~repro.parallel.shm.SharedWalkerState` segment; every worker's
+``WalkerBatch`` is built over *strided views* of that segment
+(``arr[c::K]``), so an accepted Metropolis move is committed straight
+into shared memory and **no walker state is ever pickled per step**
+(the contract ``repro.lint`` rule R005 enforces on hot scopes).
+
+Per generation the parent (rank 0 of a :class:`SharedMemComm`) runs the
+genuine Alg.-1 sync pattern: broadcast the step command with the trial
+energy, gather each crowd's population/acceptance token, then reduce
+E_mixed **in walker order over the full shared arrays** — the
+shared-memory form of the E_T allreduce, and the reason collective
+results are bitwise independent of the worker count.  DMC branching
+(stochastic-reconfiguration comb, fixed population) is applied by the
+parent directly to the shared block, which *is* the walker migration
+between crowds: a clone landing in another crowd's slot is nothing more
+than the parent rewriting that slot's slices.
+
+Determinism contract (tested in ``tests/parallel/test_crowds.py``):
+walker ``w`` owns RNG stream ``w`` of the master seed regardless of
+which crowd or process hosts it, per-walker batched arithmetic is
+independent of batch width (the PR-2 differential gate), and all
+numerically sensitive reductions happen parent-side over walker-ordered
+arrays — so energy traces are **bitwise identical** for
+``workers`` in {0, 1, N}.
+
+Crash semantics: every generation starts with a parent-side checkpoint
+of the shared block.  A dead or wedged worker is detected by liveness
+polling inside the collectives; the parent then terminates the pool,
+restores the checkpoint, respawns all crowds with
+``start_generation = g`` (workers fast-forward their walkers' RNG
+streams by replaying the per-generation draw pattern) and re-issues
+generation ``g`` — so the post-crash energy trace is bitwise equal to
+the crash-free one.  Incidents are counted in ``result.extra`` and the
+``crowd_worker_respawns`` metrics counter.
+"""
+
+# repro: hot
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.batched.driver import BatchedCrowdDriver
+from repro.batched.system import BatchedHamiltonian, JastrowSystemSpec, \
+    walker_streams
+from repro.batched.walkerbatch import WalkerBatch
+from repro.drivers.dmc import DMCDriver
+from repro.drivers.result import QMCResult
+from repro.estimators.scalar import EstimatorManager
+from repro.metrics.registry import METRICS
+from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
+from repro.parallel.shmcomm import CommPeerLost, CommTimeout, SharedMemComm
+from repro.precision.policy import FULL, PrecisionPolicy
+
+__all__ = ["ParallelCrowdDriver"]
+
+#: per-walker fields of the shared state block, in layout order
+_STATE_FIELDS = ("R", "weight", "logpsi", "local_energy", "age")
+
+
+class _WorkerDown(RuntimeError):
+    """A worker process died or stopped responding (internal signal)."""
+
+
+class _LocalWalkerState:  # repro: cold
+    """Plain-numpy stand-in for :class:`SharedWalkerState` used by the
+    ``workers=0`` serial path, so the driver loop is identical."""
+
+    def __init__(self, nwalkers: int, n: int):
+        self.nw = int(nwalkers)
+        self.n = int(n)
+        self.R = np.zeros((self.nw, self.n, 3))
+        self.weight = np.ones(self.nw)
+        self.logpsi = np.zeros(self.nw)
+        self.local_energy = np.zeros(self.nw)
+        self.age = np.zeros(self.nw, dtype=np.int64)
+
+    def crowd_views(self, crowd: int, n_crowds: int) -> Dict[str, np.ndarray]:
+        return {name: getattr(self, name)[crowd::n_crowds]
+                for name in _STATE_FIELDS}
+
+    def checkpoint(self) -> Dict[str, np.ndarray]:
+        return {name: getattr(self, name).copy() for name in _STATE_FIELDS}
+
+    def close(self) -> None:
+        pass
+
+
+class _LocalTrace:  # repro: cold
+    """Plain-numpy stand-in for :class:`SharedTraceBlock` (serial path)."""
+
+    def __init__(self, steps: int, nwalkers: int, ncomp: int):
+        self.weight = np.zeros((steps, nwalkers))
+        self.local_energy = np.zeros((steps, nwalkers))
+        self.components = np.zeros((steps, nwalkers, ncomp))
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight.copy(),
+                "local_energy": self.local_energy.copy(),
+                "components": self.components.copy()}
+
+    def close(self) -> None:
+        pass
+
+
+class _CrowdEngine:
+    """One crowd's driver over its strided views of the shared state.
+
+    Used identically by the serial path (crowd 0 of 1, plain arrays) and
+    by every worker process (crowd c of K, shared-memory views), which is
+    what makes ``workers=0`` a bitwise reference for ``workers=N``.
+    """
+
+    def __init__(self, spec: JastrowSystemSpec, state, trace, crowd: int,
+                 n_crowds: int, total_walkers: int, master_seed: int,
+                 timestep: float, use_drift: bool,
+                 precision: PrecisionPolicy, mode: str,
+                 start_generation: int = 1):
+        self.crowd = int(crowd)
+        self.n_crowds = int(n_crowds)
+        self.mode = mode
+        self.tau = float(timestep)
+        self.trace = trace
+        #: this crowd's columns of the (steps, W) trace arrays
+        self.cols = slice(self.crowd, None, self.n_crowds)
+        views = state.crowd_views(crowd, n_crowds)
+        self.nw = views["R"].shape[0]
+        # RNG-stream contract: walker w owns stream w of the master seed
+        # no matter which crowd hosts it; a respawned engine fast-forwards
+        # by replaying the exact per-generation draw pattern of the sweep
+        # (one (n, 3) Gaussian block then n uniforms, per walker).
+        streams = walker_streams(master_seed, total_walkers)
+        rngs = [streams[w] for w in range(crowd, total_walkers, n_crowds)]
+        n = spec.n
+        sqrt_tau = math.sqrt(self.tau)
+        for _ in range(start_generation - 1):
+            for rng in rngs:
+                rng.normal(scale=sqrt_tau, size=(n, 3))
+            for rng in rngs:
+                rng.uniform(size=n)
+        batch = WalkerBatch.attach(
+            views["R"], views["weight"], views["logpsi"],
+            views["local_energy"], views["age"], dtype=precision)
+        self.driver = BatchedCrowdDriver(
+            spec, self.nw, 0, timestep, use_drift, precision,
+            batch=batch, rngs=rngs)
+        # Initial E_L through the same path measure() uses, so a respawn
+        # reproduces the checkpointed values bitwise.
+        drv = self.driver
+        drv._evaluate_gl()
+        batch.local_energy[...] = drv.ham.evaluate(
+            batch, drv.tables, drv.G, drv.L)
+        self._needs_refresh = False
+
+    def run_generation(self, step: int,
+                       e_trial: Optional[float] = None) -> int:  # repro: hot
+        """Advance this crowd one generation; returns accepted moves."""
+        drv = self.driver
+        batch = drv.batch
+        if self.mode == "dmc":
+            if self._needs_refresh:
+                # The parent's branch commit rewrote positions behind the
+                # driver's back; resync tables/Rsoa from shared memory.
+                drv.refresh_from_positions()
+            el_old = batch.local_energy.copy()
+            drv.sweep()
+            el_new = drv.measure()
+            self._record(step, el_new)  # pre-reweight weights, like store_walker
+            stuck = drv.last_sweep_accepts == 0
+            batch.age[stuck] += 1
+            batch.age[~stuck] = 0
+            batch.weight *= np.exp(
+                -self.tau * (0.5 * (el_old + el_new) - e_trial))
+            aged = batch.age > DMCDriver.MAX_AGE
+            if np.any(aged):
+                batch.weight[aged] = np.minimum(batch.weight[aged], 0.5)
+            self._needs_refresh = True
+        else:
+            if drv.precision.should_recompute(step):
+                batch.logpsi[...] = drv._evaluate_log()
+            drv.sweep()
+            el_new = drv.measure()
+            self._record(step, el_new)
+            batch.age += 1
+        return int(np.sum(drv.last_sweep_accepts))
+
+    def _record(self, step: int, el: np.ndarray) -> None:  # repro: hot
+        """Write this generation's estimator inputs into the trace block
+        (strided shared-memory columns — never pickled)."""
+        row = step - 1
+        self.trace.local_energy[row, self.cols] = el
+        self.trace.weight[row, self.cols] = self.driver.batch.weight
+        comps = self.driver.ham.last_components
+        for i, name in enumerate(self.driver.ham.names):
+            self.trace.components[row, self.cols, i] = comps[name]
+
+
+@dataclass
+class _WorkerConfig:  # repro: cold
+    """Everything a worker process needs, shipped once at spawn."""
+
+    spec: JastrowSystemSpec
+    master_seed: int
+    total_walkers: int
+    n: int
+    crowd: int
+    n_crowds: int
+    timestep: float
+    use_drift: bool
+    precision: PrecisionPolicy
+    mode: str
+    steps: int
+    start_generation: int
+    state_name: str
+    trace_name: str
+    ncomp: int
+    comm: SharedMemComm
+    metrics_enabled: bool
+    crash_generation: Optional[int] = None  # injected-fault hook (tests)
+
+
+def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
+    """Worker-process entry: attach shared blocks, build the crowd
+    engine, then serve generation commands until told to stop."""
+    comm = cfg.comm
+    state = None
+    trace = None
+    failed = False
+    try:
+        METRICS.enabled = bool(cfg.metrics_enabled)
+        METRICS.reset()
+        state = SharedWalkerState.attach(
+            cfg.state_name, cfg.total_walkers, cfg.n)
+        trace = SharedTraceBlock.attach(
+            cfg.trace_name, cfg.steps, cfg.total_walkers, cfg.ncomp)
+        engine = _CrowdEngine(
+            cfg.spec, state, trace, cfg.crowd, cfg.n_crowds,
+            cfg.total_walkers, cfg.master_seed, cfg.timestep,
+            cfg.use_drift, cfg.precision, cfg.mode, cfg.start_generation)
+        comm.allgather(("ready", cfg.crowd, os.getpid()))
+        with METRICS.scope("Crowd"):
+            while True:
+                cmd = comm.bcast()
+                if cmd[0] == "stop":
+                    break
+                _, step, e_trial = cmd
+                if (cfg.crash_generation is not None
+                        and step >= cfg.crash_generation):
+                    os._exit(23)  # injected fault: die without cleanup
+                accepted = engine.run_generation(step, e_trial)
+                comm.allgather(("done", accepted, engine.nw))
+        payload = {
+            "crowd": cfg.crowd,
+            "nw": engine.nw,
+            "n_moves": engine.driver.n_moves,
+            "n_accept": engine.driver.n_accept,
+            "metrics": METRICS.snapshot() if METRICS.enabled else None,
+            "comm": {"allreduce_count": comm.allreduce_count,
+                     "p2p_messages": comm.p2p_messages,
+                     "p2p_bytes": comm.p2p_bytes},
+        }
+        comm.allgather(payload)
+    except (CommTimeout, CommPeerLost, EOFError, OSError):
+        failed = True  # the parent vanished or replaced this incarnation
+    finally:
+        for obj in (trace, state):
+            if obj is not None:
+                try:
+                    obj.close()
+                except Exception:  # pragma: no cover
+                    pass
+        try:
+            comm.close()
+        except Exception:  # pragma: no cover
+            pass
+    if failed:
+        os._exit(1)
+
+
+class ParallelCrowdDriver:  # repro: cold
+    """VMC/DMC over K crowd processes sharing one walker-state block.
+
+    ``workers=0`` runs the identical generation loop in-process (the
+    bitwise reference); ``workers=K >= 1`` spawns K crowd processes.
+    See the module docstring for the determinism and crash contracts.
+    """
+
+    def __init__(self, spec: JastrowSystemSpec, nwalkers: int,
+                 master_seed: int, workers: int = 0, timestep: float = 0.5,
+                 use_drift: bool = True, precision: PrecisionPolicy = FULL,
+                 sync_timeout: float = 120.0, liveness_poll: float = 0.25,
+                 max_respawns: int = 3, start_method: Optional[str] = None,
+                 crash_plan: Optional[Dict[int, int]] = None):
+        if nwalkers < 1:
+            raise ValueError(f"need at least one walker, got {nwalkers}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.spec = spec
+        self.nw = int(nwalkers)
+        self.master_seed = int(master_seed)
+        self.workers = min(int(workers), self.nw)
+        self.tau = float(timestep)
+        self.use_drift = use_drift
+        self.precision = precision
+        self.sync_timeout = float(sync_timeout)
+        self.liveness_poll = float(liveness_poll)
+        self.max_respawns = int(max_respawns)
+        #: {crowd: generation} — worker ``crowd`` (incarnation 0 only)
+        #: calls ``os._exit`` on reaching that generation; test hook for
+        #: the detect-and-respawn path.  Ignored when ``workers == 0``.
+        self.crash_plan = dict(crash_plan) if crash_plan else None
+        if start_method is None and "fork" in mp.get_all_start_methods():
+            start_method = "fork"  # cheapest respawn; spawn also works
+        self._ctx = (mp.get_context(start_method) if start_method
+                     else mp.get_context())
+        self._ham_names = tuple(BatchedHamiltonian.names)
+        self.respawns = 0
+        self._procs: Dict[int, mp.process.BaseProcess] = {}
+        self._comm: Optional[SharedMemComm] = None
+        self._state = None
+        self._trace = None
+        self._engine: Optional[_CrowdEngine] = None
+        self._checkpoint: Optional[Dict[str, np.ndarray]] = None
+        self._incarnation = 0
+        self._mode = "vmc"
+        self._steps = 0
+        self._comm_totals = {"allreduce_count": 0, "p2p_messages": 0,
+                             "p2p_bytes": 0.0}
+
+    # -- the run loop (shared by serial and process paths) -----------------------
+    def run(self, steps: int = 10, mode: str = "vmc") -> QMCResult:
+        """Run ``steps`` generations; one fresh worker pool per call."""
+        if mode not in ("vmc", "dmc"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if steps < 1:
+            raise ValueError(f"need at least one step, got {steps}")
+        self._mode = mode
+        self._steps = int(steps)
+        self._incarnation = 0
+        self.respawns = 0
+        self._comm_totals = {"allreduce_count": 0, "p2p_messages": 0,
+                             "p2p_bytes": 0.0}
+        W, n = self.nw, self.spec.n
+        ncomp = len(self._ham_names)
+        shared = self.workers > 0
+        t_setup = time.perf_counter()
+        if shared:
+            self._state = SharedWalkerState.create(W, n)
+            self._trace = SharedTraceBlock.create(steps, W, ncomp)
+        else:
+            self._state = _LocalWalkerState(W, n)
+            self._trace = _LocalTrace(steps, W, ncomp)
+        state = self._state
+        state.R[...] = self.spec.initial_positions(W)
+        label = "ParallelDMC" if mode == "dmc" else "ParallelVMC"
+        result = QMCResult(
+            method=f"{mode.upper()}(crowds x{max(self.workers, 1)})",
+            steps=steps)
+        accepted_total = 0
+        branch_rng = np.random.default_rng(
+            np.random.SeedSequence(self.master_seed).spawn(W + 1)[W])
+        try:
+            if shared:
+                self._ensure_pool(1)
+            else:
+                self._engine = _CrowdEngine(
+                    self.spec, state, self._trace, 0, 1, W,
+                    self.master_seed, self.tau, self.use_drift,
+                    self.precision, mode, 1)
+            setup_s = time.perf_counter() - t_setup
+            e_trial = (float(np.mean(state.local_energy))
+                       if mode == "dmc" else None)
+            e_best = e_trial
+            t0 = time.perf_counter()
+            with METRICS.scope(label):
+                for step in range(1, steps + 1):
+                    self._checkpoint = state.checkpoint()
+                    if shared:
+                        accepted_total += self._parallel_generation(
+                            step, e_trial)
+                    else:
+                        accepted_total += self._engine.run_generation(
+                            step, e_trial)
+                    el = state.local_energy
+                    if mode == "vmc":
+                        result.energies.append(float(np.mean(el)))
+                        result.populations.append(W)
+                    else:
+                        # E_T sync (Alg. 1, L14): the shared-memory form
+                        # of the allreduce — reduce in walker order over
+                        # the full shared arrays, every crowd sees the
+                        # result in the next generation's broadcast.
+                        weights = state.weight
+                        wsum = float(np.sum(weights))
+                        if wsum > 0.0:
+                            e_mixed = float(np.sum(weights * el) / wsum)
+                        else:  # extinction guard: reset and carry on
+                            e_mixed = float(np.mean(el))
+                            state.weight[...] = 1.0
+                        result.energies.append(e_mixed)
+                        with METRICS.scope("branch"):
+                            self._branch_comb(state, branch_rng)
+                        e_best = 0.25 * e_best + 0.75 * e_mixed
+                        feedback = 1.0 / (
+                            DMCDriver.FEEDBACK_GENERATIONS * self.tau)
+                        e_trial = e_best - feedback * math.log(W / W)
+                        result.populations.append(W)
+                        result.trial_energies.append(e_trial)
+            elapsed = time.perf_counter() - t0
+            trace_data = self._trace.as_arrays()
+            worker_stats = self._finalize() if shared else None
+        finally:
+            self._teardown()
+        result.elapsed = elapsed
+        moves = steps * W * n
+        result.acceptance = accepted_total / moves if moves else 0.0
+        result.estimators = self._build_estimators(trace_data)
+        result.extra["moves"] = float(moves)
+        result.extra["accepted"] = float(accepted_total)
+        result.extra["workers"] = float(self.workers)
+        result.extra["respawns"] = float(self.respawns)
+        result.extra["setup_seconds"] = float(setup_s)
+        if shared:
+            result.extra["comm_allreduces"] = float(
+                self._comm_totals["allreduce_count"])
+            result.extra["comm_p2p_bytes"] = float(
+                self._comm_totals["p2p_bytes"])
+            if worker_stats:
+                result.extra["worker_moves"] = float(
+                    sum(p["n_moves"] for p in worker_stats))
+        return result
+
+    def run_dmc(self, steps: int = 10) -> QMCResult:
+        return self.run(steps=steps, mode="dmc")
+
+    # -- parent-side DMC branch (walker migration between crowds) ----------------
+    def _branch_comb(self, state, rng: np.random.Generator) -> None:
+        """Stochastic-reconfiguration comb over the shared block: exactly
+        W survivors, weights reset to 1, clones' age reset — applied by
+        rewriting slices in shared memory, which *is* the inter-crowd
+        walker migration (a pick landing in another crowd's slot)."""
+        W = self.nw
+        weights = state.weight.copy()
+        total = float(np.sum(weights))
+        cum = np.cumsum(weights) / total
+        u0 = rng.uniform(0.0, 1.0 / W)
+        points = u0 + np.arange(W) / W
+        picks = np.minimum(np.searchsorted(cum, points), W - 1)
+        age = state.age[picks].copy()
+        first = np.zeros(W, dtype=bool)
+        first[np.unique(picks, return_index=True)[1]] = True
+        age[~first] = 0  # clones restart the stuck-walker clock
+        state.R[...] = state.R[picks]
+        state.logpsi[...] = state.logpsi[picks]
+        state.local_energy[...] = state.local_energy[picks]
+        state.age[...] = age
+        state.weight[...] = 1.0
+
+    # -- process-pool management -------------------------------------------------
+    def _spawn_pool(self, start_generation: int) -> None:
+        """Build a fresh communicator and spawn all K crowd processes;
+        completes the ready barrier (engines built, E_L initialized)."""
+        K = self.workers
+        endpoints = SharedMemComm.world(K + 1, ctx=self._ctx)
+        self._comm = endpoints[0]
+        crash_plan = self.crash_plan if self._incarnation == 0 else None
+        self._incarnation += 1
+        for r in range(1, K + 1):
+            crowd = r - 1
+            cfg = _WorkerConfig(
+                spec=self.spec, master_seed=self.master_seed,
+                total_walkers=self.nw, n=self.spec.n, crowd=crowd,
+                n_crowds=K, timestep=self.tau, use_drift=self.use_drift,
+                precision=self.precision, mode=self._mode,
+                steps=self._steps, start_generation=start_generation,
+                state_name=self._state.name, trace_name=self._trace.name,
+                ncomp=len(self._ham_names), comm=endpoints[r],
+                metrics_enabled=METRICS.enabled,
+                crash_generation=(crash_plan or {}).get(crowd))
+            proc = self._ctx.Process(
+                target=_worker_main, args=(cfg,),
+                name=f"repro-crowd-{crowd}", daemon=True)
+            proc.start()
+            endpoints[r].close()  # parent drops its copy of the child end
+            self._procs[r] = proc
+        self._sync(lambda t: self._comm.allgather(None, timeout=t))
+
+    def _ensure_pool(self, step: int) -> None:
+        while self._comm is None:
+            try:
+                self._spawn_pool(step)
+            except _WorkerDown as exc:
+                self._handle_crash(exc)
+
+    def _parallel_generation(self, step: int,
+                             e_trial: Optional[float]) -> int:
+        """One generation across the pool, surviving worker crashes:
+        command broadcast, crowd execution, done-token allgather."""
+        while True:
+            try:
+                self._ensure_pool(step)
+                self._sync(lambda t: self._comm.bcast(
+                    ("gen", step, e_trial), timeout=t))
+                stats = self._sync(lambda t: self._comm.allgather(
+                    None, timeout=t))
+                return sum(s[1] for s in stats if s is not None)
+            except _WorkerDown as exc:
+                self._handle_crash(exc)
+
+    def _sync(self, op):
+        """Run a root-side collective with liveness-aware polling: wait
+        in short slices, checking worker processes between slices, so a
+        dead worker surfaces in ~``liveness_poll`` seconds rather than
+        after the full ``sync_timeout``."""
+        deadline = time.monotonic() + self.sync_timeout
+        call = op
+        while True:
+            try:
+                return call(self.liveness_poll)
+            except CommPeerLost as exc:
+                raise _WorkerDown(str(exc)) from exc
+            except CommTimeout as exc:
+                dead = [r for r, p in self._procs.items()
+                        if not p.is_alive()]
+                if dead:
+                    raise _WorkerDown(
+                        f"worker ranks {dead} died "
+                        f"(exitcodes {[self._procs[r].exitcode for r in dead]})"
+                    ) from exc
+                if time.monotonic() > deadline:
+                    raise _WorkerDown(
+                        f"ranks {exc.missing} unresponsive for "
+                        f"{self.sync_timeout:.0f}s") from exc
+                if self._comm is not None and self._comm.pending:
+                    call = lambda t: self._comm.resume(timeout=t)
+
+    def _handle_crash(self, exc: _WorkerDown) -> None:
+        """Detect-and-respawn: count the incident, tear the pool down,
+        re-deal the walkers from the generation-start checkpoint.  The
+        next ``_ensure_pool`` respawns every crowd at the current
+        generation (RNG streams fast-forwarded), so the rerun is bitwise
+        identical to a crash-free run."""
+        self.respawns += 1
+        METRICS.count("crowd_worker_respawns")
+        self._terminate_pool()
+        if self.respawns > self.max_respawns:
+            raise RuntimeError(
+                f"gave up after {self.respawns - 1} respawns: {exc}")
+        if self._checkpoint is not None:
+            for name in _STATE_FIELDS:
+                getattr(self._state, name)[...] = self._checkpoint[name]
+
+    def _terminate_pool(self) -> None:
+        for proc in self._procs.values():
+            proc.join(timeout=0.5)  # grace for workers already exiting
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._procs = {}
+        if self._comm is not None:
+            for key in ("allreduce_count", "p2p_messages", "p2p_bytes"):
+                self._comm_totals[key] += getattr(self._comm, key)
+            self._comm.close()
+            self._comm = None
+
+    def _finalize(self) -> List[dict]:
+        """Stop the pool and collect the one-shot final payloads (crowd
+        counters + metrics snapshots), merging each worker's metrics tree
+        into the parent registry in crowd order."""
+        payloads = None
+        while payloads is None:
+            try:
+                self._ensure_pool(self._steps + 1)
+                self._sync(lambda t: self._comm.bcast(("stop",), timeout=t))
+                gathered = self._sync(lambda t: self._comm.allgather(
+                    None, timeout=t))
+                payloads = [p for p in gathered if p is not None]
+            except _WorkerDown as exc:
+                self._handle_crash(exc)
+        for p in sorted(payloads, key=lambda d: d["crowd"]):
+            if p.get("metrics") and METRICS.enabled:
+                METRICS.merge_snapshot(p["metrics"],
+                                       label=f"crowd-{p['crowd']}")
+            for key in ("allreduce_count", "p2p_messages", "p2p_bytes"):
+                self._comm_totals[key] += p["comm"][key]
+        self._terminate_pool()
+        return payloads
+
+    # -- estimators (rebuilt parent-side from the trace block) -------------------
+    def _build_estimators(self,
+                          trace_data: Dict[str, np.ndarray]
+                          ) -> EstimatorManager:
+        """Rebuild the scalar estimator series in (step, walker) order
+        from the trace block — the same order the serial batched driver
+        accumulates in, hence identical across worker counts."""
+        est = EstimatorManager()
+        le = trace_data["local_energy"]
+        wt = trace_data["weight"]
+        comps = trace_data["components"]
+        for s in range(le.shape[0]):
+            for w in range(le.shape[1]):
+                weight = float(wt[s, w])
+                est.accumulate("LocalEnergy", float(le[s, w]), weight)
+                for i, name in enumerate(self._ham_names):
+                    est.accumulate(name, float(comps[s, w, i]), weight)
+        return est
+
+    # -- lifecycle ---------------------------------------------------------------
+    def _teardown(self) -> None:
+        self._terminate_pool()
+        for obj in (self._trace, self._state):
+            if obj is not None:
+                obj.close()
+        self._trace = None
+        self._state = None
+        self._engine = None
+        self._checkpoint = None
+
+    def close(self) -> None:
+        """Idempotent external cleanup (pool, shared segments)."""
+        self._teardown()
+
+    def __enter__(self) -> "ParallelCrowdDriver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ParallelCrowdDriver(nw={self.nw}, workers={self.workers}, "
+                f"seed={self.master_seed})")

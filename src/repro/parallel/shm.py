@@ -1,0 +1,279 @@
+"""Shared-memory walker-state blocks for multi-process crowds.
+
+One :class:`SharedWalkerState` owns a single
+:mod:`multiprocessing.shared_memory` segment holding the canonical
+per-walker arrays of the whole population — ``R`` (W, n, 3) plus the
+per-walker scalars (weight, log Psi, E_L, age) — laid out back to back
+at 64-byte-aligned offsets.  The parent process creates the segment;
+each worker process attaches by name and takes *strided numpy views* of
+its crowd's walkers (``arr[c::k]``), so an accepted Metropolis move is
+committed straight into shared memory by the batched driver's normal
+``WalkerBatch.commit`` write — no pickling of walker state, ever.
+
+Lifecycle contract (see docs/parallel_crowds.md):
+
+* the creating process calls :meth:`unlink` exactly once (idempotent);
+  a ``weakref.finalize`` guard unlinks on interpreter exit if the owner
+  forgot, so a crashed *parent* cannot leak ``/dev/shm`` segments;
+* attaching processes call :meth:`close` only — and their attachment is
+  excluded from the ``resource_tracker`` so a worker's exit (normal or
+  violent) neither unlinks the segment under the parent nor spams
+  tracker warnings.
+"""
+
+from __future__ import annotations
+
+import secrets
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.containers.aligned import CACHE_LINE_BYTES
+
+#: field name -> (per-walker shape tail, dtype)
+_FIELDS: Tuple[Tuple[str, tuple, str], ...] = (
+    ("R", (-1, 3), "float64"),         # -1 = particles per walker
+    ("weight", (), "float64"),
+    ("logpsi", (), "float64"),
+    ("local_energy", (), "float64"),
+    ("age", (), "int64"),
+)
+
+
+def _align(offset: int, alignment: int = CACHE_LINE_BYTES) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def _layout(nwalkers: int, n: int) -> Tuple[Dict[str, tuple], int]:
+    """{field: (offset, shape, dtype)} plus the total segment size."""
+    out: Dict[str, tuple] = {}
+    offset = 0
+    for name, tail, dtype in _FIELDS:
+        shape = (nwalkers,) + tuple(n if d == -1 else d for d in tail)
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        offset = _align(offset)
+        out[name] = (offset, shape, dtype)
+        offset += nbytes
+    return out, _align(offset)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop ``shm`` from this process's resource tracker.
+
+    Attachers must not let their tracker unlink a segment the parent
+    owns (Python < 3.13 has no ``track=False``); failure to unregister
+    only costs a warning at exit, so errors are swallowed.
+    """
+    try:  # pragma: no cover - registry internals differ across versions
+        resource_tracker.unregister("/" + shm.name.lstrip("/"),
+                                    "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedWalkerState:
+    """The population's canonical walker state in one shared segment."""
+
+    def __init__(self, nwalkers: int, n: int,
+                 shm: shared_memory.SharedMemory, owner: bool):
+        self.nw = int(nwalkers)
+        self.n = int(n)
+        self._shm = shm
+        self._owner = owner
+        layout, _ = _layout(self.nw, self.n)
+        for name, (offset, shape, dtype) in layout.items():
+            setattr(self, name, np.ndarray(
+                shape, dtype=dtype, buffer=shm.buf, offset=offset))
+        if owner:
+            self._finalizer = weakref.finalize(
+                self, SharedWalkerState._cleanup, shm)
+        else:
+            self._finalizer = None
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def create(cls, nwalkers: int, n: int) -> "SharedWalkerState":
+        """Allocate a fresh segment (parent side) and zero it."""
+        _, size = _layout(nwalkers, n)
+        name = f"repro-crowds-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        shm.buf[:] = b"\x00" * size
+        state = cls(nwalkers, n, shm, owner=True)
+        state.weight[...] = 1.0
+        return state
+
+    @classmethod
+    def attach(cls, name: str, nwalkers: int, n: int) -> "SharedWalkerState":
+        """Map an existing segment (worker side), untracked."""
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return cls(nwalkers, n, shm, owner=False)
+
+    # -- identity / bookkeeping --------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def crowd_views(self, crowd: int, n_crowds: int) -> Dict[str, np.ndarray]:
+        """Strided views of crowd ``crowd``'s walkers (round-robin deal:
+        crowd c hosts global walkers w with ``w % n_crowds == c``)."""
+        return {name: getattr(self, name)[crowd::n_crowds]
+                for name, _, _ in _FIELDS}
+
+    def checkpoint(self) -> Dict[str, np.ndarray]:
+        """Private (process-local) copy of every field — the parent's
+        generation-start snapshot used to restore a crashed crowd."""
+        return {name: getattr(self, name).copy() for name, _, _ in _FIELDS}
+
+    def restore(self, snapshot: Dict[str, np.ndarray], crowd: int,
+                n_crowds: int) -> None:
+        """Overwrite crowd ``crowd``'s slices from a checkpoint."""
+        for name, _, _ in _FIELDS:
+            getattr(self, name)[crowd::n_crowds] = \
+                snapshot[name][crowd::n_crowds]
+
+    # -- teardown ---------------------------------------------------------------
+    @staticmethod
+    def _cleanup(shm: shared_memory.SharedMemory) -> None:
+        try:
+            shm.close()
+        except (BufferError, OSError):  # a view still pins the mapping;
+            pass                        # the unlink below must still run
+        try:
+            # Re-arm the tracker entry first: forked workers share this
+            # process's tracker, so their attach-time _untrack() removed
+            # our registration and unlink()'s internal unregister would
+            # otherwise make the tracker process print a KeyError.
+            resource_tracker.register("/" + shm.name.lstrip("/"),
+                                      "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+
+    def close(self) -> None:
+        """Drop this process's mapping (attachers); owners also unlink."""
+        for name, _, _ in _FIELDS:  # views pin shm.buf; release them first
+            if hasattr(self, name):
+                delattr(self, name)
+        if self._owner:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._cleanup(self._shm)
+        else:
+            try:
+                self._shm.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    unlink = close  # owner-side alias; close() already unlinks for owners
+
+    def __enter__(self) -> "SharedWalkerState":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SharedWalkerState(nw={self.nw}, n={self.n}, "
+                f"name={self._shm.name!r}, owner={self._owner})")
+
+
+def _trace_layout(steps: int, nwalkers: int,
+                  ncomp: int) -> Tuple[Dict[str, tuple], int]:
+    shapes = (
+        ("weight", (steps, nwalkers)),
+        ("local_energy", (steps, nwalkers)),
+        ("components", (steps, nwalkers, ncomp)),
+    )
+    out: Dict[str, tuple] = {}
+    offset = 0
+    for name, shape in shapes:
+        offset = _align(offset)
+        out[name] = (offset, shape, "float64")
+        offset += int(np.prod(shape)) * 8
+    return out, _align(offset)
+
+
+class SharedTraceBlock:
+    """Per-(step, walker) estimator inputs in one shared segment.
+
+    Workers write each generation's per-walker E_L, pre-branch weight and
+    Hamiltonian components straight into their crowd's columns
+    (``arr[step - 1, c::k]``), so the parent can rebuild the *full*
+    estimator series in deterministic (step, walker) order at the end of
+    the run — identical across worker counts, and intact across a worker
+    crash (a re-run generation simply rewrites its row).
+    """
+
+    def __init__(self, steps: int, nwalkers: int, ncomp: int,
+                 shm: shared_memory.SharedMemory, owner: bool):
+        self.steps = int(steps)
+        self.nw = int(nwalkers)
+        self.ncomp = int(ncomp)
+        self._shm = shm
+        self._owner = owner
+        layout, _ = _trace_layout(self.steps, self.nw, self.ncomp)
+        self._fields = tuple(layout)
+        for name, (offset, shape, dtype) in layout.items():
+            setattr(self, name, np.ndarray(
+                shape, dtype=dtype, buffer=shm.buf, offset=offset))
+        if owner:
+            self._finalizer = weakref.finalize(
+                self, SharedWalkerState._cleanup, shm)
+        else:
+            self._finalizer = None
+
+    @classmethod
+    def create(cls, steps: int, nwalkers: int,
+               ncomp: int) -> "SharedTraceBlock":
+        _, size = _trace_layout(steps, nwalkers, ncomp)
+        name = f"repro-trace-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        shm.buf[:] = b"\x00" * size
+        return cls(steps, nwalkers, ncomp, shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, steps: int, nwalkers: int,
+               ncomp: int) -> "SharedTraceBlock":
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return cls(steps, nwalkers, ncomp, shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Private copies of every field (safe to keep past close())."""
+        return {name: getattr(self, name).copy() for name in self._fields}
+
+    def close(self) -> None:
+        for name in self._fields:
+            if hasattr(self, name):
+                delattr(self, name)
+        if self._owner:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            SharedWalkerState._cleanup(self._shm)
+        else:
+            try:
+                self._shm.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedTraceBlock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,304 @@
+"""``SharedMemComm`` — the :class:`~repro.parallel.simcomm.SimComm`
+collective API across *real* processes.
+
+:class:`SimComm` simulates MPI inside one process (the caller hands in
+every rank's contribution at once).  ``SharedMemComm`` keeps the same
+collective vocabulary — ``allreduce`` / ``allreduce_array`` /
+``allgather`` plus point-to-point ``send``/``recv`` with the same byte
+accounting — but each rank is a genuine OS process calling in SPMD
+style with *its own* contribution.  Rank 0 (the coordinator) reduces in
+rank order and broadcasts, so collective results are deterministic.
+
+Transport is a star of ``multiprocessing.Pipe`` duplex connections
+(rank 0 <-> every other rank).  Only *small control payloads* — scalars,
+seeds, command tuples — ride the pipes; bulk walker state crosses
+process boundaries exclusively through the shared-memory blocks of
+:mod:`repro.parallel.shm` (the contract ``repro.lint`` rule R005
+enforces on hot scopes).
+
+Crash semantics: every blocking receive takes a timeout; a dead peer
+surfaces as :class:`CommTimeout` or :class:`CommPeerLost`, which the
+crowd driver converts into its detect-and-respawn path via
+:meth:`SharedMemComm.reconnect`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.simcomm import SimComm
+
+
+class CommTimeout(RuntimeError):
+    """A collective or receive did not complete in time."""
+
+    def __init__(self, message: str, missing: Sequence[int] = ()):
+        super().__init__(message)
+        self.missing = list(missing)
+
+
+class CommPeerLost(RuntimeError):
+    """The connection to a peer rank returned EOF (process death)."""
+
+    def __init__(self, rank: int):
+        super().__init__(f"lost connection to rank {rank}")
+        self.rank = rank
+
+
+class SharedMemComm:
+    """One rank's endpoint of a ``size``-rank process communicator."""
+
+    def __init__(self, rank: int, size: int,
+                 conns: Dict[int, connection.Connection]):
+        self.rank = int(rank)
+        self.size = int(size)
+        self._conns = conns          # root: {r: conn}; worker: {0: conn}
+        self._seq = 0                # SPMD collective sequence number
+        #: buffered out-of-band messages: ("p2p", src, tag) -> payloads
+        self._p2p_inbox: Dict[Tuple[int, int], List[Any]] = {}
+        #: buffered collective contributions: (src, seq) -> payload
+        self._coll_inbox: Dict[Tuple[int, int], Any] = {}
+        #: root only: (seq, reduce_fn) of a gather that timed out and can
+        #: be retried with :meth:`resume` (contributions already received
+        #: stay buffered, so a slow rank costs nothing extra)
+        self._pending: Optional[Tuple[int, Callable[[List[Any]], Any]]] = None
+        # SimComm-compatible accounting
+        self.allreduce_count = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0.0
+
+    # -- world construction ------------------------------------------------------
+    @classmethod
+    def world(cls, size: int,
+              ctx: Optional[mp.context.BaseContext] = None
+              ) -> List["SharedMemComm"]:
+        """Build all ``size`` endpoints (parent side).  Endpoint ``r > 0``
+        is handed to worker process ``r`` as a spawn/fork argument."""
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        ctx = ctx or mp.get_context()
+        root_conns: Dict[int, connection.Connection] = {}
+        ranks = [cls(0, size, root_conns)]
+        for r in range(1, size):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            root_conns[r] = parent_end
+            ranks.append(cls(r, size, {0: child_end}))
+        return ranks
+
+    def reconnect(self, rank: int,
+                  ctx: Optional[mp.context.BaseContext] = None
+                  ) -> "SharedMemComm":
+        """Root only: replace a dead rank's pipe and return the fresh
+        endpoint for the respawned process.  Buffered state from the old
+        incarnation is discarded."""
+        if self.rank != 0:
+            raise RuntimeError("only rank 0 can reconnect a peer")
+        ctx = ctx or mp.get_context()
+        old = self._conns.pop(rank, None)
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        self._p2p_inbox = {k: v for k, v in self._p2p_inbox.items()
+                           if k[0] != rank}
+        self._coll_inbox = {k: v for k, v in self._coll_inbox.items()
+                            if k[0] != rank}
+        parent_end, child_end = ctx.Pipe(duplex=True)
+        self._conns[rank] = parent_end
+        endpoint = SharedMemComm(rank, self.size, {0: child_end})
+        endpoint._seq = self._seq
+        return endpoint
+
+    # -- wire helpers ------------------------------------------------------------
+    def _recv_routed(self, src: int, timeout: Optional[float]) -> Any:
+        """Receive the next raw message from ``src``, raising on EOF or
+        timeout; caller dispatches by message kind."""
+        conn = self._conns[src]
+        if timeout is not None and not conn.poll(timeout):
+            raise CommTimeout(
+                f"rank {self.rank}: no message from rank {src} within "
+                f"{timeout:.1f}s", missing=[src])
+        try:
+            return conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            raise CommPeerLost(src) from None
+
+    def _pump_until(self, src: int, want_kind: str, want_seq: int,
+                    timeout: Optional[float]) -> Any:
+        """Read from ``src`` until a message of (kind, seq) arrives,
+        buffering everything else for its own consumer."""
+        key = (src, want_seq)
+        while True:
+            if want_kind in ("coll", "collr") and key in self._coll_inbox:
+                return self._coll_inbox.pop(key)
+            msg = self._recv_routed(src, timeout)
+            kind = msg[0]
+            if kind == want_kind and msg[1] == want_seq:
+                return msg[2]
+            if kind == "p2p":
+                _, msg_src, tag, payload = msg
+                self._p2p_inbox.setdefault((msg_src, tag),
+                                           []).append(payload)
+            elif kind in ("coll", "collr"):
+                self._coll_inbox[(src, msg[1])] = msg[2]
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown message kind {kind!r}")
+
+    def _send_raw(self, dst: int, msg: tuple) -> None:
+        try:
+            self._conns[dst].send(msg)
+        except (OSError, BrokenPipeError):
+            raise CommPeerLost(dst) from None
+
+    # -- collectives (SimComm vocabulary, SPMD calling convention) ---------------
+    def _collective(self, value: Any, reduce_fn: Callable[[List[Any]], Any],
+                    timeout: Optional[float]) -> Any:
+        """Root gathers [rank 0, 1, ..] contributions, reduces in rank
+        order, broadcasts; every rank returns the reduced result."""
+        self._seq += 1
+        self.allreduce_count += 1
+        seq = self._seq
+        if self.rank == 0:
+            self._coll_inbox[(0, seq)] = value
+            self._pending = (seq, reduce_fn)
+            return self._finish_collective(timeout)
+        self._send_raw(0, ("coll", seq, value))
+        return self._pump_until(0, "collr", seq, timeout)
+
+    def _finish_collective(self, timeout: Optional[float]) -> Any:
+        """Root only: gather whatever contributions are still missing for
+        the pending collective, reduce, broadcast.  Raises
+        :class:`CommTimeout` (with the still-missing ranks) while any
+        contribution is outstanding; already-received ones stay buffered
+        so :meth:`resume` never re-waits for a rank that answered."""
+        if self._pending is None:
+            raise RuntimeError("no collective pending")
+        seq, reduce_fn = self._pending
+        missing: List[int] = []
+        for r in range(1, self.size):
+            if (r, seq) in self._coll_inbox:
+                continue
+            try:
+                self._coll_inbox[(r, seq)] = \
+                    self._pump_until(r, "coll", seq, timeout)
+            except (CommTimeout, CommPeerLost):
+                missing.append(r)
+        if missing:
+            raise CommTimeout(
+                f"collective #{seq} missing contributions from ranks "
+                f"{missing}", missing=missing)
+        contributions = [self._coll_inbox.pop((r, seq))
+                         for r in range(self.size)]
+        result = reduce_fn(contributions)
+        self._pending = None
+        for r in range(1, self.size):
+            try:
+                self._send_raw(r, ("collr", seq, result))
+            except CommPeerLost:
+                pass  # the dead peer surfaces on the next gather
+        return result
+
+    def resume(self, timeout: Optional[float] = None) -> Any:
+        """Root only: retry the gather phase of a timed-out collective
+        without advancing the sequence number — the driver's liveness
+        poll calls the collective with a short timeout and resumes until
+        either everyone answers or a worker is found dead."""
+        return self._finish_collective(timeout)
+
+    @property
+    def pending(self) -> bool:
+        """True while a root-side collective awaits contributions."""
+        return self._pending is not None
+
+    def allreduce(self, value: Any, op: Callable = sum,
+                  timeout: Optional[float] = None) -> Any:
+        """Reduce one contribution per rank; every rank gets the result."""
+        return self._collective(value, op, timeout)
+
+    def allreduce_array(self, array: np.ndarray,
+                        timeout: Optional[float] = None) -> np.ndarray:
+        """Element-wise sum-allreduce of equal-shape arrays (small control
+        arrays only — walker blocks live in shared memory)."""
+        return self._collective(
+            np.asarray(array),
+            lambda parts: np.sum(np.stack(parts), axis=0), timeout)
+
+    def allgather(self, value: Any,
+                  timeout: Optional[float] = None) -> List[Any]:
+        """Every rank contributes one object; all get the rank-ordered list."""
+        return self._collective(value, list, timeout)
+
+    def bcast(self, value: Any = None, root: int = 0,
+              timeout: Optional[float] = None) -> Any:
+        """One-to-all: only ``root``'s value is used (root-only here)."""
+        if root != 0:
+            raise NotImplementedError("star topology: root must be rank 0")
+        return self._collective(value if self.rank == 0 else None,
+                                lambda parts: parts[0], timeout)
+
+    def barrier(self, timeout: Optional[float] = None) -> None:
+        self.allgather(None, timeout=timeout)
+
+    # -- point to point ----------------------------------------------------------
+    def send(self, dst: int, obj: Any, nbytes: Optional[float] = None,
+             tag: int = 0) -> None:
+        """Send a control payload to ``dst`` (star: one end must be 0)."""
+        if dst == self.rank or not 0 <= dst < self.size:
+            raise ValueError(f"bad destination rank {dst}")
+        if dst != 0 and self.rank != 0:
+            raise NotImplementedError(
+                "star topology: worker-to-worker payloads go through "
+                "shared memory, not the pipes")
+        self.p2p_messages += 1
+        self.p2p_bytes += (SimComm._estimate_bytes(obj)
+                           if nbytes is None else nbytes)
+        self._send_raw(dst, ("p2p", self.rank, tag, obj))
+
+    def recv(self, src: int, tag: int = 0,
+             timeout: Optional[float] = None) -> Any:
+        """Receive the next payload sent by ``src`` with ``tag``."""
+        queue = self._p2p_inbox.get((src, tag))
+        if queue:
+            return queue.pop(0)
+        while True:
+            msg = self._recv_routed(src, timeout)
+            if msg[0] == "p2p":
+                _, msg_src, msg_tag, payload = msg
+                if msg_src == src and msg_tag == tag:
+                    return payload
+                self._p2p_inbox.setdefault((msg_src, msg_tag),
+                                           []).append(payload)
+            else:
+                self._coll_inbox[(src, msg[1])] = msg[2]
+
+    def poll_any(self, ranks: Sequence[int],
+                 timeout: Optional[float]) -> List[int]:
+        """Root only: ranks (subset) whose pipes have data ready."""
+        conns = {self._conns[r]: r for r in ranks}
+        ready = connection.wait(list(conns), timeout=timeout)
+        return [conns[c] for c in ready]
+
+    # -- teardown ---------------------------------------------------------------
+    def close(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = {}
+        self._pending = None
+        self._p2p_inbox = {}
+        self._coll_inbox = {}
+
+    def reset_counters(self) -> None:
+        self.allreduce_count = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0.0
+
+    def __repr__(self) -> str:
+        return f"SharedMemComm(rank={self.rank}, size={self.size})"

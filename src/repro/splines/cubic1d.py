@@ -104,28 +104,47 @@ class CubicBSpline1D:
         return i, u
 
     def evaluate_v(self, r):
-        """Values at point(s) r (vectorized). Scalar in, scalar out."""
+        """Values at point(s) r (vectorized). Scalar in, scalar out.
+
+        Elementwise Horner in the same operation order as
+        :meth:`evaluate_v_scalar`: IEEE elementwise ops are exactly
+        rounded, so the result is bitwise independent of the batch
+        length, strides and SIMD path — a GEMM here (``_A @ pu``) picks
+        BLAS kernels by column count and breaks the cross-batch-width
+        determinism contract (docs/parallel_crowds.md).
+        """
         scalar = np.ndim(r) == 0
         i, u = self._locate(np.atleast_1d(r))
-        pu = np.stack([np.ones_like(u), u, u * u, u * u * u])
-        w = _A @ pu  # (4, len)
-        c = self.coefs[i[None, :] + np.arange(4)[:, None]]  # (4, len)
-        v = np.einsum("kl,kl->l", w, c)
+        c = self.coefs
+        v = np.zeros_like(u)
+        for k in range(4):
+            row = _A[k]
+            b = row[0] + u * (row[1] + u * (row[2] + u * row[3]))
+            v += c[i + k] * b
         return float(v[0]) if scalar else v
 
     def evaluate_vgl(self, r):
-        """(value, d/dr, d2/dr2) at point(s) r (vectorized)."""
+        """(value, d/dr, d2/dr2) at point(s) r (vectorized).
+
+        Same length-independent Horner scheme as :meth:`evaluate_v`,
+        mirroring :meth:`evaluate_vgl_scalar` op for op.
+        """
         scalar = np.ndim(r) == 0
         i, u = self._locate(np.atleast_1d(r))
-        ones = np.ones_like(u)
-        pu = np.stack([ones, u, u * u, u * u * u])
-        w = _A @ pu
-        dw = (_dA @ pu[:3]) / self.h
-        d2w = (_d2A @ pu[:2]) / (self.h * self.h)
-        c = self.coefs[i[None, :] + np.arange(4)[:, None]]
-        v = np.einsum("kl,kl->l", w, c)
-        dv = np.einsum("kl,kl->l", dw, c)
-        d2v = np.einsum("kl,kl->l", d2w, c)
+        c = self.coefs
+        v = np.zeros_like(u)
+        dv = np.zeros_like(u)
+        d2v = np.zeros_like(u)
+        for k in range(4):
+            b = _A[k][0] + u * (_A[k][1] + u * (_A[k][2] + u * _A[k][3]))
+            db = _dA[k][0] + u * (_dA[k][1] + u * _dA[k][2])
+            d2b = _d2A[k][0] + u * _d2A[k][1]
+            ck = c[i + k]
+            v += ck * b
+            dv += ck * db
+            d2v += ck * d2b
+        dv /= self.h
+        d2v /= self.h * self.h
         if scalar:
             return float(v[0]), float(dv[0]), float(d2v[0])
         return v, dv, d2v

@@ -76,8 +76,22 @@ def test_suites_are_well_formed():
     for name, cases in SUITES.items():
         assert cases, name
         for case in cases:
-            assert case.kind in ("system", "batched")
+            assert case.kind in ("system", "batched", "parallel")
             assert case.versions
+            if case.kind == "parallel":
+                assert case.workers
+
+
+def test_parallel_case_in_smoke_doc(smoke_doc):
+    by_name = {wl["name"]: wl for wl in smoke_doc["workloads"]}
+    wl = by_name["crowds-N8-W4"]
+    assert wl["kind"] == "parallel"
+    # the serial count always runs; higher counts obey the CPU guard
+    assert "serial" in wl["versions"]
+    assert set(wl["versions"]) | set(wl["skipped"]) == {"serial", "w1"}
+    assert wl["trace_bitwise_identical"]
+    for entry in wl["versions"].values():
+        assert entry["throughput"] > 0
 
 
 # -- regression gate ----------------------------------------------------------
@@ -124,6 +138,32 @@ def test_compare_missing_workload_is_a_regression(smoke_doc):
     assert any(not c.ok for c in checks)
     relaxed = compare_artifacts(smoke_doc, partial, allow_missing=True)
     assert all(c.ok for c in relaxed)
+
+
+def test_compare_speedup_floor_gate(smoke_doc):
+    base = copy.deepcopy(smoke_doc)
+    for wl in base["workloads"]:
+        if wl["kind"] == "parallel":
+            wl["speedup_floors"] = {"w4_over_serial": 2.5}
+    assert validate_artifact(base) == []
+    # candidate without the measured speedup: ok by default (CPU guard),
+    # a regression under enforce_floors
+    checks = compare_artifacts(base, smoke_doc)
+    floor_checks = [c for c in checks if "floor/w4_over_serial" in c.label]
+    assert floor_checks and all(c.ok for c in floor_checks)
+    strict = compare_artifacts(base, smoke_doc, enforce_floors=True)
+    assert any(not c.ok and "floor/" in c.label for c in strict)
+    # candidate carrying the speedup must meet the floor outright
+    meets = copy.deepcopy(smoke_doc)
+    misses = copy.deepcopy(smoke_doc)
+    for doc, value in ((meets, 3.1), (misses, 1.2)):
+        for wl in doc["workloads"]:
+            if wl["kind"] == "parallel":
+                wl["speedups"]["w4_over_serial"] = value
+    assert all(c.ok for c in compare_artifacts(base, meets)
+               if "floor/" in c.label)
+    assert any(not c.ok and "floor/" in c.label
+               for c in compare_artifacts(base, misses))
 
 
 def test_compare_cli_exit_codes(tmp_path, smoke_doc):

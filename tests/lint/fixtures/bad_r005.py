@@ -1,0 +1,12 @@
+"""Bad fixture: per-step array serialization in a hot scope (R005)."""
+
+# repro: hot
+
+import pickle
+
+
+def ship_generation(conn, queue, batch):
+    blob = pickle.dumps(batch.R)
+    conn.send(("gen", batch.weight))
+    queue.put(batch.local_energy)
+    return blob

@@ -32,6 +32,10 @@ class TestGoldenFixtures:
     def test_r004_exact_lines(self):
         assert lint_fixture("bad_r004.py") == [("R004", 11), ("R004", 12)]
 
+    def test_r005_exact_lines(self):
+        assert lint_fixture("bad_r005.py") == [
+            ("R005", 9), ("R005", 10), ("R005", 11)]
+
     def test_noqa_suppresses_named_rule(self):
         assert lint_fixture("suppressed.py") == []
 

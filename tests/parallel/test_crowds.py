@@ -1,0 +1,197 @@
+"""Tests for the process-pool crowd driver (repro.parallel.crowds).
+
+The load-bearing claims, from the module's determinism contract:
+
+* energy traces (and the full estimator series) are **bitwise
+  identical** for workers in {0, 1, N}, VMC and DMC alike;
+* shared-memory segments are gone from ``/dev/shm`` after a normal run
+  *and* after an injected worker death;
+* a killed worker is detected and respawned, and the post-crash trace
+  is bitwise equal to the crash-free one;
+* each worker's metrics tree is merged into the parent registry.
+
+Workloads are deliberately tiny (n=8 electrons, 6 walkers, 3 steps):
+these are correctness tests, so oversubscribing a small host with more
+crowd processes than cores is fine — the scaling *performance* claims
+live in the CPU-guarded bench suite instead.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.batched.system import JastrowSystemSpec
+from repro.metrics.registry import METRICS
+from repro.parallel.crowds import ParallelCrowdDriver
+from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
+
+N = 8
+WALKERS = 6
+STEPS = 3
+SEED = 11
+
+
+def _shm_segments():
+    """Names of this package's live shared-memory segments."""
+    return sorted(glob.glob("/dev/shm/repro-crowds-*")
+                  + glob.glob("/dev/shm/repro-trace-*"))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return JastrowSystemSpec(n=N, seed=7)
+
+
+def _run(spec, workers, mode, **kwargs):
+    drv = ParallelCrowdDriver(spec, WALKERS, SEED, workers=workers,
+                              timestep=0.3, **kwargs)
+    with drv:
+        res = drv.run(STEPS, mode=mode)
+    return drv, res
+
+
+@pytest.fixture(scope="module")
+def serial_vmc(spec):
+    return _run(spec, 0, "vmc")[1]
+
+
+@pytest.fixture(scope="module")
+def serial_dmc(spec):
+    return _run(spec, 0, "dmc")[1]
+
+
+def _assert_same_trace(ref, res, mode):
+    assert res.energies == ref.energies  # bitwise: no tolerance
+    assert res.populations == ref.populations
+    assert res.acceptance == ref.acceptance
+    if mode == "dmc":
+        assert res.trial_energies == ref.trial_energies
+    for name in ref.estimators.names():
+        np.testing.assert_array_equal(res.estimators.series(name),
+                                      ref.estimators.series(name))
+
+
+class TestBitwiseDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_vmc_trace_independent_of_worker_count(self, spec, serial_vmc,
+                                                   workers):
+        _, res = _run(spec, workers, "vmc")
+        _assert_same_trace(serial_vmc, res, "vmc")
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_dmc_trace_independent_of_worker_count(self, spec, serial_dmc,
+                                                   workers):
+        _, res = _run(spec, workers, "dmc")
+        _assert_same_trace(serial_dmc, res, "dmc")
+
+    def test_result_metadata(self, spec):
+        drv, res = _run(spec, 2, "vmc")
+        assert res.extra["workers"] == 2.0
+        assert res.extra["respawns"] == 0.0
+        assert res.extra["comm_allreduces"] > 0
+        assert res.extra["worker_moves"] == STEPS * WALKERS * N
+        assert 0.0 < res.acceptance <= 1.0
+
+
+class TestShmLifecycle:
+    def test_segments_released_after_normal_run(self, spec):
+        before = _shm_segments()
+        drv, _ = _run(spec, 2, "vmc")
+        assert _shm_segments() == before
+        assert drv._state is None and drv._trace is None
+        drv.close()  # idempotent
+
+    def test_segments_released_after_worker_death(self, spec):
+        before = _shm_segments()
+        _run(spec, 2, "dmc", crash_plan={0: 2})
+        assert _shm_segments() == before
+
+    def test_segments_released_when_run_raises(self, spec):
+        before = _shm_segments()
+        drv = ParallelCrowdDriver(spec, WALKERS, SEED, workers=2,
+                                  timestep=0.3, crash_plan={0: 1, 1: 1},
+                                  max_respawns=0, liveness_poll=0.05)
+        with pytest.raises(RuntimeError, match="gave up"):
+            drv.run(STEPS, mode="vmc")
+        assert _shm_segments() == before
+
+    def test_owner_close_unlinks_attacher_close_does_not(self):
+        state = SharedWalkerState.create(4, N)
+        peer = SharedWalkerState.attach(state.name, 4, N)
+        state.R[0, 0, 0] = 1.5
+        assert peer.R[0, 0, 0] == 1.5  # same physical memory
+        peer.close()
+        assert glob.glob(f"/dev/shm/{state.name}")  # attacher never unlinks
+        state.close()
+        assert not glob.glob(f"/dev/shm/{state.name}")
+
+    def test_trace_block_roundtrip(self):
+        with SharedTraceBlock.create(2, 3, 2) as trace:
+            peer = SharedTraceBlock.attach(trace.name, 2, 3, 2)
+            peer.local_energy[1, 0::2] = [-1.0, -2.0]
+            arrays = trace.as_arrays()
+            peer.close()
+        np.testing.assert_array_equal(arrays["local_energy"][1],
+                                      [-1.0, 0.0, -2.0])
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("mode", ["vmc", "dmc"])
+    def test_respawned_run_is_bitwise_identical(self, spec, serial_vmc,
+                                                serial_dmc, mode):
+        ref = serial_vmc if mode == "vmc" else serial_dmc
+        drv, res = _run(spec, 2, mode, crash_plan={1: 2},
+                        liveness_poll=0.05)
+        assert drv.respawns == 1
+        assert res.extra["respawns"] == 1.0
+        _assert_same_trace(ref, res, mode)
+
+    def test_crash_in_first_generation(self, spec, serial_vmc):
+        drv, res = _run(spec, 3, "vmc", crash_plan={2: 1},
+                        liveness_poll=0.05)
+        assert drv.respawns == 1
+        _assert_same_trace(serial_vmc, res, "vmc")
+
+    def test_gives_up_after_max_respawns(self, spec):
+        # incarnation 0 crashes both workers; max_respawns=0 forbids retry
+        drv = ParallelCrowdDriver(spec, WALKERS, SEED, workers=2,
+                                  timestep=0.3, crash_plan={0: 1},
+                                  max_respawns=0, liveness_poll=0.05)
+        with pytest.raises(RuntimeError, match="gave up after 0 respawns"):
+            drv.run(STEPS, mode="vmc")
+
+
+class TestMetricsMerge:
+    def test_worker_trees_merged_into_parent(self, spec):
+        METRICS.enable()
+        METRICS.reset()
+        try:
+            _run(spec, 2, "vmc")
+            flat = METRICS.flat()
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        # the parent's own driver scope
+        assert "ParallelVMC" in flat, sorted(flat)
+        # both workers' trees merged at root level: one "Crowd" node with
+        # one call per worker, inner sweep scopes intact below it
+        assert flat["Crowd"]["calls"] == 2
+        assert any(path.startswith("Crowd/") for path in flat), sorted(flat)
+
+
+class TestArgumentHandling:
+    def test_workers_clamped_to_population(self, spec):
+        drv = ParallelCrowdDriver(spec, 2, SEED, workers=8)
+        assert drv.workers == 2
+
+    def test_invalid_arguments(self, spec):
+        with pytest.raises(ValueError, match="walker"):
+            ParallelCrowdDriver(spec, 0, SEED)
+        with pytest.raises(ValueError, match="workers"):
+            ParallelCrowdDriver(spec, 4, SEED, workers=-1)
+        drv = ParallelCrowdDriver(spec, 4, SEED)
+        with pytest.raises(ValueError, match="mode"):
+            drv.run(1, mode="pimc")
+        with pytest.raises(ValueError, match="step"):
+            drv.run(0)
