@@ -27,9 +27,12 @@ bench:
 		--tag local --out $(BENCH_OUT)
 
 # Regression gate: quick suite vs the committed baseline artifact.
+# --enforce-floors makes a speedup_floors entry (e.g. the >=3x batched
+# NLPP win) that the candidate failed to measure a failure, not a skip.
 bench-check: bench
 	PYTHONPATH=src $(PYTHON) -m repro.bench.compare \
-		benchmarks/baselines/baseline.json $(BENCH_OUT)/BENCH_local.json
+		benchmarks/baselines/baseline.json $(BENCH_OUT)/BENCH_local.json \
+		--enforce-floors
 
 # Multi-core crowd scaling (workers = 0/1/2/4; counts the host cannot
 # seat are skipped).  The runner asserts bitwise-identical energy traces

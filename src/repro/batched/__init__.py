@@ -15,6 +15,7 @@ from repro.batched.distances import (BatchedDistTableAA,
                                      BatchedDistTableAB)
 from repro.batched.driver import BatchedCrowdDriver
 from repro.batched.jastrow import BatchedOneBodyJastrow, BatchedTwoBodyJastrow
+from repro.batched.nlpp import BatchedNonLocalPP
 from repro.batched.reference import ReferenceTrace, run_reference
 from repro.batched.sanitize import BatchedSanitizerSuite
 from repro.batched.spo import batched_multi_v, batched_multi_vgl
@@ -29,6 +30,7 @@ __all__ = [
     "BatchedDistTableAB",
     "BatchedTwoBodyJastrow",
     "BatchedOneBodyJastrow",
+    "BatchedNonLocalPP",
     "BatchedHamiltonian",
     "BatchedCrowdDriver",
     "BatchedSanitizerSuite",

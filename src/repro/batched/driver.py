@@ -31,6 +31,7 @@ from repro.batched.system import JastrowSystemSpec, walker_streams
 from repro.batched.walkerbatch import WalkerBatch
 from repro.drivers.result import QMCResult
 from repro.estimators.scalar import EstimatorManager
+from repro.hamiltonian.nlpp import QuadratureRotations
 from repro.lint.sanitizers import sanitizers_enabled
 from repro.metrics.registry import METRICS
 from repro.precision.policy import FULL, PrecisionPolicy
@@ -71,6 +72,13 @@ class BatchedCrowdDriver:
             raise ValueError(f"batch holds {self.batch.nw} walkers, "
                              f"expected {self.nw}")
         self.tables, self.components, self.ham = spec.build_batched(nwalkers)
+        nlpp = getattr(self.ham, "nlpp", None)
+        if nlpp is not None and nlpp.rotations is None:
+            # Stateless quadrature-rotation streams keyed on the same
+            # master seed as the walker RNGs; crowds hosting a subset of
+            # a larger population re-key with their global walker ids
+            # via nlpp.set_rotations(...).
+            nlpp.set_rotations(QuadratureRotations(master_seed))
         #: per-walker grad/lap of log Psi: (W, n, 3) and (W, n)
         self.G = np.zeros((self.nw, self.n, 3))
         self.L = np.zeros((self.nw, self.n))

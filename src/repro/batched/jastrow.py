@@ -29,6 +29,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.distances.base import BIG_DISTANCE
 from repro.jastrow.functor import BsplineFunctor
 from repro.lint.hot import hot_kernel
 from repro.perfmodel.opcount import OPS
@@ -146,6 +147,45 @@ class BatchedTwoBodyJastrow:
                 G[:, i] += grad
                 L[:, i] += lap
 
+    def ratios_vp(self, batch, tables, owners_w, owners_k,
+                  positions) -> np.ndarray:
+        """Ratio-only J2 over a crowd-wide virtual-particle slab.
+
+        ``owners_w[m]`` / ``owners_k[m]`` name the walker and electron
+        owning virtual position ``positions[m]``.  One fresh ``(Nvp, n)``
+        distance recompute in accumulation precision (with the table's
+        policy downcast, as ``move`` performs), owner-group functor sums,
+        and ``u_old`` from the stored row blocks; nothing is written.
+        """
+        with PROFILER.timer("J2"):
+            table = tables[self.table_index]
+            owners_w = np.asarray(owners_w)
+            owners_k = np.asarray(owners_k)
+            pos = np.asarray(positions, dtype=np.float64)  # repro: noqa R002
+            nvp = len(pos)
+            disp64 = batch.R[owners_w] - pos[:, None, :]
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            d64 = np.sqrt(np.sum(np.square(disp64), axis=-1))
+            d64[np.arange(nvp), owners_k] = BIG_DISTANCE
+            dists = d64.astype(table.dtype)
+            u_new = np.zeros(nvp)
+            owner_groups = self.group_of[owners_k]
+            for gk in np.unique(owner_groups):
+                sel = np.nonzero(owner_groups == gk)[0]
+                for g, s in self.group_slices:
+                    f = self.functor_for(int(gk), g)
+                    u_new[sel] += np.sum(f.evaluate_v(dists[sel][:, s]),
+                                         axis=-1)
+            u_old = np.empty(nvp)
+            for k in np.unique(owners_k):
+                row_sum = self._rows_v(table.dist_rows(int(k)), int(k))
+                sel = owners_k == k
+                u_old[sel] = row_sum[owners_w[sel]]
+            OPS.record("J2", flops=10.0 * self.n * nvp,
+                       rbytes=8.0 * self.n * nvp, wbytes=8.0 * nvp)
+            return np.exp(-(u_new - u_old))
+
 
 @hot_kernel
 class BatchedOneBodyJastrow:
@@ -232,3 +272,32 @@ class BatchedOneBodyJastrow:
                                          table.disp_rows(k))
                 G[:, k] += g
                 L[:, k] += l
+
+    def ratios_vp(self, batch, tables, owners_w, owners_k,
+                  positions) -> np.ndarray:
+        """Ratio-only J1 over a crowd-wide virtual-particle slab: one
+        ``(Nvp, nions)`` distance recompute against the shared fixed
+        ions, per-species functor sums, ``u_old`` from the stored rows."""
+        with PROFILER.timer("J1"):
+            table = tables[self.table_index]
+            owners_w = np.asarray(owners_w)
+            owners_k = np.asarray(owners_k)
+            pos = np.asarray(positions, dtype=np.float64)  # repro: noqa R002
+            nvp = len(pos)
+            disp64 = table._src_soa.T[None, :, :] - pos[:, None, :]
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            dists = np.sqrt(np.sum(np.square(disp64), axis=-1)).astype(
+                table.dtype)
+            u_new = np.zeros(nvp)
+            for g, idx in self._species_masks.items():
+                f = self.functors[g]
+                u_new += np.sum(f.evaluate_v(dists[:, idx]), axis=-1)
+            u_old = np.empty(nvp)
+            for k in np.unique(owners_k):
+                row_sum = self._rows_v(table.dist_rows(int(k)))
+                sel = owners_k == k
+                u_old[sel] = row_sum[owners_w[sel]]
+            OPS.record("J1", flops=10.0 * self.nions * nvp,
+                       rbytes=8.0 * self.nions * nvp, wbytes=8.0 * nvp)
+            return np.exp(-(u_new - u_old))

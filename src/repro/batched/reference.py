@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.batched.system import JastrowSystemSpec, walker_streams
 from repro.drivers.base import QMCDriverBase
+from repro.hamiltonian.nlpp import NonLocalPP, QuadratureRotations
 from repro.particles.walker import Walker
 from repro.precision.policy import FULL, PrecisionPolicy
 
@@ -47,6 +48,14 @@ def run_reference(spec: JastrowSystemSpec, nwalkers: int, steps: int,
                            timestep=timestep, use_drift=use_drift,
                            precision=precision)
     rngs = walker_streams(master_seed, nwalkers)
+    # NLPP rotation contract: stateless streams keyed on the same master
+    # seed, walker w / serial s — serial 0 is the setup evaluation, step
+    # s uses serial s, matching the batched engine's per-measurement
+    # serial bump.
+    nlpp_terms = [t for t in ham.terms if isinstance(t, NonLocalPP)]
+    rotations = QuadratureRotations(master_seed)
+    for t in nlpp_terms:
+        t.use_rotations(rotations)
     positions = spec.initial_positions(nwalkers)
     walkers = []
     for w in range(nwalkers):
@@ -57,6 +66,8 @@ def run_reference(spec: JastrowSystemSpec, nwalkers: int, steps: int,
         twf.register_data(P, walker.buffer)
         twf.update_buffer(P, walker.buffer)
         walker.properties["logpsi"] = logpsi
+        for t in nlpp_terms:
+            t.set_walker(w, 0)
         walker.properties["local_energy"] = ham.evaluate(P, twf)
         walkers.append(walker)
     trace = ReferenceTrace(move_log=[[] for _ in range(nwalkers)])
@@ -68,6 +79,8 @@ def run_reference(spec: JastrowSystemSpec, nwalkers: int, steps: int,
             driver.move_log = trace.move_log[w]
             driver.load_walker(walker, recompute=recompute)
             driver.sweep()
+            for t in nlpp_terms:
+                t.set_walker(w, step)
             energies[step - 1, w] = driver.store_walker(walker)
             walker.age += 1
     trace.energies = energies

@@ -21,8 +21,10 @@ import numpy as np
 from repro.batched.distances import (BatchedDistTableAA, BatchedDistTableAAOtf,
                                      BatchedDistTableAB)
 from repro.batched.jastrow import BatchedOneBodyJastrow, BatchedTwoBodyJastrow
+from repro.batched.nlpp import BatchedNonLocalPP
 from repro.distances.factory import create_aa_table, create_ab_table
 from repro.hamiltonian.local_energy import Hamiltonian
+from repro.hamiltonian.nlpp import NonLocalPP
 from repro.hamiltonian.terms import CoulombEE, CoulombEI, KineticEnergy
 from repro.jastrow.functor import BsplineFunctor
 from repro.jastrow.j1 import OneBodyJastrowOtf
@@ -47,7 +49,8 @@ class JastrowSystemSpec:
     """One Jastrow-level model, buildable as scalar or batched objects."""
 
     def __init__(self, n: int = 16, seed: int = 7, aa_flavor: str = "otf",
-                 precision: PrecisionPolicy = FULL):
+                 precision: PrecisionPolicy = FULL,
+                 with_nlpp: bool = False, nlpp_npoints: int = 12):
         if aa_flavor not in ("soa", "otf"):
             raise ValueError(f"aa_flavor must be 'soa' or 'otf', "
                              f"got {aa_flavor!r}")
@@ -55,6 +58,8 @@ class JastrowSystemSpec:
         self.seed = int(seed)
         self.aa_flavor = aa_flavor
         self.precision = precision
+        self.with_nlpp = bool(with_nlpp)
+        self.nlpp_npoints = int(nlpp_npoints)
         a = (n * 8.0) ** (1.0 / 3.0)  # ~8 bohr^3 per electron
         rng = np.random.default_rng(seed)
         self.lattice = CrystalLattice.cubic(a)
@@ -74,6 +79,10 @@ class JastrowSystemSpec:
         self.j2_functors = {(0, 0): uu, (1, 1): uu, (0, 1): ud}
         self.j1_functors = {0: BsplineFunctor.from_shape(
             rcut, amplitude=-0.4, decay=0.8, name="X")}
+        #: NLPP channel parameters shared by both paths (one l=1 channel
+        #: on every ion; cutoff inside the Wigner-Seitz sphere so pairs
+        #: regularly move in and out of range).
+        self.nlpp_rcut = min(1.8, 0.9 * self.lattice.wigner_seitz_radius)
         self._jitter_rng = np.random.default_rng(seed + 1)
 
     # -- initial configurations ---------------------------------------------------
@@ -104,8 +113,14 @@ class JastrowSystemSpec:
         j1 = OneBodyJastrowOtf(self.n, self.ions.species_ids,
                                self.j1_functors, 1)
         twf = TrialWaveFunction([j2, j1])
-        ham = Hamiltonian([KineticEnergy(), CoulombEE(0),
-                           CoulombEI(self.ions.charges(), 1)])
+        terms = [KineticEnergy(), CoulombEE(0),
+                 CoulombEI(self.ions.charges(), 1)]
+        if self.with_nlpp:
+            terms.append(NonLocalPP(
+                self.ions, range(self.ions.n), l=1, v0=0.5, width=0.8,
+                rcut=self.nlpp_rcut, npoints=self.nlpp_npoints,
+                table_index=1, rng=np.random.default_rng(self.seed + 3)))
+        ham = Hamiltonian(terms)
         return P, twf, ham
 
     # -- batched construction ------------------------------------------------------
@@ -124,8 +139,16 @@ class JastrowSystemSpec:
                                    self.j2_functors, 0)
         j1 = BatchedOneBodyJastrow(nwalkers, self.n, self.ions.species_ids,
                                    self.j1_functors, 1)
-        ham = BatchedHamiltonian(nwalkers, self.ions.charges())
-        return tables, [j2, j1], ham
+        components = [j2, j1]
+        nlpp = None
+        if self.with_nlpp:
+            nlpp = BatchedNonLocalPP(
+                self.ions, range(self.ions.n), nwalkers, l=1, v0=0.5,
+                width=0.8, rcut=self.nlpp_rcut, npoints=self.nlpp_npoints,
+                table_index=1)
+        ham = BatchedHamiltonian(nwalkers, self.ions.charges(), nlpp=nlpp,
+                                 wf_components=components)
+        return tables, components, ham
 
     def _group_slices(self):
         groups = []
@@ -149,13 +172,22 @@ class BatchedHamiltonian:
     local energies agree bitwise in full precision.
     """
 
-    names = ("Kinetic", "ElecElec", "ElecIon")
+    #: term names of the NLPP-free Hamiltonian; instances carrying a
+    #: BatchedNonLocalPP extend their ``names`` with "NonLocalECP".
+    BASE_NAMES = ("Kinetic", "ElecElec", "ElecIon")
 
-    def __init__(self, nwalkers: int, ion_charges: np.ndarray):
+    def __init__(self, nwalkers: int, ion_charges: np.ndarray,
+                 nlpp=None, wf_components=None):
         self.nw = int(nwalkers)
         # Fixed ion charges stay accumulation-precision (shared constant).
         self.charges = np.asarray(ion_charges,
                                   dtype=np.float64)  # repro: noqa R002
+        #: optional BatchedNonLocalPP term plus the wavefunction
+        #: components its ratio-only slab evaluation consumes.
+        self.nlpp = nlpp
+        self.wf_components = list(wf_components) if wf_components else []
+        self.names = self.BASE_NAMES + \
+            (("NonLocalECP",) if nlpp is not None else ())
         self.last_components = {}
 
     def evaluate(self, batch, tables, G: np.ndarray,
@@ -180,4 +212,9 @@ class BatchedHamiltonian:
             ei -= np.sum(self.charges / rows, axis=-1)
         self.last_components = {"Kinetic": kin, "ElecElec": ee,
                                 "ElecIon": ei}
-        return kin + ee + ei
+        total = kin + ee + ei
+        if self.nlpp is not None:
+            nl = self.nlpp.evaluate(batch, tables, self.wf_components)
+            self.last_components["NonLocalECP"] = nl
+            total = total + nl
+        return total

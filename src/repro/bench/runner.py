@@ -204,7 +204,82 @@ def run_parallel_case(case: BenchCase, progress=None) -> dict:
     }
 
 
-_CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case}
+def run_nlpp_case(case: BenchCase) -> dict:
+    """Time the scalar temp-move NLPP oracle vs the fused
+    virtual-particle engine on identical walker state and rotations.
+
+    Both engines are keyed on the same stateless quadrature-rotation
+    stream, so their V_NL values must agree to accumulation precision —
+    a silent-wrong fast path fails the whole bench run.  Cases with a
+    ``floor`` emit a ``speedup_floors`` entry the compare gate enforces.
+    """
+    import numpy as np
+
+    from repro.hamiltonian.nlpp import NonLocalPP, QuadratureRotations
+    from repro.precision.policy import FULL
+    from repro.workloads import get_workload
+    from repro.workloads.builder import build_system
+
+    parts = build_system(get_workload(case.workload), scale=case.scale,
+                         seed=case.seed, with_nlpp=False)
+    P, twf = parts.electrons, parts.twf
+    P.update_tables()
+    twf.evaluate_log(P)
+    rcut = min(1.4, 0.9 * parts.lattice.wigner_seitz_radius)
+    term = NonLocalPP(parts.ions, range(parts.ions.n), l=1, v0=0.5,
+                      width=0.8, rcut=rcut, npoints=case.npoints,
+                      table_index=1)
+    term.use_rotations(QuadratureRotations(case.seed + 1))
+    walker_bytes = _system_walker_bytes(parts, FULL)
+
+    def timed(fn, label):
+        PROFILER.start_run()
+        t0 = time.perf_counter()
+        vals = []
+        for s in range(case.steps):
+            term.set_walker(0, s + 1)  # same rotation key for both engines
+            vals.append(fn(P, twf))
+        elapsed = time.perf_counter() - t0
+        prof = PROFILER.stop_run(f"{case.name}/{label}")
+        return vals, elapsed, prof
+
+    scalar_vals, scalar_s, scalar_prof = timed(term.evaluate_reference,
+                                               "scalar")
+    vp_vals, vp_s, vp_prof = timed(term.evaluate, "batched")
+    tol = 1e4 * float(np.finfo(np.float64).eps)
+    for v_vp, v_ref in zip(vp_vals, scalar_vals):
+        if abs(v_vp - v_ref) > tol * max(1.0, abs(v_ref)):
+            raise RuntimeError(
+                f"{case.name}: batched NLPP diverged from the scalar "
+                f"oracle ({v_vp!r} vs {v_ref!r}) — parity regression")
+    versions = {
+        "scalar": _version_entry(
+            throughput=case.steps / scalar_s,
+            seconds_per_step=scalar_s / case.steps,
+            total_seconds=scalar_s,
+            hotspots=scalar_prof.normalized(),
+            peak_walker_bytes=walker_bytes),
+        "batched": _version_entry(
+            throughput=case.steps / vp_s,
+            seconds_per_step=vp_s / case.steps,
+            total_seconds=vp_s,
+            hotspots=vp_prof.normalized(),
+            peak_walker_bytes=walker_bytes),
+    }
+    out = {
+        "name": case.name, "kind": "nlpp", "workload": case.workload,
+        "scale": case.scale, "steps": case.steps, "walkers": 1,
+        "n_electrons": parts.n_electrons, "npoints": case.npoints,
+        "versions": versions,
+        "speedups": {"batched_over_scalar": scalar_s / vp_s},
+    }
+    if case.floor > 0:
+        out["speedup_floors"] = {"batched_over_scalar": float(case.floor)}
+    return out
+
+
+_CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case,
+                 "nlpp": run_nlpp_case}
 
 
 def run_suite(suite_name: str, tag: str,

@@ -20,6 +20,10 @@ Two kinds of cases:
   needing more CPUs than the host has are skipped (the CPU guard), and
   the runner asserts the energy traces are bitwise identical across all
   counts that did run.
+* ``nlpp`` — the virtual-particle NLPP pair on a determinant+Jastrow
+  workload: the scalar temp-move oracle (``scalar``) vs the fused
+  slab engine (``batched``) on identical walker state and rotation,
+  with a ``speedup_floors`` entry gating the batched-over-scalar win.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ class BenchCase:
     """One row of a bench suite."""
 
     name: str
-    kind: str                      # "system" | "batched" | "parallel"
+    kind: str          # "system" | "batched" | "parallel" | "nlpp"
     versions: Tuple[str, ...]
     # system-kind knobs
     workload: str = ""
@@ -53,12 +57,16 @@ class BenchCase:
     nwalkers: int = 0
     # parallel-kind knobs: worker-process counts (0 = in-process serial)
     workers: Tuple[int, ...] = ()
+    # nlpp-kind knobs: quadrature size and the batched-over-scalar
+    # speedup floor (0 = report only, don't gate)
+    npoints: int = 12
+    floor: float = 0.0
     # shared
     steps: int = 2
     seed: int = 21
 
     def __post_init__(self):
-        if self.kind not in ("system", "batched", "parallel"):
+        if self.kind not in ("system", "batched", "parallel", "nlpp"):
             raise ValueError(f"unknown bench kind {self.kind!r}")
 
 
@@ -74,6 +82,10 @@ QUICK_SUITE = (
     BenchCase(name="crowds-N32-W32", kind="parallel",
               versions=("serial", "w2", "w4"),
               n=32, nwalkers=32, workers=(0, 2, 4), steps=2),
+    BenchCase(name="nlpp-NiO32-x0.25", kind="nlpp",
+              versions=("scalar", "batched"),
+              workload="NiO-32", scale=BENCH_SCALE["NiO-32"],
+              npoints=12, floor=3.0, steps=2),
 )
 
 #: The fuller trajectory: two chemistries, all three versions, and a
@@ -89,6 +101,10 @@ FULL_SUITE = (
               walkers=2, steps=2),
     BenchCase(name="jastrow-N32-W32", kind="batched",
               versions=("ref", "batched"), n=32, nwalkers=32, steps=2),
+    BenchCase(name="nlpp-NiO32-x0.25", kind="nlpp",
+              versions=("scalar", "batched"),
+              workload="NiO-32", scale=BENCH_SCALE["NiO-32"],
+              npoints=12, floor=3.0, steps=3),
 )
 
 #: Sub-second smoke suite for the test suite itself.
@@ -101,6 +117,9 @@ SMOKE_SUITE = (
     BenchCase(name="crowds-N8-W4", kind="parallel",
               versions=("serial", "w1"),
               n=8, nwalkers=4, workers=(0, 1), steps=1),
+    BenchCase(name="nlpp-NiO32-x0.125", kind="nlpp",
+              versions=("scalar", "batched"),
+              workload="NiO-32", scale=0.125, npoints=6, steps=1),
 )
 
 #: Multi-core crowd scaling (``make bench-parallel``): one sized

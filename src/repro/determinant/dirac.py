@@ -128,6 +128,60 @@ class DiracDeterminant:
                        wbytes=8.0)
             return rho
 
+    # -- ratio-only "virtual move" API (NLPP quadrature; Sec. 3 Eq. 4/7) ----------
+    def ratio_at(self, P, k: int, r_new: np.ndarray) -> float:
+        """det ratio for electron ``k`` virtually at ``r_new``.
+
+        Sherman-Morrison row formula ``phi(r_new) . A^-1[:, i]`` with no
+        rank-1 update and no cache entry: walker state (``psiM_inv``,
+        ``_cache``, distance tables) is left untouched, so thousands of
+        quadrature-point ratios never pay the move/reject round-trip.
+        """
+        if not self.owns(k):
+            return 1.0
+        i = k - self.first
+        v = self.spo.evaluate_v(np.asarray(r_new, dtype=np.float64))[: self.nel]
+        with PROFILER.timer("DetUpdate"):
+            rho = float(np.asarray(v, dtype=np.float64) @
+                        self.psiM_inv[:, i].astype(np.float64, copy=False))
+            OPS.record("DetUpdate", flops=2.0 * self.nel,
+                       rbytes=self.dtype.itemsize * 2.0 * self.nel,
+                       wbytes=8.0)
+            return rho
+
+    def ratios_vp(self, P, owners: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ratio_at` over a virtual-particle slab.
+
+        ``owners[m]`` is the electron whose virtual position is
+        ``positions[m]``; returns the ``(Nvp,)`` float64 det ratios (1.0
+        for electrons outside this spin block).  One batched SPO value
+        gather feeds a single einsum against the A^-1 columns.
+        """
+        owners = np.asarray(owners)
+        pos = np.asarray(positions, dtype=np.float64)
+        rho = np.ones(len(owners), dtype=np.float64)
+        idx = np.nonzero((owners >= self.first) & (owners < self.last))[0]
+        if idx.size == 0:
+            return rho
+        spline = getattr(self.spo, "spline", None)
+        if spline is not None and getattr(self.spo, "layout", "") == "soa":
+            from repro.batched.spo import batched_multi_v
+            phi = np.asarray(batched_multi_v(spline, pos[idx]),
+                             dtype=np.float64)[:, : self.nel]
+        else:
+            phi = np.empty((idx.size, self.nel), dtype=np.float64)
+            for m, j in enumerate(idx):
+                phi[m] = np.asarray(self.spo.evaluate_v(pos[j])[: self.nel],
+                                    dtype=np.float64)
+        with PROFILER.timer("DetUpdate"):
+            cols = self.psiM_inv.astype(np.float64, copy=False)[
+                :, owners[idx] - self.first]
+            rho[idx] = np.einsum("mj,jm->m", phi, cols)
+            OPS.record("DetUpdate", flops=2.0 * self.nel * idx.size,
+                       rbytes=self.dtype.itemsize * 2.0 * self.nel * idx.size,
+                       wbytes=8.0 * idx.size)
+        return rho
+
     def ratio_grad(self, P, k: int):
         """(det ratio, grad of log|det| at the proposed position)."""
         if not self.owns(k):

@@ -47,6 +47,37 @@ class DistanceTable(ABC):
     def disp_row(self, k: int):
         """Displacements r_source - r_k from the current position of ``k``."""
 
+    def dist_row_array(self, k: int) -> np.ndarray:
+        """:meth:`dist_row` normalized to a float64 ``(N,)`` ndarray.
+
+        Ref flavors return plain Python lists and SoA flavors return array
+        views; this boundary method gives consumers (the NLPP quadrature
+        engine, ratio-only kernels) one dtype-stable shape without per-call
+        ``isinstance`` dispatch in hot scopes.
+        """
+        row = self.dist_row(k)
+        if isinstance(row, np.ndarray):
+            return row
+        return np.asarray(row, dtype=np.float64)
+
+    def disp_row_array(self, k: int) -> np.ndarray:
+        """:meth:`disp_row` normalized to a float64 ``(3, N)`` ndarray.
+
+        Handles all three flavors at the boundary: SoA ``(3, N)`` views
+        pass through, while Ref flavors returning ``List[TinyVector]`` are
+        materialized component-wise.
+        """
+        row = self.disp_row(k)
+        if isinstance(row, np.ndarray):
+            return row
+        out = np.empty((3, len(row)), dtype=np.float64)
+        for j, tv in enumerate(row):
+            comps = tv.x if hasattr(tv, "x") else tv
+            out[0, j] = comps[0]
+            out[1, j] = comps[1]
+            out[2, j] = comps[2]
+        return out
+
     @property
     @abstractmethod
     def storage_bytes(self) -> int:

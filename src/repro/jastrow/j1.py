@@ -105,6 +105,55 @@ class OneBodyJastrowOtf(_J1Base):
             u_old = self._row_v(table.dist_row(k))
             return math.exp(-(u_new - u_old)), grad_new
 
+    # -- ratio-only "virtual move" API (NLPP quadrature) -------------------------
+    def ratio_at(self, P, k: int, r_new) -> float:
+        """J1 ratio for electron ``k`` virtually at ``r_new``.
+
+        Recomputes the electron-ion row for ``r_new`` exactly as
+        ``table.move`` would (double-precision min-image, then the table's
+        policy downcast) without touching ``temp_r`` or any stored state.
+        """
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            # Min-image math in accumulation precision, then the table's
+            # policy downcast — exactly what table.move() would produce.
+            disp64 = (np.asarray(table.source.R, dtype=np.float64)  # repro: noqa R002
+                      - np.asarray(r_new, dtype=np.float64)[None, :])  # repro: noqa R002
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            dists = np.sqrt(np.sum(np.square(disp64), axis=-1)).astype(
+                getattr(table, "dtype", np.float64))
+            u_new = self._row_v(dists)
+            u_old = self._row_v(table.dist_row_array(k)[: self.nions])
+            return math.exp(-(u_new - u_old))
+
+    def ratios_vp(self, P, owners, positions) -> np.ndarray:
+        """Vectorized :meth:`ratio_at` over a virtual-particle slab: one
+        ``(Nvp, nions)`` distance recompute, per-species functor sums, and
+        ``u_old`` cached per unique owner electron."""
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            owners = np.asarray(owners)
+            pos = np.asarray(positions, dtype=np.float64)  # repro: noqa R002
+            disp64 = (np.asarray(table.source.R, dtype=np.float64)[None, :, :]  # repro: noqa R002
+                      - pos[:, None, :])
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            dists = np.sqrt(np.sum(np.square(disp64), axis=-1)).astype(
+                getattr(table, "dtype", np.float64))
+            u_new = np.zeros(len(pos))
+            for g, idx in self._species_masks.items():
+                f = self.functors[g]
+                u_new += np.sum(f.evaluate_v(dists[:, idx]), axis=1)
+            u_old = np.empty(len(pos))
+            for k in np.unique(owners):
+                u_k = self._row_v(table.dist_row_array(int(k))[: self.nions])
+                u_old[owners == k] = u_k
+            OPS.record("J1", flops=10.0 * self.nions * len(pos),
+                       rbytes=8.0 * self.nions * len(pos),
+                       wbytes=8.0 * len(pos))
+            return np.exp(-(u_new - u_old))
+
     def accept_move(self, P, k: int) -> None:
         pass  # stateless
 
@@ -195,6 +244,22 @@ class OneBodyJastrowRef(_J1Base):
     def ratio_grad(self, P, k: int):
         r = self.ratio(P, k)
         return r, self._cache[k][1]
+
+    def ratio_at(self, P, k: int, r_new) -> float:
+        """Ratio-only virtual move: scalar per-ion recompute at ``r_new``
+        against the stored ``U[k]``; no cache entry, no state change."""
+        with PROFILER.timer("J1"):
+            table = P.distance_tables[self.table_index]
+            disp64 = (np.asarray(table.source.R, dtype=np.float64)
+                      - np.asarray(r_new, dtype=np.float64)[None, :])
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            dists = np.sqrt(np.sum(np.square(disp64), axis=-1))
+            u_new = 0.0
+            for I in range(self.nions):
+                u_new += self._ion_functors[I].evaluate_v_scalar(
+                    float(dists[I]))
+            return math.exp(-(u_new - self.U[k]))
 
     def accept_move(self, P, k: int) -> None:
         u_new, g_new, l_new = self._cache.pop(k)

@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.distances.base import BIG_DISTANCE
 from repro.jastrow.functor import BsplineFunctor
 from repro.lint.hot import hot_kernel
 from repro.perfmodel.opcount import OPS
@@ -127,6 +128,58 @@ class TwoBodyJastrowOtf(_J2Base):
             u_old = self._row_v(table.dist_row(k), k)
             self._cache[k] = (u_new, u_old)
             return math.exp(-(u_new - u_old)), grad_new
+
+    # -- ratio-only "virtual move" API (NLPP quadrature) -------------------------
+    def ratio_at(self, P, k: int, r_new) -> float:
+        """J2 ratio for electron ``k`` virtually at ``r_new``: fresh
+        electron-electron row in accumulation precision with the table's
+        policy downcast, self-distance masked by the BIG sentinel; no
+        temp rows or cache entries are written."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            disp64 = (np.asarray(P.R, dtype=np.float64)  # repro: noqa R002
+                      - np.asarray(r_new, dtype=np.float64)[None, :])  # repro: noqa R002
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            d64 = np.sqrt(np.sum(np.square(disp64), axis=-1))
+            d64[k] = BIG_DISTANCE
+            dists = d64.astype(getattr(table, "dtype", np.float64))
+            u_new = self._row_v(dists, k)
+            u_old = self._row_v(table.dist_row_array(k)[: self.n], k)
+            return math.exp(-(u_new - u_old))
+
+    def ratios_vp(self, P, owners, positions) -> np.ndarray:
+        """Vectorized :meth:`ratio_at` over a virtual-particle slab: one
+        ``(Nvp, N)`` distance recompute, owner-group-resolved functor
+        sums, and ``u_old`` cached per unique owner electron."""
+        with PROFILER.timer("J2"):
+            table = P.distance_tables[self.table_index]
+            owners = np.asarray(owners)
+            pos = np.asarray(positions, dtype=np.float64)  # repro: noqa R002
+            disp64 = (np.asarray(P.R, dtype=np.float64)[None, :, :]  # repro: noqa R002
+                      - pos[:, None, :])
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            d64 = np.sqrt(np.sum(np.square(disp64), axis=-1))
+            d64[np.arange(len(owners)), owners] = BIG_DISTANCE
+            dists = d64.astype(getattr(table, "dtype", np.float64))
+            u_new = np.zeros(len(owners))
+            owner_groups = self.group_of[owners]
+            for gk in np.unique(owner_groups):
+                rows = np.nonzero(owner_groups == gk)[0]
+                for g, s in self.group_slices:
+                    f = self.functor_for(int(gk), g)
+                    u_new[rows] += np.sum(
+                        f.evaluate_v(dists[rows][:, s]), axis=1)
+            u_old = np.empty(len(owners))
+            for k in np.unique(owners):
+                u_k = self._row_v(table.dist_row_array(int(k))[: self.n],
+                                  int(k))
+                u_old[owners == k] = u_k
+            OPS.record("J2", flops=10.0 * self.n * len(owners),
+                       rbytes=8.0 * self.n * len(owners),
+                       wbytes=8.0 * len(owners))
+            return np.exp(-(u_new - u_old))
 
     def accept_move(self, P, k: int) -> None:
         self._cache.pop(k, None)  # stateless: nothing else to update
@@ -270,6 +323,26 @@ class TwoBodyJastrowRef(_J2Base):
             u_old = float(np.sum(self.Umat[k]))
             self._cache[k] = (u_new, du_new, d2u_new)
             return math.exp(-(sum(u_new) - u_old)), grad
+
+    def ratio_at(self, P, k: int, r_new) -> float:
+        """Ratio-only virtual move against the stored ``Umat[k]`` row:
+        scalar per-pair recompute at ``r_new``, no cache entry."""
+        with PROFILER.timer("J2"):
+            disp64 = (np.asarray(P.R, dtype=np.float64)
+                      - np.asarray(r_new, dtype=np.float64)[None, :])
+            table = P.distance_tables[self.table_index]
+            if table.lattice.periodic:
+                disp64 = table.lattice.min_image_disp(disp64)
+            dists = np.sqrt(np.sum(np.square(disp64), axis=-1))
+            gk = self.group_of[k]
+            u_new = 0.0
+            for j in range(self.n):
+                if j == k:
+                    continue
+                f = self.functor_for(gk, self.group_of[j])
+                u_new += f.evaluate_v_scalar(float(dists[j]))
+            u_old = float(np.sum(self.Umat[k]))
+            return math.exp(-(u_new - u_old))
 
     def accept_move(self, P, k: int) -> None:
         """Row + column writes into all three matrices (scalar loop)."""

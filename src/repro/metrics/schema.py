@@ -73,9 +73,10 @@ def _check_workload(entry: Any, index: int, errors: List[str]) -> None:
     for key, typ in (("name", str), ("kind", str), ("versions", dict)):
         if not isinstance(entry.get(key), typ):
             _err(errors, f"{path}.{key}", f"missing or not a {typ.__name__}")
-    if entry.get("kind") not in (None, "system", "batched", "parallel"):
+    if entry.get("kind") not in (None, "system", "batched", "parallel",
+                                 "nlpp"):
         _err(errors, f"{path}.kind",
-             "must be 'system', 'batched' or 'parallel'")
+             "must be 'system', 'batched', 'parallel' or 'nlpp'")
     versions = entry.get("versions")
     if isinstance(versions, dict):
         if not versions:

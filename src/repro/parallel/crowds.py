@@ -60,6 +60,7 @@ from repro.batched.system import BatchedHamiltonian, JastrowSystemSpec, \
 from repro.batched.walkerbatch import WalkerBatch
 from repro.drivers.dmc import DMCDriver
 from repro.drivers.result import QMCResult
+from repro.hamiltonian.nlpp import QuadratureRotations
 from repro.estimators.scalar import EstimatorManager
 from repro.metrics.registry import METRICS
 from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
@@ -158,6 +159,18 @@ class _CrowdEngine:
         self.driver = BatchedCrowdDriver(
             spec, self.nw, 0, timestep, use_drift, precision,
             batch=batch, rngs=rngs)
+        nlpp = getattr(self.driver.ham, "nlpp", None)
+        if nlpp is not None:
+            # Quadrature-rotation contract: rotations are keyed on the
+            # *global* walker id and the master seed, so crowd membership
+            # cannot perturb the NLPP trace.  The serial starts one below
+            # the spawn generation: the initial E_L evaluation below
+            # bumps it to start_generation, and generation g's measure
+            # lands on serial g+1 for crashed and uncrashed crowds alike.
+            nlpp.set_rotations(
+                QuadratureRotations(master_seed),
+                walker_ids=np.arange(crowd, total_walkers, n_crowds),
+                serial=start_generation - 1)
         # Initial E_L through the same path measure() uses, so a respawn
         # reproduces the checkpointed values bitwise.
         drv = self.driver
@@ -327,7 +340,9 @@ class ParallelCrowdDriver:  # repro: cold
             start_method = "fork"  # cheapest respawn; spawn also works
         self._ctx = (mp.get_context(start_method) if start_method
                      else mp.get_context())
-        self._ham_names = tuple(BatchedHamiltonian.names)
+        self._ham_names = tuple(BatchedHamiltonian.BASE_NAMES)
+        if getattr(spec, "with_nlpp", False):
+            self._ham_names += ("NonLocalECP",)
         self.respawns = 0
         self._procs: Dict[int, mp.process.BaseProcess] = {}
         self._comm: Optional[SharedMemComm] = None

@@ -65,6 +65,38 @@ class TrialWaveFunction:
             rho *= c.ratio(P, k)
         return rho
 
+    # -- ratio-only "virtual move" API (NLPP quadrature) -------------------------
+    def ratio_at(self, P, k: int, r_new) -> float:
+        """Psi(..., r_new at k, ...)/Psi(R) without touching walker state.
+
+        Unlike :meth:`ratio`, no ``make_move`` is required beforehand and
+        no ``reject_move`` afterwards: every component computes from the
+        committed state plus the explicit position.
+        """
+        rho = 1.0
+        for c in self.components:
+            rho *= c.ratio_at(P, k, r_new)
+        return rho
+
+    def ratios_vp(self, P, owners, positions) -> np.ndarray:
+        """Vectorized :meth:`ratio_at` over a virtual-particle slab.
+
+        Components exposing ``ratios_vp`` (SoA determinants, OTF
+        Jastrows) get the whole ``(Nvp, 3)`` slab at once; the rest fall
+        back to per-point ``ratio_at``.  Walker state is untouched.
+        """
+        owners = np.asarray(owners)
+        pos = np.asarray(positions, dtype=np.float64)
+        rho = np.ones(len(owners), dtype=np.float64)
+        for c in self.components:
+            fn = getattr(c, "ratios_vp", None)
+            if fn is not None:
+                rho *= np.asarray(fn(P, owners, pos), dtype=np.float64)
+            else:
+                for m in range(len(owners)):
+                    rho[m] *= c.ratio_at(P, int(owners[m]), pos[m])
+        return rho
+
     def ratio_grad(self, P, k: int):
         rho = 1.0
         g = np.zeros(3)

@@ -76,7 +76,7 @@ def test_suites_are_well_formed():
     for name, cases in SUITES.items():
         assert cases, name
         for case in cases:
-            assert case.kind in ("system", "batched", "parallel")
+            assert case.kind in ("system", "batched", "parallel", "nlpp")
             assert case.versions
             if case.kind == "parallel":
                 assert case.workers
