@@ -3,8 +3,10 @@
 PYTHON ?= python
 BENCH_OUT ?= /tmp/repro-bench
 
-.PHONY: install test test-fast lint check bench bench-check bench-parallel \
-	bench-figures report examples clean
+.PHONY: install test test-fast lint lint-strict lint-baseline check bench \
+	bench-check bench-parallel bench-figures report examples clean
+
+LINT_BASELINE = benchmarks/baselines/lint_baseline.json
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +18,20 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
 
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ --format=json
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ --format=json \
+		--baseline $(LINT_BASELINE)
+
+# Full determinism rule set, matcher-friendly text output, fails only on
+# findings absent from the committed baseline (CI's lint-strict job).
+lint-strict:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ \
+		--select R001,R002,R003,R004,R005,R006,R007,R008,R009,R010 \
+		--baseline $(LINT_BASELINE)
+
+# Regenerate the grandfathered-findings baseline (review the diff!).
+lint-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ \
+		--write-baseline $(LINT_BASELINE)
 
 # lint + tier-1 tests; run `make bench-check` too before perf-sensitive PRs.
 check: lint test

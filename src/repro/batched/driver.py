@@ -32,7 +32,7 @@ from repro.batched.walkerbatch import WalkerBatch
 from repro.drivers.result import QMCResult
 from repro.estimators.scalar import EstimatorManager
 from repro.hamiltonian.nlpp import QuadratureRotations
-from repro.lint.sanitizers import sanitizers_enabled
+from repro.lint.sanitizers import RngStreamSanitizer, sanitizers_enabled
 from repro.metrics.registry import METRICS
 from repro.precision.policy import FULL, PrecisionPolicy
 from repro.profiling.profiler import PROFILER
@@ -246,15 +246,25 @@ class BatchedCrowdDriver:
         """Run ``steps`` fused generations over the whole crowd."""
         t0 = time.perf_counter()
         result = QMCResult(method="VMC(batched)", steps=steps)
-        with METRICS.scope("BatchedVMC"):
-            for step in range(1, steps + 1):
-                if self.precision.should_recompute(step):
-                    self.batch.logpsi[...] = self._evaluate_log()
-                self.sweep()
-                el = self.measure()
-                self.batch.age += 1
-                result.energies.append(float(np.mean(el)))
-                result.populations.append(self.nw)
+        armed = False
+        if self.sanitizers is not None:
+            # Fail fast on global-RNG draws for the whole loop: every
+            # legitimate draw comes from a per-walker stream generator.
+            RngStreamSanitizer.arm()
+            armed = True
+        try:
+            with METRICS.scope("BatchedVMC"):
+                for step in range(1, steps + 1):
+                    if self.precision.should_recompute(step):
+                        self.batch.logpsi[...] = self._evaluate_log()
+                    self.sweep()
+                    el = self.measure()
+                    self.batch.age += 1
+                    result.energies.append(float(np.mean(el)))
+                    result.populations.append(self.nw)
+        finally:
+            if armed:
+                RngStreamSanitizer.disarm()
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators

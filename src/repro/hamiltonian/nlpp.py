@@ -247,8 +247,9 @@ class NonLocalPP:
             # Promote the stored (table-precision) rows to accumulation
             # precision before the divide, as the scalar oracle does.
             d64 = np.asarray(dvals[hits], dtype=np.float64)  # repro: noqa R002
-            dv64 = np.asarray(  # repro: noqa R002
-                table.disp_row_array(k)[:, ions_hit], dtype=np.float64)
+            dv64 = np.asarray(
+                table.disp_row_array(k)[:, ions_hit],
+                dtype=np.float64)  # repro: noqa R002
             sel_k.append(np.full(hits.size, k, dtype=np.int64))
             sel_ion.append(ions_hit)
             sel_d.append(d64)

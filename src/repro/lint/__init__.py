@@ -7,27 +7,40 @@ dtypes instead of hard-coding ``float64``.  This package enforces both
 mechanically:
 
 * **Static analysis** — ``python -m repro.lint src/`` runs AST rules
-  R001-R004 over every scope marked hot (``@hot_kernel`` decorator or
-  ``# repro: hot`` pragma).  See docs/static_analysis.md.
+  R001-R010 over every scope marked hot (``@hot_kernel`` decorator or
+  ``# repro: hot`` pragma) *or reached from one through the intra-repo
+  call graph*.  See docs/static_analysis.md.
 * **Runtime sanitizers** — with ``REPRO_SANITIZE=1`` the drivers run
-  dtype/layout/forward-update checks on live walker state.
+  dtype/layout/forward-update checks on live walker state, and the
+  parallel crowds arm shared-memory race, global-RNG, and
+  collective-order sanitizers.
 """
 
+from repro.lint.baseline import (
+    apply_baseline, load_baseline, write_baseline,
+)
+from repro.lint.callgraph import CallGraph, propagate_hot
 from repro.lint.engine import (
-    FileContext, Violation, discover_files, lint_paths, lint_source,
+    FileContext, Violation, build_context, discover_files, lint_paths,
+    lint_source,
 )
 from repro.lint.hot import hot_kernel, hot_kernels, is_hot
 from repro.lint.rules import ALL_RULES, RULE_CATALOG
 from repro.lint.sanitizers import (
-    DtypeSanitizer, ForwardUpdateChecker, LayoutSanitizer, SanitizerError,
-    SanitizerSuite, force_sanitizers, sanitizers_enabled,
+    CollectiveOrderChecker, CollectiveOrderError, DtypeSanitizer,
+    ForwardUpdateChecker, LayoutSanitizer, RngStreamError,
+    RngStreamSanitizer, SanitizerError, SanitizerSuite, ShmRaceError,
+    ShmRaceSanitizer, force_sanitizers, sanitizers_enabled,
 )
 
 __all__ = [
-    "ALL_RULES", "RULE_CATALOG", "FileContext", "Violation",
-    "discover_files", "lint_paths", "lint_source",
+    "ALL_RULES", "RULE_CATALOG", "CallGraph", "FileContext", "Violation",
+    "apply_baseline", "build_context", "discover_files", "lint_paths",
+    "lint_source", "load_baseline", "propagate_hot", "write_baseline",
     "hot_kernel", "hot_kernels", "is_hot",
-    "DtypeSanitizer", "ForwardUpdateChecker", "LayoutSanitizer",
-    "SanitizerError", "SanitizerSuite", "force_sanitizers",
+    "CollectiveOrderChecker", "CollectiveOrderError", "DtypeSanitizer",
+    "ForwardUpdateChecker", "LayoutSanitizer", "RngStreamError",
+    "RngStreamSanitizer", "SanitizerError", "SanitizerSuite",
+    "ShmRaceError", "ShmRaceSanitizer", "force_sanitizers",
     "sanitizers_enabled",
 ]

@@ -1,6 +1,7 @@
 """CLI entry point: ``python -m repro.lint src/ [--format=json]``.
 
-Exit status is 0 when the tree is clean, 1 when violations were found,
+Exit status is 0 when the tree is clean (or every finding is
+grandfathered by ``--baseline``), 1 when new violations were found,
 2 on usage errors.
 """
 
@@ -11,23 +12,39 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from repro.lint.baseline import (
+    apply_baseline, load_baseline, write_baseline,
+)
 from repro.lint.engine import lint_paths
-from repro.lint.report import format_json, format_text
+from repro.lint.report import format_json, format_sarif, format_text
 from repro.lint.rules import RULE_CATALOG
+
+_FORMATTERS = {"text": format_text, "json": format_json,
+               "sarif": format_sarif}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST lint enforcing SoA-layout and mixed-precision "
-                    "kernel invariants (rules R001-R004).")
+        description="AST lint enforcing SoA-layout, mixed-precision, and "
+                    "determinism kernel invariants (rules R001-R010).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="report format (default: text)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="grandfather findings recorded in FILE; only "
+                             "new findings are reported and fail the run")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write current findings to FILE as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--no-callgraph", action="store_true",
+                        help="disable call-graph hot-scope propagation "
+                             "(directly marked scopes only)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
@@ -52,9 +69,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"no such file or directory: {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    violations, files_checked = lint_paths(paths, select=select)
-    formatter = format_json if args.format == "json" else format_text
-    print(formatter(violations, files_checked))
+    violations, files_checked = lint_paths(
+        paths, select=select, callgraph=not args.no_callgraph)
+
+    if args.write_baseline:
+        doc = write_baseline(args.write_baseline, violations)
+        print(f"wrote {len(doc['findings'])} fingerprint(s) "
+              f"({len(violations)} finding(s)) to {args.write_baseline}")
+        return 0
+
+    grandfathered = 0
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print(f"baseline file not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        violations, grandfathered = apply_baseline(
+            violations, load_baseline(args.baseline))
+
+    print(_FORMATTERS[args.format](violations, files_checked))
+    if grandfathered and args.format == "text":
+        print(f"({grandfathered} baselined finding(s) suppressed by "
+              f"{args.baseline})", file=sys.stderr)
     return 1 if violations else 0
 
 

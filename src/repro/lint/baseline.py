@@ -1,0 +1,95 @@
+"""Committed finding baseline — grandfather pre-existing violations.
+
+New rules land against a living codebase: some findings are real debt
+worth fixing, some are *deliberate* (the jastrow species-mask dict loops
+iterate in insertion order on purpose — adding ``sorted(...)`` would
+reorder float accumulation and break the bitwise traces the suite pins).
+Rather than mass-``noqa``'ing those, they are recorded once in a
+committed baseline file and CI fails only on **new** findings.
+
+A finding's fingerprint is ``(path, rule, message)`` — deliberately
+line-number free, so unrelated edits that shift a grandfathered finding
+up or down the file do not resurrect it.  Identical findings are
+matched as a multiset: three baselined hits of one fingerprint absorb
+at most three live hits; a fourth is new.
+
+Baselines never cover ``E99x`` parse errors — a file that stops parsing
+is always a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Violation
+
+BASELINE_VERSION = 1
+
+#: rules a baseline is never allowed to absorb
+NEVER_BASELINED_PREFIX = "E9"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(v: Violation) -> Fingerprint:
+    return (v.path, v.rule, v.message)
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> Dict:
+    """Serialize the current findings as the new baseline (sorted and
+    counted, so the file diffs cleanly under version control)."""
+    counts = Counter(fingerprint(v) for v in violations
+                     if not v.rule.startswith(NEVER_BASELINED_PREFIX))
+    doc = {
+        "version": BASELINE_VERSION,
+        "comment": ("grandfathered repro.lint findings — regenerate with "
+                    "'python -m repro.lint ... --write-baseline <path>'; "
+                    "CI fails only on findings absent from this file"),
+        "findings": [
+            {"path": p, "rule": r, "message": m, "count": n}
+            for (p, r, m), n in sorted(counts.items())
+        ],
+    }
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n",
+                          encoding="utf-8")
+    return doc
+
+
+def load_baseline(path: str) -> Counter:
+    """Read a baseline file into a fingerprint multiset."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {doc.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})")
+    counts: Counter = Counter()
+    for entry in doc.get("findings", []):
+        fp = (entry["path"], entry["rule"], entry["message"])
+        counts[fp] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(violations: Sequence[Violation], baseline: Counter
+                   ) -> Tuple[List[Violation], int]:
+    """Split findings into (new, n_grandfathered).
+
+    Matching is multiset subtraction in report order: the first ``n``
+    live hits of a fingerprint with baseline count ``n`` are absorbed,
+    any excess is new.  Parse errors are never absorbed.
+    """
+    budget = Counter(baseline)
+    new: List[Violation] = []
+    grandfathered = 0
+    for v in violations:
+        fp = fingerprint(v)
+        if not v.rule.startswith(NEVER_BASELINED_PREFIX) \
+                and budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            grandfathered += 1
+        else:
+            new.append(v)
+    return new, grandfathered

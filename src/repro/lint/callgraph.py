@@ -1,0 +1,309 @@
+"""Intra-repo call graph: hot-scope status propagates through call sites.
+
+Before this pass, only *directly marked* scopes (``# repro: hot``
+pragma, ``@hot_kernel`` decorator, lexical nesting under either) were
+analyzed — a kernel called *from* a hot scope but defined in an unmarked
+module escaped every rule.  This module builds a lightweight call graph
+over all files handed to :func:`repro.lint.engine.lint_paths` and marks
+every function reachable from a hot scope as hot too, writing the result
+into each :class:`~repro.lint.engine.FileContext`'s ``propagated_hot``
+set (dotted in-file qualnames).
+
+Resolution is deliberately conservative — a heuristic linter must not
+drown real kernels in false positives:
+
+* ``f(...)``            -> a same-module def/class ``f``, else a
+  ``from repro.x import f`` symbol (intra-repo only);
+* ``self.m(...)``       -> method ``m`` of the lexically enclosing
+  class, else the unique-method fallback below;
+* ``mod.f(...)``        -> ``f`` in the module ``mod`` is an alias for
+  (``import repro.x as mod`` / ``from repro import x``);
+* ``obj.m(...)``        -> resolved only when the whole project defines
+  **exactly one** function named ``m`` (dunders excluded) — ambiguous
+  method names are skipped rather than over-marked;
+* calling a class marks its ``__init__``.
+
+``# repro: cold`` on a def/class is a **propagation barrier**: the
+scope is not marked hot and its callees are not traversed through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (
+    FileContext, _decorated_hot, _scope_lines,
+)
+
+#: (module, dotted-qualname) — the graph's node key
+NodeKey = Tuple[str, str]
+
+
+def module_name(path: str) -> str:
+    """Dotted module path for a file: ``src/repro/lattice/cell.py`` ->
+    ``repro.lattice.cell``.  Files outside a recognizable package root
+    fall back to their stem (fixture files lint standalone)."""
+    parts = list(PurePosixPath(str(path).replace("\\", "/")).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src", "lib"):
+        if anchor in parts:
+            tail = parts[parts.index(anchor) + 1:]
+            if tail:
+                return ".".join(tail)
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro"):])
+    return parts[-1] if parts else "<module>"
+
+
+@dataclass
+class FunctionNode:
+    """One def/class scope in the graph."""
+
+    key: NodeKey
+    ctx: FileContext
+    node: ast.AST
+    is_class: bool
+    hot: bool          # directly marked (pragma/decorator/lexical)
+    cold: bool         # carries a cold pragma — propagation barrier
+    enclosing_class: Optional[str] = None
+    #: unresolved call references collected from the body
+    calls: List[Tuple[str, ...]] = field(default_factory=list)
+
+
+class _DefCollector:
+    """Walk one file, recording scopes, direct hotness, and call refs."""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.module = module_name(ctx.path)
+        self.nodes: Dict[str, FunctionNode] = {}
+        #: local alias -> dotted module path (``import repro.x as y``)
+        self.mod_aliases: Dict[str, str] = {}
+        #: local symbol -> (module, name)  (``from repro.x import f``)
+        self.symbols: Dict[str, Tuple[str, str]] = {}
+        self._collect_imports(ctx.tree)
+        self._walk_body(ctx.tree.body, qual=[], hot=ctx.module_hot,
+                        enclosing_class=None)
+
+    # -- imports -----------------------------------------------------------------
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for stmt in ast.walk(tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # Only a full dotted alias is usable for attr calls.
+                    self.mod_aliases[local] = (
+                        alias.name if alias.asname else alias.name)
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module \
+                    and stmt.level == 0:
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    self.symbols[local] = (stmt.module, alias.name)
+
+    # -- scope walk ---------------------------------------------------------------
+    def _is_cold(self, node: ast.AST) -> bool:
+        return bool(set(_scope_lines(node)) & self.ctx.cold_lines)
+
+    def _is_marked_hot(self, node: ast.AST) -> bool:
+        return bool(set(_scope_lines(node)) & self.ctx.hot_lines) \
+            or _decorated_hot(node)
+
+    def _walk_body(self, body: Sequence[ast.stmt], qual: List[str],
+                   hot: bool, enclosing_class: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                cold = self._is_cold(stmt)
+                eff_hot = (not cold) and (self._is_marked_hot(stmt) or hot)
+                qualname = ".".join(qual + [stmt.name])
+                is_class = isinstance(stmt, ast.ClassDef)
+                fn = FunctionNode(
+                    key=(self.module, qualname), ctx=self.ctx, node=stmt,
+                    is_class=is_class, hot=eff_hot, cold=cold,
+                    enclosing_class=enclosing_class)
+                if not is_class:
+                    fn.calls = self._collect_calls(stmt)
+                self.nodes[qualname] = fn
+                self._walk_body(
+                    stmt.body, qual + [stmt.name], eff_hot,
+                    enclosing_class=stmt.name if is_class
+                    else enclosing_class)
+            else:
+                # Module/class-level statements can call too (rare);
+                # attribute them to a synthetic "<module>" node only at
+                # module level when the module itself is hot.
+                pass
+
+    def _collect_calls(self, fn_node: ast.AST) -> List[Tuple[str, ...]]:
+        """Call refs in ``fn_node``'s body, not descending into nested
+        def/class scopes (those are graph nodes of their own and inherit
+        hotness lexically)."""
+        out: List[Tuple[str, ...]] = []
+
+        def visit(node: ast.AST, top: bool) -> None:
+            if not top and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+                return
+            if isinstance(node, ast.Call):
+                ref = self._call_ref(node.func)
+                if ref is not None:
+                    out.append(ref)
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+
+        visit(fn_node, True)
+        return out
+
+    def _call_ref(self, func: ast.AST) -> Optional[Tuple[str, ...]]:
+        if isinstance(func, ast.Name):
+            return ("name", func.id)
+        if isinstance(func, ast.Attribute):
+            meth = func.attr
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id == "self":
+                    return ("self", meth)
+                if base.id in self.mod_aliases:
+                    return ("mod", self.mod_aliases[base.id], meth)
+                return ("method", meth)
+            if isinstance(base, ast.Attribute):
+                # dotted module use: repro.lattice.cell.fn(...)
+                dotted = self._dotted(base)
+                if dotted is not None and dotted in \
+                        set(self.mod_aliases.values()):
+                    return ("mod", dotted, meth)
+                return ("method", meth)
+            return ("method", meth)
+        return None
+
+    @staticmethod
+    def _dotted(node: ast.AST) -> Optional[str]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+
+class CallGraph:
+    """The project-wide graph plus its propagation result."""
+
+    def __init__(self, contexts: Sequence[FileContext]):
+        self._collectors = [_DefCollector(ctx) for ctx in contexts]
+        self.nodes: Dict[NodeKey, FunctionNode] = {}
+        for col in self._collectors:
+            for qual, fn in col.nodes.items():
+                self.nodes[(col.module, qual)] = fn
+        #: bare name -> node keys of non-class defs with that final name
+        self.by_name: Dict[str, List[NodeKey]] = {}
+        for key, fn in self.nodes.items():
+            if not fn.is_class:
+                self.by_name.setdefault(key[1].split(".")[-1],
+                                        []).append(key)
+        self.edges: Dict[NodeKey, Set[NodeKey]] = {
+            key: set() for key in self.nodes}
+        for col in self._collectors:
+            for qual, fn in col.nodes.items():
+                if fn.is_class:
+                    continue
+                src = (col.module, qual)
+                for ref in fn.calls:
+                    dst = self._resolve(col, qual, ref)
+                    if dst is not None:
+                        self.edges[src].add(dst)
+        self.hot_set: Set[NodeKey] = self._propagate()
+
+    # -- resolution ---------------------------------------------------------------
+    def _class_init(self, key: NodeKey) -> Optional[NodeKey]:
+        init = (key[0], key[1] + ".__init__")
+        return init if init in self.nodes else None
+
+    def _as_callable(self, key: NodeKey) -> Optional[NodeKey]:
+        fn = self.nodes.get(key)
+        if fn is None:
+            return None
+        if fn.is_class:
+            return self._class_init(key)
+        return key
+
+    def _resolve(self, col: _DefCollector, caller_qual: str,
+                 ref: Tuple[str, ...]) -> Optional[NodeKey]:
+        kind = ref[0]
+        if kind == "name":
+            name = ref[1]
+            # same-module def (module level)
+            hit = self._as_callable((col.module, name))
+            if hit is not None:
+                return hit
+            # imported symbol
+            if name in col.symbols:
+                mod, sym = col.symbols[name]
+                return self._as_callable((mod, sym))
+            return self._unique_method(name)
+        if kind == "self":
+            meth = ref[1]
+            fn = col.nodes.get(caller_qual)
+            klass = fn.enclosing_class if fn else None
+            if klass:
+                hit = self._as_callable((col.module, f"{klass}.{meth}"))
+                if hit is not None:
+                    return hit
+            return self._unique_method(meth)
+        if kind == "mod":
+            _, mod, name = ref
+            return self._as_callable((mod, name))
+        if kind == "method":
+            return self._unique_method(ref[1])
+        return None
+
+    def _unique_method(self, name: str) -> Optional[NodeKey]:
+        """Resolve ``obj.m(...)`` only when the project defines exactly
+        one function/method named ``m`` (dunders never resolve)."""
+        if name.startswith("__") and name.endswith("__"):
+            return None
+        candidates = self.by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- propagation --------------------------------------------------------------
+    def _propagate(self) -> Set[NodeKey]:
+        hot: Set[NodeKey] = {key for key, fn in self.nodes.items()
+                             if fn.hot and not fn.cold}
+        frontier = list(hot)
+        while frontier:
+            src = frontier.pop()
+            for dst in self.edges.get(src, ()):
+                fn = self.nodes[dst]
+                if fn.cold or dst in hot:
+                    continue
+                hot.add(dst)
+                frontier.append(dst)
+        return hot
+
+    def propagated_only(self) -> Set[NodeKey]:
+        """Nodes hot purely through propagation (not directly marked)."""
+        return {key for key in self.hot_set if not self.nodes[key].hot}
+
+
+def propagate_hot(contexts: Sequence[FileContext]) -> CallGraph:
+    """Build the graph over ``contexts`` and write each file's
+    propagated qualnames into ``ctx.propagated_hot``.  Returns the graph
+    (tests inspect ``hot_set`` / ``edges``)."""
+    graph = CallGraph(contexts)
+    per_module: Dict[str, Set[str]] = {}
+    for mod, qual in graph.hot_set:
+        per_module.setdefault(mod, set()).add(qual)
+    for ctx in contexts:
+        ctx.propagated_hot = per_module.get(module_name(ctx.path), set())
+    return graph

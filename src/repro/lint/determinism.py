@@ -1,0 +1,317 @@
+"""Determinism rules R006–R010 — concurrency and reproducibility contracts.
+
+The repo's load-bearing guarantee (docs/parallel_crowds.md) is that
+energy traces are **bitwise identical** across worker counts.  These
+rules machine-check the ways that guarantee silently breaks:
+
+===== =====================================================================
+R006  global RNG use (``np.random.*`` / ``random.*`` module-level state)
+      in a hot scope — per-walker ``SeedSequence`` streams are mandated;
+      a stray global draw desynchronizes every stream after it
+R007  iteration over a set/dict feeding an accumulation or indexed write
+      without a ``sorted(...)`` ordering guard — float accumulation order
+      becomes insertion/hash-order dependent
+R008  write to a ``SharedWalkerState``/``SharedTraceBlock`` view outside
+      a ``# repro: commit`` scope — shared blocks may only be mutated at
+      sanctioned epoch boundaries (the zero-copy contract)
+R009  ``SimComm`` collective call nested under a data-dependent branch —
+      if workers disagree on the condition, the SPMD sequence diverges
+      and the crowd deadlocks or silently mismatches payloads
+R010  wall-clock / ``os.urandom`` / ``id()``-ordering / ``hash()``
+      constructs in a trace-affecting hot scope — output depends on the
+      process, not the physics
+===== =====================================================================
+
+Like R001–R005 these are heuristics keyed to this codebase's idiom;
+false positives take a rule-scoped ``# repro: noqa R00x`` with a
+justification, or ride in the committed baseline when pre-existing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.engine import ScopedVisitor
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``np.random.rand`` -> ``"np.random.rand"`` (None when the chain
+    does not bottom out in a plain name)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class RuleR006(ScopedVisitor):
+    """Global RNG use where per-walker SeedSequence streams are mandated."""
+
+    rule = "R006"
+
+    #: np.random attributes that are *fine*: stream construction, not draws
+    ALLOWED_NP = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                  "Philox", "SFC64", "MT19937", "BitGenerator"}
+    #: stdlib ``random`` module-level functions backed by global state
+    RANDOM_FUNCS = {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "seed",
+        "getrandbits", "betavariate", "expovariate", "vonmisesvariate",
+    }
+
+    def visit_Call(self, node: ast.Call):
+        if self.hot:
+            dotted = _dotted_name(node.func)
+            if dotted:
+                parts = dotted.split(".")
+                if len(parts) >= 3 and parts[0] in ("np", "numpy") \
+                        and parts[1] == "random" \
+                        and parts[2] not in self.ALLOWED_NP:
+                    self.report(node, (
+                        f"global NumPy RNG call {dotted}() — draws must "
+                        f"come from the walker's own SeedSequence stream "
+                        f"(repro.rng.walker_streams); global state "
+                        f"desynchronizes every stream after it"))
+                elif len(parts) == 2 and parts[0] == "random" \
+                        and parts[1] in self.RANDOM_FUNCS:
+                    self.report(node, (
+                        f"stdlib global RNG call {dotted}() — use the "
+                        f"walker's SeedSequence-derived Generator instead "
+                        f"of process-global random state"))
+        self.generic_visit(node)
+
+
+class RuleR007(ScopedVisitor):
+    """Unordered set/dict iteration feeding accumulations or writes."""
+
+    rule = "R007"
+
+    DICT_VIEW_METHODS = {"items", "keys", "values"}
+    SET_CTORS = {"set", "frozenset"}
+
+    def _unordered_iter(self, it: ast.AST) -> Optional[str]:
+        """A printable description when ``it`` is an unordered iterable
+        (None when ordered or unknown).  ``sorted(...)`` never matches —
+        that *is* the ordering guard."""
+        if isinstance(it, ast.Call):
+            name = _call_name(it.func)
+            if isinstance(it.func, ast.Attribute) \
+                    and name in self.DICT_VIEW_METHODS:
+                recv = _dotted_name(it.func.value) or "<expr>"
+                return f"{recv}.{name}()"
+            if isinstance(it.func, ast.Name) and name in self.SET_CTORS:
+                return f"{name}(...)"
+            return None
+        if isinstance(it, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(it, ast.DictComp):
+            return "a dict comprehension"
+        return None
+
+    def _feeds_accumulation(self, body: List[ast.stmt]) -> bool:
+        """Loop body accumulates (``+=``/``*=``) or writes through an
+        index — the spots where visit order changes float results or
+        trace contents."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.AugAssign):
+                    return True
+                if isinstance(node, ast.Assign) and any(
+                        isinstance(t, ast.Subscript) for t in node.targets):
+                    return True
+        return False
+
+    def visit_For(self, node: ast.For):
+        if self.hot:
+            what = self._unordered_iter(node.iter)
+            if what is not None and self._feeds_accumulation(node.body):
+                self.report(node, (
+                    f"iteration over {what} feeds an accumulation — visit "
+                    f"order is insertion/hash dependent; wrap the iterable "
+                    f"in sorted(...) to pin the reduction order"))
+        self.generic_visit(node)
+
+
+class RuleR008(ScopedVisitor):
+    """Shared-memory view writes outside a commit/epoch boundary."""
+
+    rule = "R008"
+
+    #: array fields exposed by SharedWalkerState / SharedTraceBlock
+    SHM_FIELDS = {"R", "weight", "logpsi", "local_energy", "age",
+                  "components"}
+    #: receiver spellings bound to shared blocks in this codebase
+    SHM_RECEIVERS = {"state", "trace", "_state", "_trace",
+                     "shm_state", "shm_trace", "shared_state",
+                     "shared_trace"}
+
+    def _shm_write_target(self, target: ast.AST) -> Optional[str]:
+        """``state.weight[...]`` / ``self.trace.local_energy[...]`` as a
+        store target -> printable spelling, else None."""
+        if not isinstance(target, ast.Subscript):
+            return None
+        attr = target.value
+        if not (isinstance(attr, ast.Attribute)
+                and attr.attr in self.SHM_FIELDS):
+            return None
+        recv = attr.value
+        recv_name = None
+        if isinstance(recv, ast.Name):
+            recv_name = recv.id
+        elif isinstance(recv, ast.Attribute):
+            recv_name = recv.attr
+        if recv_name in self.SHM_RECEIVERS:
+            return f"{recv_name}.{attr.attr}[...]"
+        return None
+
+    def _check_store(self, node: ast.stmt, targets: List[ast.AST]) -> None:
+        if not self.hot or self.in_commit \
+                or node.lineno in self.ctx.commit_lines:
+            return
+        for target in targets:
+            spelled = self._shm_write_target(target)
+            if spelled is not None:
+                self.report(node, (
+                    f"write to shared-memory view {spelled} outside a "
+                    f"'# repro: commit' scope — shared blocks are mutated "
+                    f"only at sanctioned epoch boundaries "
+                    f"(docs/parallel_crowds.md zero-copy contract)"))
+                return
+
+    def visit_Assign(self, node: ast.Assign):
+        self._check_store(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        self._check_store(node, [node.target])
+        self.generic_visit(node)
+
+
+class RuleR009(ScopedVisitor):
+    """Collective calls nested under data-dependent branches (SPMD hazard)."""
+
+    rule = "R009"
+
+    COLLECTIVES = {"bcast", "gather", "allgather", "allreduce",
+                   "allreduce_array", "barrier", "reduce", "scatter"}
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        #: data-dependent branch nodes currently enclosing the walk,
+        #: one entry per scope (branches don't leak across def boundaries)
+        self._branch_stack: List[List[ast.AST]] = [[]]
+
+    def scope_entered(self, node: ast.AST) -> None:
+        self._branch_stack.append([])
+
+    def scope_left(self, node: ast.AST) -> None:
+        self._branch_stack.pop()
+
+    # -- uniformity of a branch condition --------------------------------------
+    def _uniform(self, test: ast.AST) -> bool:
+        """True when every worker provably evaluates ``test`` the same
+        way: plain names/attributes/constants and comparisons/boolean
+        algebra over them.  Subscripts, arithmetic, and calls read data
+        and are treated as divergent."""
+        if isinstance(test, (ast.Name, ast.Attribute, ast.Constant)):
+            return True
+        if isinstance(test, ast.Compare):
+            return self._uniform(test.left) and all(
+                self._uniform(c) for c in test.comparators)
+        if isinstance(test, ast.BoolOp):
+            return all(self._uniform(v) for v in test.values)
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._uniform(test.operand)
+        return False
+
+    def _visit_branch(self, node):
+        if self.hot and not self._uniform(node.test):
+            self._branch_stack[-1].append(node)
+            self.generic_visit(node)
+            self._branch_stack[-1].pop()
+        else:
+            self.generic_visit(node)
+
+    visit_If = _visit_branch
+    visit_While = _visit_branch
+
+    def visit_Call(self, node: ast.Call):
+        if self.hot and self._branch_stack[-1] \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in self.COLLECTIVES:
+            recv = _dotted_name(node.func.value) or ""
+            if "comm" in recv.rsplit(".", 1)[-1].lower():
+                branch = self._branch_stack[-1][-1]
+                self.report(node, (
+                    f"collective .{node.func.attr}() under the "
+                    f"data-dependent branch at line {branch.lineno} — if "
+                    f"workers disagree on the condition the SPMD call "
+                    f"sequence diverges (deadlock or payload mismatch); "
+                    f"hoist the collective or make the condition uniform"))
+        self.generic_visit(node)
+
+
+class RuleR010(ScopedVisitor):
+    """Wall-clock / entropy / interpreter-identity leaks into hot scopes."""
+
+    rule = "R010"
+
+    WALLCLOCK_DOTTED = {
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.now", "datetime.utcnow",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    }
+    #: bare spellings (``from time import perf_counter``)
+    WALLCLOCK_BARE = {"perf_counter", "perf_counter_ns", "monotonic",
+                      "time_ns", "urandom", "uuid1", "uuid4"}
+
+    def visit_Call(self, node: ast.Call):
+        if self.hot:
+            dotted = _dotted_name(node.func)
+            if dotted in self.WALLCLOCK_DOTTED or (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in self.WALLCLOCK_BARE):
+                self.report(node, (
+                    f"{dotted or _call_name(node.func)}() in a hot scope — "
+                    f"wall-clock/entropy values differ per process and "
+                    f"must never feed a trace; move timing to the metrics "
+                    f"registry in a cold scope"))
+            elif isinstance(node.func, ast.Name) and node.func.id == "id" \
+                    and len(node.args) == 1:
+                self.report(node, (
+                    "id() in a hot scope — CPython object addresses vary "
+                    "per process; ordering or keying on id() is "
+                    "non-deterministic across workers"))
+            elif isinstance(node.func, ast.Name) \
+                    and node.func.id == "hash" and len(node.args) == 1:
+                self.report(node, (
+                    "hash() in a hot scope — str/bytes hashing is "
+                    "randomized per process (PYTHONHASHSEED); derive keys "
+                    "from explicit walker/step indices instead"))
+        self.generic_visit(node)
+
+
+DETERMINISM_RULES = [RuleR006, RuleR007, RuleR008, RuleR009, RuleR010]
+
+DETERMINISM_CATALOG = {
+    "R006": "global RNG use (np.random.* / random.*) in a hot scope",
+    "R007": "unordered set/dict iteration feeding an accumulation",
+    "R008": "shared-memory view write outside a commit/epoch boundary",
+    "R009": "collective call nested under a data-dependent branch",
+    "R010": "wall-clock/urandom/id()/hash() construct in a hot scope",
+}

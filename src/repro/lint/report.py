@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON, and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import json
 from collections import Counter
 from typing import List, Sequence
 
-from repro.lint.engine import Violation
+from repro.lint.engine import Violation, WARNING_RULES
 
 
 def format_text(violations: Sequence[Violation], files_checked: int) -> str:
@@ -36,3 +36,54 @@ def format_json(violations: Sequence[Violation], files_checked: int) -> str:
         ],
     }
     return json.dumps(payload, indent=2)
+
+
+def format_sarif(violations: Sequence[Violation], files_checked: int) -> str:
+    """SARIF 2.1.0 report — what GitHub code scanning and the problem
+    matcher pipeline consume to annotate PR diffs inline."""
+    from repro.lint.rules import RULE_CATALOG
+
+    seen_rules = sorted({v.rule for v in violations} | set(RULE_CATALOG))
+    rule_index = {rule: i for i, rule in enumerate(seen_rules)}
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {
+                "text": RULE_CATALOG.get(rule, "lint finding")},
+            "defaultConfiguration": {
+                "level": "warning" if rule in WARNING_RULES else "error"},
+        }
+        for rule in seen_rules
+    ]
+    results = [
+        {
+            "ruleId": v.rule,
+            "ruleIndex": rule_index[v.rule],
+            "level": "warning" if v.rule in WARNING_RULES else "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(v.line, 1),
+                               "startColumn": v.col + 1},
+                },
+            }],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.lint",
+                "informationUri": "docs/static_analysis.md",
+                "rules": rules,
+            }},
+            "results": results,
+            "properties": {"filesChecked": files_checked},
+        }],
+    }
+    return json.dumps(doc, indent=2)

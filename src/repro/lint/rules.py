@@ -388,7 +388,12 @@ class RuleR005(ScopedVisitor):
         self.generic_visit(node)
 
 
-ALL_RULES = [RuleR001, RuleR002, RuleR003, RuleR004, RuleR005]
+from repro.lint.determinism import (  # noqa: E402 — avoids import cycle
+    DETERMINISM_CATALOG, DETERMINISM_RULES,
+)
+
+ALL_RULES = [RuleR001, RuleR002, RuleR003, RuleR004,
+             RuleR005] + DETERMINISM_RULES
 
 #: short catalog for reporters and docs
 RULE_CATALOG = {
@@ -397,4 +402,7 @@ RULE_CATALOG = {
     "R003": "SoA row conversion/copy or strided gather in a hot kernel",
     "R004": "accumulation in value_dtype where accum_dtype is mandated",
     "R005": "per-step pickling or pipe-shipping of arrays in a hot kernel",
+    **DETERMINISM_CATALOG,
+    "W001": "bare '# repro: noqa' — suppressions must be rule-scoped",
+    "W002": "stale suppression — named rule no longer fires on the line",
 }

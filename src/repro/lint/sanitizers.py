@@ -1,6 +1,6 @@
 """Runtime sanitizers — the dynamic half of ``repro.lint``.
 
-Three checkers enforce at run time what rules R001-R004 enforce at parse
+Six checkers enforce at run time what the static rules enforce at parse
 time, catching violations that only materialize on real data:
 
 * :class:`DtypeSanitizer` — raises on silent ``float64`` upcasts of
@@ -13,17 +13,32 @@ time, catching violations that only materialize on real data:
   distance-table rows/columns against a from-scratch recompute: the
   paper's drift safeguard for the forward-update scheme (Fig. 6b) and
   single-precision accumulation error.
+* :class:`ShmRaceSanitizer` — the dynamic face of rule R008: checksums
+  shared-memory regions over the windows in which the zero-copy
+  contract says nobody writes, and raises on out-of-band mutation.
+* :class:`RngStreamSanitizer` — the dynamic face of rule R006: patches
+  the *global* NumPy RNG entry points to fail fast, so a stray
+  ``np.random.normal()`` inside a hot scope dies loudly instead of
+  silently desynchronizing the per-walker streams.
+* :class:`CollectiveOrderChecker` — the dynamic face of rule R009:
+  every ``SharedMemComm`` collective shares one wire protocol, so a
+  worker calling ``allgather`` where its peers call ``allreduce``
+  *succeeds on the wire* with garbage semantics; this checker compares
+  the per-worker collective call logs at shutdown and raises on the
+  first divergence.
 
-All three are toggled by ``REPRO_SANITIZE=1`` (see
-:func:`sanitizers_enabled`); the QMC drivers consult that flag and run a
-:class:`SanitizerSuite` after accepted moves and at measurement time.
+All are toggled by ``REPRO_SANITIZE=1`` (see :func:`sanitizers_enabled`);
+the QMC drivers consult that flag and run a :class:`SanitizerSuite`
+after accepted moves and at measurement time, and the parallel crowd
+driver arms the three concurrency sanitizers around each generation.
 """
 
 from __future__ import annotations
 
 import functools
 import os
-from typing import Optional
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +51,21 @@ _FORCED: Optional[bool] = None
 
 class SanitizerError(AssertionError):
     """An invariant the lint subsystem enforces was violated at run time."""
+
+
+class ShmRaceError(SanitizerError):
+    """A sealed shared-memory region changed while it was supposed to be
+    quiescent — an out-of-band write raced the zero-copy epoch protocol."""
+
+
+class RngStreamError(SanitizerError):
+    """Global NumPy RNG state was touched while per-walker SeedSequence
+    streams were mandated (hot scope, sanitizers armed)."""
+
+
+class CollectiveOrderError(SanitizerError):
+    """Workers disagreed on the sequence of collective calls — the SPMD
+    contract every SharedMemComm collective relies on."""
 
 
 def sanitizers_enabled() -> bool:
@@ -247,3 +277,190 @@ class SanitizerSuite:
             if isinstance(distances, np.ndarray):
                 self.dtype.check_array(
                     f"{type(t).__name__}.distances", distances)
+
+
+class ShmRaceSanitizer:
+    """Checksum shared-memory regions across their quiescent windows.
+
+    The zero-copy contract (docs/parallel_crowds.md) divides time into
+    epochs: between the parent's post-generation commit and the next
+    generation command, *nobody* writes the walker-state block; and a
+    trace row, once written by its generation, is frozen forever.  This
+    sanitizer seals a CRC32 over each such region when its quiescent
+    window opens and verifies it when the window closes — any mutation
+    in between is a race that the bitwise-determinism suite might only
+    catch probabilistically, surfaced here deterministically.
+    """
+
+    def __init__(self):
+        #: label -> (crc32, nbytes) sealed at window open
+        self._seals: Dict[str, Tuple[int, int]] = {}
+
+    @staticmethod
+    def _checksum(arr: np.ndarray) -> Tuple[int, int]:
+        data = np.ascontiguousarray(arr)
+        raw = data.tobytes()
+        return zlib.crc32(raw), len(raw)
+
+    def seal(self, label: str, arr: np.ndarray) -> None:
+        """Open a quiescent window over ``arr`` (replaces any prior seal
+        with the same label)."""
+        self._seals[label] = self._checksum(arr)
+
+    def verify(self, label: str, arr: np.ndarray) -> None:
+        """Close the window: raise :class:`ShmRaceError` when the region
+        changed since :meth:`seal`.  The seal is consumed either way."""
+        sealed = self._seals.pop(label, None)
+        if sealed is None:
+            return
+        current = self._checksum(arr)
+        if current != sealed:
+            raise ShmRaceError(
+                f"shm race sanitizer: region '{label}' mutated during its "
+                f"quiescent window (crc {sealed[0]:#010x} -> "
+                f"{current[0]:#010x}) — an out-of-band write raced the "
+                f"commit/epoch protocol (static rule R008)")
+
+    def release(self, label: str) -> None:
+        """Drop a seal without verifying (legitimate writer took over)."""
+        self._seals.pop(label, None)
+
+    def clear(self) -> None:
+        """Drop every seal — used on crash recovery, where the restored
+        checkpoint legitimately rewrites all shared state."""
+        self._seals.clear()
+
+    @property
+    def sealed(self) -> List[str]:
+        return sorted(self._seals)
+
+
+class RngStreamSanitizer:
+    """Make global NumPy RNG draws fail fast while armed.
+
+    The determinism contract mandates per-walker ``SeedSequence``
+    streams (walker ``w`` owns stream ``w``); a single global draw
+    inside a hot loop silently shifts every subsequent stream.  Rule
+    R006 catches the lexical cases — this sanitizer catches the rest
+    (third-party helpers, getattr indirection) by monkeypatching the
+    stateful ``np.random`` module functions with raisers.
+
+    Stream *construction* stays allowed: ``np.random.default_rng``,
+    ``SeedSequence``, ``Generator`` and the bit generators are untouched.
+    Arming is reference counted at class level so nested arm/disarm
+    pairs (driver around worker, suite around test) compose, and the
+    patch is per-process — workers arm their own copy after spawn/fork.
+    """
+
+    #: stateful module-level entry points that draw from or reseed the
+    #: process-global RandomState
+    PATCHED = (
+        "seed", "random", "random_sample", "rand", "randn", "randint",
+        "normal", "uniform", "standard_normal", "exponential", "choice",
+        "shuffle", "permutation", "gamma", "beta", "poisson", "binomial",
+        "bytes", "get_state", "set_state",
+    )
+
+    _depth: int = 0
+    _saved: Dict[str, object] = {}
+
+    @classmethod
+    def _raiser(cls, name: str):
+        def blocked(*args, **kwargs):
+            raise RngStreamError(
+                f"rng stream sanitizer: np.random.{name}() called while "
+                f"armed — global RNG state is forbidden in hot scopes; "
+                f"draw from the walker's SeedSequence-derived Generator "
+                f"(repro.rng.walker_streams) instead (static rule R006)")
+        blocked.__name__ = f"blocked_{name}"
+        blocked.__qualname__ = f"RngStreamSanitizer.{name}"
+        return blocked
+
+    @classmethod
+    def arm(cls) -> None:
+        cls._depth += 1
+        if cls._depth > 1:
+            return
+        for name in cls.PATCHED:
+            original = getattr(np.random, name, None)
+            if original is None:  # pragma: no cover - numpy version skew
+                continue
+            cls._saved[name] = original
+            setattr(np.random, name, cls._raiser(name))
+
+    @classmethod
+    def disarm(cls) -> None:
+        if cls._depth == 0:
+            return
+        cls._depth -= 1
+        if cls._depth:
+            return
+        for name, original in cls._saved.items():
+            setattr(np.random, name, original)
+        cls._saved = {}
+
+    @classmethod
+    def armed(cls) -> bool:
+        return cls._depth > 0
+
+    def __enter__(self) -> "RngStreamSanitizer":
+        self.arm()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.disarm()
+
+
+class CollectiveOrderChecker:
+    """Verify cross-worker agreement on the collective call sequence.
+
+    ``SharedMemComm`` ships every collective through one ``_collective``
+    wire exchange, so a worker that calls ``allgather`` while its peers
+    call ``allreduce`` does *not* deadlock — the payloads pair up by
+    sequence number and the run completes with silently wrong results.
+    Each endpoint therefore records ``(seq, kind)`` labels while
+    sanitizers are armed; the driver collects the logs at shutdown and
+    this checker raises on the first cross-worker divergence.
+    """
+
+    def __init__(self):
+        #: rank -> [(seq, kind), ...]
+        self._logs: Dict[int, List[Tuple[int, str]]] = {}
+
+    def add_sequence(self, rank: int,
+                     log: Sequence[Tuple[int, str]]) -> None:
+        self._logs[int(rank)] = [(int(s), str(k)) for s, k in log]
+
+    def verify(self) -> None:
+        """Raise :class:`CollectiveOrderError` on the first collective
+        where any two workers disagree on the kind, or where one worker
+        participated in a collective another never reached."""
+        if len(self._logs) < 2:
+            return
+        by_seq: Dict[int, Dict[int, str]] = {}
+        for rank, log in self._logs.items():
+            for seq, kind in log:
+                by_seq.setdefault(seq, {})[rank] = kind
+        ranks = set(self._logs)
+        for seq in sorted(by_seq):
+            kinds = by_seq[seq]
+            if set(kinds) != ranks:
+                absent = sorted(ranks - set(kinds))
+                present = sorted(kinds)
+                raise CollectiveOrderError(
+                    f"collective order checker: collective #{seq} "
+                    f"({kinds[present[0]]}) was entered by ranks "
+                    f"{present} but never by ranks {absent} — the SPMD "
+                    f"call sequences diverged (static rule R009)")
+            if len(set(kinds.values())) > 1:
+                detail = ", ".join(f"rank {r}: {kinds[r]}"
+                                   for r in sorted(kinds))
+                raise CollectiveOrderError(
+                    f"collective order checker: collective #{seq} was "
+                    f"entered with mismatched kinds ({detail}) — all "
+                    f"ranks must issue the same collective in the same "
+                    f"order (static rule R009)")
+
+    @property
+    def ranks(self) -> List[int]:
+        return sorted(self._logs)

@@ -62,6 +62,9 @@ from repro.drivers.dmc import DMCDriver
 from repro.drivers.result import QMCResult
 from repro.hamiltonian.nlpp import QuadratureRotations
 from repro.estimators.scalar import EstimatorManager
+from repro.lint.sanitizers import (CollectiveOrderChecker,
+                                   RngStreamSanitizer, ShmRaceSanitizer,
+                                   sanitizers_enabled)
 from repro.metrics.registry import METRICS
 from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
 from repro.parallel.shmcomm import CommPeerLost, CommTimeout, SharedMemComm
@@ -211,7 +214,7 @@ class _CrowdEngine:
             batch.age += 1
         return int(np.sum(drv.last_sweep_accepts))
 
-    def _record(self, step: int, el: np.ndarray) -> None:  # repro: hot
+    def _record(self, step: int, el: np.ndarray) -> None:  # repro: hot  # repro: commit
         """Write this generation's estimator inputs into the trace block
         (strided shared-memory columns — never pickled)."""
         row = step - 1
@@ -244,6 +247,10 @@ class _WorkerConfig:  # repro: cold
     comm: SharedMemComm
     metrics_enabled: bool
     crash_generation: Optional[int] = None  # injected-fault hook (tests)
+    #: injected-fault hook (tests): after running this generation, write
+    #: into a *frozen* trace row out of band — the race the
+    #: ShmRaceSanitizer quiescent-window checksums must catch
+    race_generation: Optional[int] = None
 
 
 def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
@@ -253,9 +260,15 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
     state = None
     trace = None
     failed = False
+    armed = False
     try:
         METRICS.enabled = bool(cfg.metrics_enabled)
         METRICS.reset()
+        if sanitizers_enabled():
+            # Fail fast on any global-RNG draw for this whole process:
+            # every legitimate stream is a per-walker Generator.
+            RngStreamSanitizer.arm()
+            armed = True
         state = SharedWalkerState.attach(
             cfg.state_name, cfg.total_walkers, cfg.n)
         trace = SharedTraceBlock.attach(
@@ -275,7 +288,14 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
                         and step >= cfg.crash_generation):
                     os._exit(23)  # injected fault: die without cleanup
                 accepted = engine.run_generation(step, e_trial)
+                if cfg.race_generation == step and step >= 2:
+                    # Injected fault: scribble on a frozen history row,
+                    # outside any commit scope — exactly the out-of-band
+                    # mutation the parent's quiescent-window checksums
+                    # exist to catch.
+                    trace.local_energy[0, cfg.crowd] += 1.0  # repro: noqa R008 — deliberate race fixture
                 comm.allgather(("done", accepted, engine.nw))
+        collective_log = list(comm.order_log)
         payload = {
             "crowd": cfg.crowd,
             "nw": engine.nw,
@@ -285,11 +305,14 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
             "comm": {"allreduce_count": comm.allreduce_count,
                      "p2p_messages": comm.p2p_messages,
                      "p2p_bytes": comm.p2p_bytes},
+            "collective_log": collective_log,
         }
         comm.allgather(payload)
     except (CommTimeout, CommPeerLost, EOFError, OSError):
         failed = True  # the parent vanished or replaced this incarnation
     finally:
+        if armed:
+            RngStreamSanitizer.disarm()
         for obj in (trace, state):
             if obj is not None:
                 try:
@@ -317,7 +340,8 @@ class ParallelCrowdDriver:  # repro: cold
                  use_drift: bool = True, precision: PrecisionPolicy = FULL,
                  sync_timeout: float = 120.0, liveness_poll: float = 0.25,
                  max_respawns: int = 3, start_method: Optional[str] = None,
-                 crash_plan: Optional[Dict[int, int]] = None):
+                 crash_plan: Optional[Dict[int, int]] = None,
+                 race_plan: Optional[Dict[int, int]] = None):
         if nwalkers < 1:
             raise ValueError(f"need at least one walker, got {nwalkers}")
         if workers < 0:
@@ -336,6 +360,11 @@ class ParallelCrowdDriver:  # repro: cold
         #: calls ``os._exit`` on reaching that generation; test hook for
         #: the detect-and-respawn path.  Ignored when ``workers == 0``.
         self.crash_plan = dict(crash_plan) if crash_plan else None
+        #: {crowd: generation} — worker ``crowd`` (incarnation 0 only)
+        #: writes a frozen trace row out of band after that generation;
+        #: test hook proving the ShmRaceSanitizer fires.  Only active
+        #: when sanitizers are armed (the write itself always happens).
+        self.race_plan = dict(race_plan) if race_plan else None
         if start_method is None and "fork" in mp.get_all_start_methods():
             start_method = "fork"  # cheapest respawn; spawn also works
         self._ctx = (mp.get_context(start_method) if start_method
@@ -349,6 +378,7 @@ class ParallelCrowdDriver:  # repro: cold
         self._state = None
         self._trace = None
         self._engine: Optional[_CrowdEngine] = None
+        self._race: Optional[ShmRaceSanitizer] = None
         self._checkpoint: Optional[Dict[str, np.ndarray]] = None
         self._incarnation = 0
         self._mode = "vmc"
@@ -388,6 +418,14 @@ class ParallelCrowdDriver:  # repro: cold
         accepted_total = 0
         branch_rng = np.random.default_rng(
             np.random.SeedSequence(self.master_seed).spawn(W + 1)[W])
+        armed = False
+        if sanitizers_enabled():
+            # Same fail-fast global-RNG guard the workers arm; stream
+            # construction (default_rng/SeedSequence) stays allowed.
+            RngStreamSanitizer.arm()
+            armed = True
+            if shared:
+                self._race = ShmRaceSanitizer()
         try:
             if shared:
                 self._ensure_pool(1)
@@ -405,8 +443,10 @@ class ParallelCrowdDriver:  # repro: cold
                 for step in range(1, steps + 1):
                     self._checkpoint = state.checkpoint()
                     if shared:
+                        self._race_begin(step)
                         accepted_total += self._parallel_generation(
                             step, e_trial)
+                        self._race_end(step)
                     else:
                         accepted_total += self._engine.run_generation(
                             step, e_trial)
@@ -435,10 +475,14 @@ class ParallelCrowdDriver:  # repro: cold
                         e_trial = e_best - feedback * math.log(W / W)
                         result.populations.append(W)
                         result.trial_energies.append(e_trial)
+                    if shared:
+                        self._race_seal_state()
             elapsed = time.perf_counter() - t0
             trace_data = self._trace.as_arrays()
             worker_stats = self._finalize() if shared else None
         finally:
+            if armed:
+                RngStreamSanitizer.disarm()
             self._teardown()
         result.elapsed = elapsed
         moves = steps * W * n
@@ -485,6 +529,47 @@ class ParallelCrowdDriver:  # repro: cold
         state.age[...] = age
         state.weight[...] = 1.0
 
+    # -- shm race quiescent windows (ShmRaceSanitizer, armed runs only) ----------
+    def _race_begin(self, step: int) -> None:
+        """Close the inter-generation state window (nobody may have
+        written walker state since the parent's last commit) and seal
+        the frozen trace history before workers write row ``step - 1``."""
+        race = self._race
+        if race is None:
+            return
+        for name in _STATE_FIELDS:
+            race.verify(f"state/{name}", getattr(self._state, name))
+        hist = step - 1
+        if hist > 0:
+            race.seal("trace/local_energy",
+                      self._trace.local_energy[:hist])
+            race.seal("trace/weight", self._trace.weight[:hist])
+            race.seal("trace/components", self._trace.components[:hist])
+
+    def _race_end(self, step: int) -> None:
+        """Every worker's done token happened-before this point, so an
+        out-of-band write to the frozen history is detected
+        deterministically — not probabilistically."""
+        race = self._race
+        if race is None:
+            return
+        hist = step - 1
+        if hist > 0:
+            race.verify("trace/local_energy",
+                        self._trace.local_energy[:hist])
+            race.verify("trace/weight", self._trace.weight[:hist])
+            race.verify("trace/components", self._trace.components[:hist])
+
+    def _race_seal_state(self) -> None:
+        """Open the inter-generation window: the parent's commits for
+        this generation (branch comb, weight resets) are done; nothing
+        may write walker state until the next generation command."""
+        race = self._race
+        if race is None:
+            return
+        for name in _STATE_FIELDS:
+            race.seal(f"state/{name}", getattr(self._state, name))
+
     # -- process-pool management -------------------------------------------------
     def _spawn_pool(self, start_generation: int) -> None:
         """Build a fresh communicator and spawn all K crowd processes;
@@ -493,6 +578,7 @@ class ParallelCrowdDriver:  # repro: cold
         endpoints = SharedMemComm.world(K + 1, ctx=self._ctx)
         self._comm = endpoints[0]
         crash_plan = self.crash_plan if self._incarnation == 0 else None
+        race_plan = self.race_plan if self._incarnation == 0 else None
         self._incarnation += 1
         for r in range(1, K + 1):
             crowd = r - 1
@@ -505,7 +591,8 @@ class ParallelCrowdDriver:  # repro: cold
                 state_name=self._state.name, trace_name=self._trace.name,
                 ncomp=len(self._ham_names), comm=endpoints[r],
                 metrics_enabled=METRICS.enabled,
-                crash_generation=(crash_plan or {}).get(crowd))
+                crash_generation=(crash_plan or {}).get(crowd),
+                race_generation=(race_plan or {}).get(crowd))
             proc = self._ctx.Process(
                 target=_worker_main, args=(cfg,),
                 name=f"repro-crowd-{crowd}", daemon=True)
@@ -572,6 +659,9 @@ class ParallelCrowdDriver:  # repro: cold
         self.respawns += 1
         METRICS.count("crowd_worker_respawns")
         self._terminate_pool()
+        if self._race is not None:
+            # the restored checkpoint legitimately rewrites shared state
+            self._race.clear()
         if self.respawns > self.max_respawns:
             raise RuntimeError(
                 f"gave up after {self.respawns - 1} respawns: {exc}")
@@ -616,6 +706,22 @@ class ParallelCrowdDriver:  # repro: cold
                                        label=f"crowd-{p['crowd']}")
             for key in ("allreduce_count", "p2p_messages", "p2p_bytes"):
                 self._comm_totals[key] += p["comm"][key]
+        if self._race is not None:
+            # every worker's final payload happened-before this point:
+            # the state sealed after the last generation must be intact
+            for name in _STATE_FIELDS:
+                self._race.verify(f"state/{name}",
+                                  getattr(self._state, name))
+        if sanitizers_enabled() and self.respawns == 0 \
+                and len(payloads) == self.workers:
+            # Cross-check the SPMD collective call sequences.  Skipped
+            # after a respawn: a replacement incarnation's log starts
+            # mid-run, so per-rank logs legitimately differ in length.
+            checker = CollectiveOrderChecker()
+            for p in payloads:
+                if p.get("collective_log") is not None:
+                    checker.add_sequence(p["crowd"], p["collective_log"])
+            checker.verify()
         self._terminate_pool()
         return payloads
 
@@ -647,6 +753,7 @@ class ParallelCrowdDriver:  # repro: cold
         self._trace = None
         self._state = None
         self._engine = None
+        self._race = None
         self._checkpoint = None
 
     def close(self) -> None:

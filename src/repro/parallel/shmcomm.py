@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.lint.sanitizers import sanitizers_enabled
 from repro.parallel.simcomm import SimComm
 
 
@@ -70,6 +71,11 @@ class SharedMemComm:
         self.allreduce_count = 0
         self.p2p_messages = 0
         self.p2p_bytes = 0.0
+        #: (seq, kind) per collective entered, recorded while sanitizers
+        #: are armed; CollectiveOrderChecker cross-checks these at
+        #: shutdown (every kind shares one wire protocol, so divergent
+        #: kinds succeed on the wire — only the log catches them)
+        self.order_log: List[Tuple[int, str]] = []
 
     # -- world construction ------------------------------------------------------
     @classmethod
@@ -157,12 +163,15 @@ class SharedMemComm:
 
     # -- collectives (SimComm vocabulary, SPMD calling convention) ---------------
     def _collective(self, value: Any, reduce_fn: Callable[[List[Any]], Any],
-                    timeout: Optional[float]) -> Any:
+                    timeout: Optional[float],
+                    label: str = "collective") -> Any:
         """Root gathers [rank 0, 1, ..] contributions, reduces in rank
         order, broadcasts; every rank returns the reduced result."""
         self._seq += 1
         self.allreduce_count += 1
         seq = self._seq
+        if sanitizers_enabled():
+            self.order_log.append((seq, label))
         if self.rank == 0:
             self._coll_inbox[(0, seq)] = value
             self._pending = (seq, reduce_fn)
@@ -218,7 +227,7 @@ class SharedMemComm:
     def allreduce(self, value: Any, op: Callable = sum,
                   timeout: Optional[float] = None) -> Any:
         """Reduce one contribution per rank; every rank gets the result."""
-        return self._collective(value, op, timeout)
+        return self._collective(value, op, timeout, label="allreduce")
 
     def allreduce_array(self, array: np.ndarray,
                         timeout: Optional[float] = None) -> np.ndarray:
@@ -226,12 +235,13 @@ class SharedMemComm:
         arrays only — walker blocks live in shared memory)."""
         return self._collective(
             np.asarray(array),
-            lambda parts: np.sum(np.stack(parts), axis=0), timeout)
+            lambda parts: np.sum(np.stack(parts), axis=0), timeout,
+            label="allreduce_array")
 
     def allgather(self, value: Any,
                   timeout: Optional[float] = None) -> List[Any]:
         """Every rank contributes one object; all get the rank-ordered list."""
-        return self._collective(value, list, timeout)
+        return self._collective(value, list, timeout, label="allgather")
 
     def bcast(self, value: Any = None, root: int = 0,
               timeout: Optional[float] = None) -> Any:
@@ -239,10 +249,11 @@ class SharedMemComm:
         if root != 0:
             raise NotImplementedError("star topology: root must be rank 0")
         return self._collective(value if self.rank == 0 else None,
-                                lambda parts: parts[0], timeout)
+                                lambda parts: parts[0], timeout,
+                                label="bcast")
 
     def barrier(self, timeout: Optional[float] = None) -> None:
-        self.allgather(None, timeout=timeout)
+        self._collective(None, list, timeout, label="barrier")
 
     # -- point to point ----------------------------------------------------------
     def send(self, dst: int, obj: Any, nbytes: Optional[float] = None,

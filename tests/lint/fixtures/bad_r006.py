@@ -1,0 +1,14 @@
+"""Bad fixture: global RNG use in a hot scope (R006)."""
+
+# repro: hot
+
+import random
+
+import numpy as np
+
+
+def propose_moves(n):
+    step = np.random.normal(size=(n, 3))
+    np.random.seed(42)
+    jitter = random.random()
+    return step, jitter

@@ -1,0 +1,12 @@
+"""Bad fixture: unordered iteration feeding accumulation (R007)."""
+
+# repro: hot
+
+
+def total_energy(masks, row):
+    total = 0.0
+    for name, mask in masks.items():
+        total += row[mask].sum()
+    for ion in {3, 1, 2}:
+        row[ion] = 0.0
+    return total

@@ -1,0 +1,9 @@
+"""Bad fixture: shared-memory writes outside a commit scope (R008)."""
+
+# repro: hot
+
+
+def scribble(state, trace, row, cols, el):
+    trace.local_energy[row, cols] = el
+    state.weight[:] = 1.0
+    trace.weight[row, cols] += 0.5

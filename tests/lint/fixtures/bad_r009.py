@@ -1,0 +1,15 @@
+"""Bad fixture: collective under a data-dependent branch (R009)."""
+
+# repro: hot
+
+import numpy as np
+
+
+def sync_trial_energy(comm, weights, e_ref):
+    if np.sum(weights) > e_ref:
+        e_trial = comm.allreduce(weights.mean())
+        return e_trial
+    while weights[0] > 0.5:
+        comm.barrier()
+        weights[0] *= 0.5
+    return None

@@ -1,0 +1,14 @@
+"""Bad fixture: wall-clock and identity constructs in a hot scope (R010)."""
+
+# repro: hot
+
+import os
+import time
+
+
+def measure(walkers, trace):
+    t0 = time.perf_counter()
+    token = os.urandom(8)
+    order = {id(w): w for w in walkers}
+    bucket = hash("step")
+    return t0, token, order, bucket

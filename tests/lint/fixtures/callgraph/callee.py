@@ -1,0 +1,7 @@
+"""Callgraph fixture: unmarked helper reached from caller.py."""
+
+import numpy as np
+
+
+def make_array(r):
+    return np.asarray(r, dtype=np.float64)

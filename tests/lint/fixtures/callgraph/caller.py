@@ -1,0 +1,7 @@
+"""Callgraph fixture: hot caller in one file, helper in another."""
+
+from callee import make_array
+
+
+def kernel(r):  # repro: hot
+    return make_array(r)

@@ -1,0 +1,15 @@
+"""Callgraph fixture: a cold pragma stops propagation at the call site."""
+
+import numpy as np
+
+
+def leaf_c(r):
+    return np.asarray(r, dtype=np.float64)
+
+
+def setup(r):  # repro: cold
+    return leaf_c(r)
+
+
+def kernel(r):  # repro: hot
+    return setup(r)

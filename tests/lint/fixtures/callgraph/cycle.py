@@ -1,0 +1,17 @@
+"""Callgraph fixture: mutually recursive unmarked helpers (cycle)."""
+
+import numpy as np
+
+
+def ping(r, k):
+    if k:
+        return pong(r, k - 1)
+    return np.asarray(r, dtype=np.float64)
+
+
+def pong(r, k):
+    return ping(r, k)
+
+
+def kernel(r):  # repro: hot
+    return ping(r, 3)

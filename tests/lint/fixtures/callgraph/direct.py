@@ -1,0 +1,11 @@
+"""Callgraph fixture: hot function calls an unmarked same-module helper."""
+
+import numpy as np
+
+
+def make_array(r):
+    return np.asarray(r, dtype=np.float64)
+
+
+def kernel(r):  # repro: hot
+    return make_array(r)

@@ -1,0 +1,16 @@
+"""Callgraph fixture: obj.method resolved by unique project-wide name."""
+
+import numpy as np
+
+
+class Table:
+    def fold_displacements(self, r):
+        return np.asarray(r, dtype=np.float64)
+
+
+class Kernel:
+    def __init__(self, table):
+        self.table = table
+
+    def sweep(self, r):  # repro: hot
+        return self.table.fold_displacements(r)

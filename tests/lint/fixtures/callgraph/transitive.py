@@ -1,0 +1,15 @@
+"""Callgraph fixture: hotness propagates through two unmarked hops."""
+
+import numpy as np
+
+
+def leaf_t(r):
+    return np.asarray(r, dtype=np.float64)
+
+
+def middle(r):
+    return leaf_t(r)
+
+
+def kernel(r):  # repro: hot
+    return middle(r)

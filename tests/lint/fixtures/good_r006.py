@@ -1,0 +1,10 @@
+"""Clean fixture: per-walker SeedSequence streams (R006)."""
+
+# repro: hot
+
+import numpy as np
+
+
+def propose_moves(rng, n):
+    child = np.random.default_rng(np.random.SeedSequence(7))
+    return rng.normal(size=(n, 3)), child.uniform()

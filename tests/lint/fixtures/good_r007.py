@@ -1,0 +1,12 @@
+"""Clean fixture: sorted iteration pins the reduction order (R007)."""
+
+# repro: hot
+
+
+def total_energy(masks, row):
+    total = 0.0
+    for name in sorted(masks):
+        total += row[masks[name]].sum()
+    for name, mask in masks.items():
+        print(name, mask)  # reporting only: no accumulation fed
+    return total

@@ -1,0 +1,12 @@
+"""Clean fixture: shared writes inside a commit scope (R008)."""
+
+# repro: hot
+
+
+def commit_generation(state, trace, row, cols, el):  # repro: commit
+    trace.local_energy[row, cols] = el
+    state.weight[:] = 1.0
+
+
+def read_only(state, row):
+    return state.local_energy[row]

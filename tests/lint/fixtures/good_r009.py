@@ -1,0 +1,12 @@
+"""Clean fixture: collectives on uniform control flow (R009)."""
+
+# repro: hot
+
+
+def sync_trial_energy(comm, mode, rank, weights):
+    total = comm.allreduce(float(weights.sum()))
+    if mode == "dmc":
+        comm.barrier()
+    if not rank:
+        comm.bcast(total)
+    return total

@@ -1,0 +1,14 @@
+"""Clean fixture: deterministic keys; timing lives in cold scopes (R010)."""
+
+# repro: hot
+
+
+def measure(walkers, step):
+    return {(step, i): w for i, w in enumerate(walkers)}
+
+
+def profile(fn):  # repro: cold
+    import time
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

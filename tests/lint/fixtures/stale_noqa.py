@@ -1,0 +1,9 @@
+"""Fixture: rule-scoped noqa that no longer matches any finding (W002)."""
+
+# repro: hot
+
+import numpy as np
+
+
+def kernel(r, dtype):
+    return np.asarray(r, dtype=dtype)  # repro: noqa R002

@@ -1,0 +1,88 @@
+"""Baseline semantics: multiset fingerprints, line-shift robustness."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_VERSION, apply_baseline, fingerprint, load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import Violation
+
+
+def v(path="src/a.py", line=10, rule="R002", message="hard-coded dtype"):
+    return Violation(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestFingerprint:
+    def test_line_is_not_part_of_the_fingerprint(self):
+        assert fingerprint(v(line=10)) == fingerprint(v(line=99))
+
+    def test_path_rule_message_are(self):
+        assert fingerprint(v(path="b.py")) != fingerprint(v(path="a.py"))
+        assert fingerprint(v(rule="R003")) != fingerprint(v(rule="R002"))
+        assert fingerprint(v(message="x")) != fingerprint(v(message="y"))
+
+
+class TestApplyBaseline:
+    def test_absorbs_matching_finding(self):
+        baseline = {fingerprint(v()): 1}
+        new, grandfathered = apply_baseline([v()], baseline)
+        assert new == []
+        assert grandfathered == 1
+
+    def test_line_shift_still_absorbed(self):
+        baseline = {fingerprint(v(line=10)): 1}
+        new, grandfathered = apply_baseline([v(line=42)], baseline)
+        assert new == []
+        assert grandfathered == 1
+
+    def test_excess_occurrences_are_new(self):
+        baseline = {fingerprint(v()): 2}
+        hits = [v(line=n) for n in (10, 20, 30)]
+        new, grandfathered = apply_baseline(hits, baseline)
+        assert len(new) == 1
+        assert grandfathered == 2
+
+    def test_unrelated_finding_is_new(self):
+        baseline = {fingerprint(v()): 1}
+        other = v(rule="R007", message="unordered iteration")
+        new, _ = apply_baseline([other], baseline)
+        assert new == [other]
+
+    def test_syntax_errors_never_absorbed(self):
+        err = v(rule="E999", message="invalid syntax")
+        baseline = {fingerprint(err): 1}
+        new, grandfathered = apply_baseline([err], baseline)
+        assert new == [err]
+        assert grandfathered == 0
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "base.json"
+        hits = [v(line=10), v(line=20), v(rule="R007", message="unordered")]
+        write_baseline(path, hits)
+        baseline = load_baseline(path)
+        assert baseline[fingerprint(v())] == 2
+        new, grandfathered = apply_baseline(hits, baseline)
+        assert new == []
+        assert grandfathered == 3
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [v()])
+        payload = json.loads(path.read_text())
+        payload["version"] = BASELINE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_written_file_is_sorted_and_counted(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [v(path="z.py"), v(path="a.py"), v(path="a.py")])
+        payload = json.loads(path.read_text())
+        paths = [e["path"] for e in payload["findings"]]
+        assert paths == sorted(paths)
+        assert payload["findings"][0]["count"] == 2

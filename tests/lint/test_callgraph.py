@@ -1,0 +1,68 @@
+"""Call-graph hot-scope propagation: direct, transitive, cycle, barriers."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.callgraph import module_name, propagate_hot
+from repro.lint.engine import build_context, discover_files
+
+FIXTURES = Path(__file__).parent / "fixtures" / "callgraph"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def hits(*names):
+    violations, checked = lint_paths([str(FIXTURES / n) for n in names])
+    assert checked == len(names)
+    return [(Path(v.path).name, v.rule, v.line) for v in violations]
+
+
+class TestPropagation:
+    def test_direct_callee_analyzed(self):
+        assert hits("direct.py") == [("direct.py", "R002", 7)]
+
+    def test_transitive_callee_analyzed(self):
+        assert hits("transitive.py") == [("transitive.py", "R002", 7)]
+
+    def test_cycle_terminates_and_propagates(self):
+        assert hits("cycle.py") == [("cycle.py", "R002", 9)]
+
+    def test_cold_pragma_is_a_barrier(self):
+        assert hits("coldbarrier.py") == []
+
+    def test_cross_file_propagation(self):
+        assert hits("caller.py", "callee.py") == [("callee.py", "R002", 7)]
+
+    def test_unique_method_name_resolution(self):
+        assert hits("methodcall.py") == [("methodcall.py", "R002", 8)]
+
+    def test_no_callgraph_restores_direct_only_analysis(self):
+        violations, _ = lint_paths([str(FIXTURES / "direct.py")], callgraph=False)
+        assert violations == []
+
+
+class TestModuleName:
+    def test_src_anchor(self):
+        assert module_name("src/repro/lattice/cell.py") == "repro.lattice.cell"
+
+    def test_package_init(self):
+        assert module_name("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_bare_file_falls_back_to_stem(self):
+        assert module_name("direct.py") == "direct"
+
+
+class TestRealTreeCoverage:
+    def test_min_image_disp_reached_only_transitively(self):
+        """CrystalLattice.min_image_disp carries no hot mark of its own;
+        the hot SoA distance kernels reach it through
+        ``self.lattice.min_image_disp(...)``. The propagation pass must
+        pull it into analysis scope — this is the coverage-widening
+        guarantee of the call-graph builder."""
+        files = discover_files([str(SRC / "repro")])
+        contexts = [
+            build_context(f.read_text(encoding="utf-8"), str(f)) for f in files
+        ]
+        graph = propagate_hot(contexts)
+        key = ("repro.lattice.cell", "CrystalLattice.min_image_disp")
+        assert key in graph.hot_set
+        assert key in graph.propagated_only()

@@ -18,10 +18,25 @@ def run_lint(*args):
         capture_output=True, text=True, env=env, cwd=REPO)
 
 
-def test_repo_src_tree_is_clean():
-    proc = run_lint("src")
+BASELINE = "benchmarks/baselines/lint_baseline.json"
+
+
+def test_repo_src_tree_is_clean_against_baseline():
+    proc = run_lint("src", "benchmarks", "--baseline", BASELINE)
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "clean: 0 violations" in proc.stdout
+    assert "baselined finding(s) suppressed" in proc.stderr
+
+
+def test_repo_baseline_has_no_slack():
+    """Every baseline fingerprint still matches a live finding — stale
+    entries would mask future regressions and must be pruned."""
+    proc = run_lint("src", "benchmarks", "--format=json")
+    payload = json.loads(proc.stdout)
+    live = payload["violation_count"]
+    baseline = json.loads((REPO / BASELINE).read_text())
+    recorded = sum(e["count"] for e in baseline["findings"])
+    assert recorded == live
 
 
 def test_bad_fixture_exits_nonzero_with_rule_ids():
@@ -61,5 +76,49 @@ def test_unknown_rule_is_usage_error():
 def test_list_rules_prints_catalog():
     proc = run_lint("--list-rules")
     assert proc.returncode == 0
-    for rule in ("R001", "R002", "R003", "R004"):
+    for rule in ("R001", "R002", "R003", "R004", "R006", "R007", "R008",
+                 "R009", "R010", "W001", "W002"):
         assert rule in proc.stdout
+
+
+def test_sarif_report_is_valid(tmp_path):
+    proc = run_lint(str(FIXTURES / "bad_r002.py"), "--format=sarif")
+    assert proc.returncode == 1
+    sarif = json.loads(proc.stdout)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "R002" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "R002"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    assert loc["region"]["startLine"] == 8
+
+
+def test_write_baseline_then_check_is_clean(tmp_path):
+    base = tmp_path / "base.json"
+    proc = run_lint(str(FIXTURES / "bad_r002.py"),
+                    "--write-baseline", str(base))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert base.exists()
+    proc = run_lint(str(FIXTURES / "bad_r002.py"), "--baseline", str(base))
+    assert proc.returncode == 0
+    assert "clean: 0 violations" in proc.stdout
+
+
+def test_baseline_does_not_absorb_new_findings(tmp_path):
+    base = tmp_path / "base.json"
+    run_lint(str(FIXTURES / "bad_r001.py"), "--write-baseline", str(base))
+    proc = run_lint(str(FIXTURES / "bad_r001.py"),
+                    str(FIXTURES / "bad_r002.py"), "--baseline", str(base))
+    assert proc.returncode == 1
+    assert "R002" in proc.stdout
+    assert "R001" not in proc.stdout
+
+
+def test_missing_baseline_is_usage_error():
+    proc = run_lint("src", "--baseline", "no/such/baseline.json")
+    assert proc.returncode == 2

@@ -1,0 +1,109 @@
+"""Hot-scope resolution edge cases: nested, async, lambda, class scopes."""
+
+from repro.lint import lint_source
+from repro.lint.rules import ALL_RULES
+
+
+def hits(src):
+    return [(v.rule, v.line) for v in lint_source(src, "x.py", ALL_RULES)]
+
+
+class TestNestedScopes:
+    def test_nested_function_inherits_hot(self):
+        src = (
+            "import numpy as np\n"
+            "def kernel(r):  # repro: hot\n"
+            "    def inner(x):\n"
+            "        return np.asarray(x, dtype=np.float64)\n"
+            "    return inner(r)\n"
+        )
+        assert hits(src) == [("R002", 4)]
+
+    def test_nested_cold_escapes_hot_parent(self):
+        src = (
+            "import numpy as np\n"
+            "def kernel(r):  # repro: hot\n"
+            "    def debug(x):  # repro: cold\n"
+            "        return np.asarray(x, dtype=np.float64)\n"
+            "    return r\n"
+        )
+        assert hits(src) == []
+
+    def test_hot_nested_inside_cold_module(self):
+        src = (
+            "import numpy as np\n"
+            "def outer(r):\n"
+            "    def inner(x):  # repro: hot\n"
+            "        return np.asarray(x, dtype=np.float64)\n"
+            "    return np.asarray(r, dtype=np.float64)\n"
+        )
+        assert hits(src) == [("R002", 4)]
+
+
+class TestAsyncScopes:
+    def test_async_def_honors_hot_pragma(self):
+        src = (
+            "import numpy as np\n"
+            "async def kernel(r):  # repro: hot\n"
+            "    return np.asarray(r, dtype=np.float64)\n"
+        )
+        assert hits(src) == [("R002", 3)]
+
+    def test_async_def_honors_cold_pragma(self):
+        src = (
+            "# repro: hot\n"
+            "import numpy as np\n"
+            "async def fetch(r):  # repro: cold\n"
+            "    return np.asarray(r, dtype=np.float64)\n"
+        )
+        assert hits(src) == []
+
+
+class TestLambdaScopes:
+    def test_lambda_body_inherits_hot(self):
+        src = (
+            "import numpy as np\n"
+            "def kernel(rows):  # repro: hot\n"
+            "    return sorted(rows, key=lambda r: float(\n"
+            "        np.asarray(r, dtype=np.float64).sum()))\n"
+        )
+        assert [r for r, _ in hits(src)] == ["R002"]
+
+    def test_lambda_in_cold_scope_is_cold(self):
+        src = (
+            "import numpy as np\n"
+            "def setup(rows):\n"
+            "    return sorted(rows, key=lambda r: float(\n"
+            "        np.asarray(r, dtype=np.float64).sum()))\n"
+        )
+        assert hits(src) == []
+
+
+class TestClassScopes:
+    def test_hot_class_pragma_covers_methods(self):
+        src = (
+            "import numpy as np\n"
+            "class Kernel:  # repro: hot\n"
+            "    def sweep(self, r):\n"
+            "        return np.asarray(r, dtype=np.float64)\n"
+        )
+        assert hits(src) == [("R002", 4)]
+
+    def test_cold_method_escapes_hot_class(self):
+        src = (
+            "import numpy as np\n"
+            "class Kernel:  # repro: hot\n"
+            "    def sweep(self, r):\n"
+            "        return np.asarray(r, dtype=np.float64)\n"
+            "    def describe(self):  # repro: cold\n"
+            "        return np.asarray([1], dtype=np.float64)\n"
+        )
+        assert hits(src) == [("R002", 4)]
+
+    def test_class_body_statements_inherit_hot(self):
+        src = (
+            "import numpy as np\n"
+            "class Kernel:  # repro: hot\n"
+            "    DEFAULT = np.asarray([0.0], dtype=np.float64)\n"
+        )
+        assert hits(src) == [("R002", 3)]

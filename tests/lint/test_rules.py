@@ -39,6 +39,42 @@ class TestGoldenFixtures:
     def test_noqa_suppresses_named_rule(self):
         assert lint_fixture("suppressed.py") == []
 
+    def test_r006_exact_lines(self):
+        assert lint_fixture("bad_r006.py") == [
+            ("R006", 11), ("R006", 12), ("R006", 13)]
+
+    def test_r006_clean(self):
+        assert lint_fixture("good_r006.py") == []
+
+    def test_r007_exact_lines(self):
+        assert lint_fixture("bad_r007.py") == [("R007", 8), ("R007", 10)]
+
+    def test_r007_clean(self):
+        assert lint_fixture("good_r007.py") == []
+
+    def test_r008_exact_lines(self):
+        assert lint_fixture("bad_r008.py") == [
+            ("R008", 7), ("R008", 8), ("R008", 9)]
+
+    def test_r008_clean(self):
+        assert lint_fixture("good_r008.py") == []
+
+    def test_r009_exact_lines(self):
+        assert lint_fixture("bad_r009.py") == [("R009", 10), ("R009", 13)]
+
+    def test_r009_clean(self):
+        assert lint_fixture("good_r009.py") == []
+
+    def test_r010_exact_lines(self):
+        assert lint_fixture("bad_r010.py") == [
+            ("R010", 10), ("R010", 11), ("R010", 12), ("R010", 13)]
+
+    def test_r010_clean(self):
+        assert lint_fixture("good_r010.py") == []
+
+    def test_w002_flags_stale_suppression(self):
+        assert lint_fixture("stale_noqa.py") == [("W002", 9)]
+
 
 class TestScopeResolution:
     def test_decorator_marks_scope_hot(self):
@@ -61,12 +97,22 @@ class TestScopeResolution:
         )
         assert lint_source(src, "x.py", ALL_RULES) == []
 
-    def test_bare_noqa_suppresses_all_rules(self):
+    def test_bare_noqa_suppresses_rules_but_warns(self):
         src = (
             "# repro: hot\n"
             "import numpy as np\n"
             "def kernel(r):\n"
             "    return np.asarray(r, dtype=np.float64)  # repro: noqa\n"
+        )
+        hits = [(v.rule, v.line) for v in lint_source(src, "x.py", ALL_RULES)]
+        assert hits == [("W001", 4)]
+
+    def test_scoped_noqa_emits_no_warning(self):
+        src = (
+            "# repro: hot\n"
+            "import numpy as np\n"
+            "def kernel(r):\n"
+            "    return np.asarray(r, dtype=np.float64)  # repro: noqa R002\n"
         )
         assert lint_source(src, "x.py", ALL_RULES) == []
 

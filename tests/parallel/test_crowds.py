@@ -22,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro.batched.system import JastrowSystemSpec
+from repro.lint.sanitizers import ShmRaceError
 from repro.metrics.registry import METRICS
 from repro.parallel.crowds import ParallelCrowdDriver
 from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
@@ -195,3 +196,37 @@ class TestArgumentHandling:
             drv.run(1, mode="pimc")
         with pytest.raises(ValueError, match="step"):
             drv.run(0)
+
+
+class TestRuntimeSanitizers:
+    """REPRO_SANITIZE=1 arms the ShmRace/RngStream/CollectiveOrder
+    sanitizers inside the driver.  The env var (not force_sanitizers)
+    is what the tests set so spawned pool workers inherit it."""
+
+    def test_armed_vmc_trace_unchanged(self, spec, serial_vmc, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _, res = _run(spec, 2, "vmc")
+        _assert_same_trace(serial_vmc, res, "vmc")
+
+    def test_armed_dmc_trace_unchanged(self, spec, serial_dmc, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _, res = _run(spec, 2, "dmc")
+        _assert_same_trace(serial_dmc, res, "dmc")
+
+    def test_injected_out_of_epoch_write_is_caught(self, spec, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(ShmRaceError, match="local_energy"):
+            _run(spec, 2, "vmc", race_plan={0: 2})
+        assert _shm_segments() == []
+
+    def test_race_fixture_unarmed_corrupts_trace_silently(self, spec,
+                                                          serial_vmc,
+                                                          monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        # Sanitizer off: the injected write lands and the run completes —
+        # the estimator series rebuilt from the trace is now wrong.  This
+        # proves the armed detection above is not a tautology.
+        _, res = _run(spec, 2, "vmc", race_plan={0: 2})
+        assert not np.array_equal(res.estimators.series("LocalEnergy"),
+                                  serial_vmc.estimators.series("LocalEnergy"))
+        assert res.energies == serial_vmc.energies  # live state untouched

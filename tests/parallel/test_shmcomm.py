@@ -14,6 +14,9 @@ import threading
 import numpy as np
 import pytest
 
+from repro.lint.sanitizers import (
+    CollectiveOrderChecker, CollectiveOrderError, force_sanitizers,
+)
 from repro.parallel.shmcomm import CommPeerLost, CommTimeout, SharedMemComm
 
 
@@ -223,3 +226,60 @@ class TestRealProcesses:
             p.join(timeout=10.0)
             assert p.exitcode == 0
         root.close()
+
+
+class TestCollectiveOrder:
+    """The single-wire collective protocol completes even when ranks
+    disagree on the collective *kind* — rank 0 drives the semantics and
+    the others just contribute payloads.  The per-rank order log plus
+    CollectiveOrderChecker is what turns that silent hazard into a
+    shutdown-time error."""
+
+    @pytest.fixture()
+    def forced(self):
+        force_sanitizers(True)
+        yield
+        force_sanitizers(None)
+
+    def _collect(self, logs):
+        checker = CollectiveOrderChecker()
+        for rank, log in logs.items():
+            checker.add_sequence(rank, log)
+        return checker
+
+    def test_order_log_records_sequenced_kinds(self, forced):
+        world = _world(2)
+
+        def work(c):
+            c.bcast("go" if c.rank == 0 else None, timeout=5.0)
+            c.allreduce(1.0, timeout=5.0)
+            c.allgather(c.rank, timeout=5.0)
+            c.barrier(timeout=5.0)
+            return list(c.order_log)
+
+        logs = _on_threads(world, work)
+        assert logs[0] == [(1, "bcast"), (2, "allreduce"),
+                           (3, "allgather"), (4, "barrier")]
+        assert logs[1] == logs[0]
+        self._collect(logs).verify()
+
+    def test_order_log_empty_when_sanitizers_off(self):
+        world = _world(2)
+        logs = _on_threads(world,
+                           lambda c: (c.allreduce(1.0, timeout=5.0),
+                                      list(c.order_log))[1])
+        assert logs == {0: [], 1: []}
+
+    def test_kind_divergence_passes_wire_but_fails_checker(self, forced):
+        world = _world(2)
+
+        def work(c):
+            if c.rank == 0:
+                c.allreduce(1.0, timeout=5.0)
+            else:
+                c.allgather(2.0, timeout=5.0)  # wrong collective, same seq
+            return list(c.order_log)
+
+        logs = _on_threads(world, work)  # completes: no wire-level error
+        with pytest.raises(CollectiveOrderError, match="allgather"):
+            self._collect(logs).verify()
