@@ -4,7 +4,8 @@ PYTHON ?= python
 BENCH_OUT ?= /tmp/repro-bench
 
 .PHONY: install test test-fast lint lint-strict lint-baseline check bench \
-	bench-check bench-parallel bench-figures report examples clean
+	bench-check bench-parallel bench-figures restart-check report \
+	examples clean
 
 LINT_BASELINE = benchmarks/baselines/lint_baseline.json
 
@@ -55,6 +56,15 @@ bench-check: bench
 bench-parallel:
 	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench \
 		--suite parallel --tag parallel --out $(BENCH_OUT)
+
+# Kill-and-restart parity battery with the runtime sanitizers armed:
+# byte-identical traces + bit-identical online error bars after a
+# mid-run kill (CI's restart-determinism job).
+restart-check:
+	PYTHONPATH=src REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q \
+		tests/integration/test_restart_parity.py \
+		tests/output/test_stream.py tests/output/test_runstate.py \
+		tests/stats/test_online.py
 
 # Per-figure/table paper benchmarks (pytest-benchmark harness).
 bench-figures:

@@ -242,8 +242,13 @@ class BatchedCrowdDriver:
         return el
 
     # -- the driver loop --------------------------------------------------------------
-    def run(self, steps: int = 10) -> QMCResult:
-        """Run ``steps`` fused generations over the whole crowd."""
+    def run(self, steps: int = 10, streams=None) -> QMCResult:
+        """Run ``steps`` fused generations over the whole crowd.
+
+        ``streams`` (a :class:`repro.output.stream.StreamSet`) streams
+        each generation's per-walker energies, weights and Hamiltonian
+        components to the binary trace + online reblocker instead of
+        only keeping end-of-run aggregates."""
         t0 = time.perf_counter()
         result = QMCResult(method="VMC(batched)", steps=steps)
         armed = False
@@ -262,12 +267,22 @@ class BatchedCrowdDriver:
                     self.batch.age += 1
                     result.energies.append(float(np.mean(el)))
                     result.populations.append(self.nw)
+                    if streams is not None:
+                        comps = self.ham.last_components
+                        # Trace rows are schema-fixed <f8 regardless of the
+                        # run's PrecisionPolicy.
+                        streams.record(
+                            step, np.asarray(el, dtype=np.float64),  # repro: noqa R002
+                            np.array(self.batch.weight),
+                            {name: np.asarray(comps[name], dtype=np.float64)  # repro: noqa R002
+                             for name in self.ham.names})
         finally:
             if armed:
                 RngStreamSanitizer.disarm()
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators
+        result.online = streams.online if streams is not None else None
         result.extra["moves"] = float(self.n_moves)
         result.extra["accepted"] = float(self.n_accept)
         return result

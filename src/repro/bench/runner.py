@@ -278,8 +278,76 @@ def run_nlpp_case(case: BenchCase) -> dict:
     return out
 
 
+def run_streaming_case(case: BenchCase) -> dict:
+    """Measure the trace-pipeline overhead on the batched driver.
+
+    Repetitions interleave the in-memory and streaming variants
+    (alternating A/B so warm-up and host drift hit both equally) and
+    each variant keeps its best time.  The streamed run writes a real
+    per-generation binary trace (flush_every=1, the production cadence)
+    and feeds the online reblocker; its energy trace must come out
+    bitwise equal to the in-memory run's — streaming observes, never
+    perturbs.  Cases with a ``floor`` gate ``streaming_over_memory``
+    (0.95 = at most 5% overhead).
+    """
+    import tempfile
+
+    from repro.batched import BatchedCrowdDriver, JastrowSystemSpec
+    from repro.output.stream import StreamSet
+
+    spec = JastrowSystemSpec(n=case.n, seed=7)
+    reps = 3
+    times = {"memory": [], "streaming": []}
+    profs = {}
+    energies = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for rep in range(reps):
+            for label in ("memory", "streaming"):
+                drv = BatchedCrowdDriver(spec, case.nwalkers, case.seed)
+                streams = None
+                if label == "streaming":
+                    streams = StreamSet(
+                        trace_path=os.path.join(tmp, f"rep{rep}.trace"),
+                        meta={"bench": case.name})
+                PROFILER.start_run()
+                t0 = time.perf_counter()
+                res = drv.run(case.steps, streams=streams)
+                if streams is not None:
+                    streams.close()  # the final flush is part of the cost
+                times[label].append(time.perf_counter() - t0)
+                profs[label] = PROFILER.stop_run(f"{case.name}/{label}")
+                energies[label] = tuple(res.energies)
+            if energies["streaming"] != energies["memory"]:
+                raise RuntimeError(
+                    f"{case.name}: streamed run's energies diverged from "
+                    f"the in-memory run — streaming perturbed the walk")
+        walker_bytes = (drv.batch.R.nbytes + drv.batch.Rsoa.nbytes
+                        + sum(t.storage_bytes for t in drv.tables)
+                        ) / case.nwalkers
+    steps_walkers = case.steps * case.nwalkers
+    best = {label: min(ts) for label, ts in times.items()}
+    versions = {
+        label: _version_entry(
+            throughput=steps_walkers / best[label],
+            seconds_per_step=best[label] / case.steps,
+            total_seconds=best[label],
+            hotspots=profs[label].normalized(),
+            peak_walker_bytes=walker_bytes)
+        for label in ("memory", "streaming")
+    }
+    out = {
+        "name": case.name, "kind": "streaming", "n_electrons": case.n,
+        "steps": case.steps, "walkers": case.nwalkers, "versions": versions,
+        "speedups": {"streaming_over_memory": best["memory"]
+                     / best["streaming"]},
+    }
+    if case.floor > 0:
+        out["speedup_floors"] = {"streaming_over_memory": float(case.floor)}
+    return out
+
+
 _CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case,
-                 "nlpp": run_nlpp_case}
+                 "nlpp": run_nlpp_case, "streaming": run_streaming_case}
 
 
 def run_suite(suite_name: str, tag: str,

@@ -24,6 +24,11 @@ Two kinds of cases:
   workload: the scalar temp-move oracle (``scalar``) vs the fused
   slab engine (``batched``) on identical walker state and rotation,
   with a ``speedup_floors`` entry gating the batched-over-scalar win.
+* ``streaming`` — the trace-pipeline overhead pair: the identical
+  batched workload with (``streaming``) and without (``memory``) the
+  per-generation binary trace + online reblocker attached, interleaved
+  repetitions, energies asserted bitwise equal.  ``floor`` gates
+  ``streaming_over_memory`` (0.95 = at most 5% overhead).
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ class BenchCase:
     """One row of a bench suite."""
 
     name: str
-    kind: str          # "system" | "batched" | "parallel" | "nlpp"
+    kind: str    # "system" | "batched" | "parallel" | "nlpp" | "streaming"
     versions: Tuple[str, ...]
     # system-kind knobs
     workload: str = ""
@@ -66,7 +71,8 @@ class BenchCase:
     seed: int = 21
 
     def __post_init__(self):
-        if self.kind not in ("system", "batched", "parallel", "nlpp"):
+        if self.kind not in ("system", "batched", "parallel", "nlpp",
+                             "streaming"):
             raise ValueError(f"unknown bench kind {self.kind!r}")
 
 
@@ -86,6 +92,9 @@ QUICK_SUITE = (
               versions=("scalar", "batched"),
               workload="NiO-32", scale=BENCH_SCALE["NiO-32"],
               npoints=12, floor=3.0, steps=2),
+    BenchCase(name="streaming-N32-W16", kind="streaming",
+              versions=("memory", "streaming"),
+              n=32, nwalkers=16, steps=6, floor=0.95),
 )
 
 #: The fuller trajectory: two chemistries, all three versions, and a
@@ -120,6 +129,9 @@ SMOKE_SUITE = (
     BenchCase(name="nlpp-NiO32-x0.125", kind="nlpp",
               versions=("scalar", "batched"),
               workload="NiO-32", scale=0.125, npoints=6, steps=1),
+    BenchCase(name="streaming-N12-W4", kind="streaming",
+              versions=("memory", "streaming"),
+              n=12, nwalkers=4, steps=2),
 )
 
 #: Multi-core crowd scaling (``make bench-parallel``): one sized

@@ -112,7 +112,8 @@ class CrowdDriver:
             self._pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="crowd")
 
-    def run(self, walkers: int = 8, steps: int = 5) -> QMCResult:
+    def run(self, walkers: int = 8, steps: int = 5,
+            streams=None) -> QMCResult:
         """Distribute ``walkers`` over crowds with fixed dealing
         (walker w drives crowd ``w % n_crowds``) and run.
 
@@ -121,11 +122,16 @@ class CrowdDriver:
         per-step mean reduces a walker-indexed array — so the energy
         trace is bitwise identical across crowd counts and across
         ``workers=0`` vs a thread pool.
+
+        ``streams`` streams each generation's walker-ordered energies to
+        the binary trace + online reblocker (energies and unit weights
+        only: per-crowd Hamiltonian components are reduced at end of run
+        by the estimator merge, not per generation).
         """
         children = np.random.SeedSequence(self._walker_seed).spawn(
             walkers + 1)
         spawn_rng = np.random.default_rng(children[0])
-        streams = [np.random.default_rng(c) for c in children[1:]]
+        rng_streams = [np.random.default_rng(c) for c in children[1:]]
         # Spawn the whole population centrally (crowd clones evaluate
         # identically, so any driver may host the initial evaluation).
         d0 = self.drivers[0]
@@ -138,7 +144,8 @@ class CrowdDriver:
         result = QMCResult(method="VMC(crowds)", steps=steps)
         t0 = time.perf_counter()
         try:
-            self._run_steps(steps, walkers, deals, streams, result)
+            self._run_steps(steps, walkers, deals, rng_streams, result,
+                            streams)
         except BaseException:
             # A crowd_step that raised inside the pool must not leave
             # queued work running against half-updated walker state.
@@ -154,12 +161,13 @@ class CrowdDriver:
         for d in self.drivers:
             merged.merge(d.estimators)
         result.estimators = merged
+        result.online = streams.online if streams is not None else None
         result.extra["moves"] = float(moves)
         result.extra["accepted"] = float(accepts)
         return result
 
-    def _run_steps(self, steps: int, walkers: int, deals, streams,
-                   result: QMCResult) -> None:
+    def _run_steps(self, steps: int, walkers: int, deals, rng_streams,
+                   result: QMCResult, streams=None) -> None:
         with METRICS.scope("CrowdVMC"):
             for step in range(1, steps + 1):
                 recompute = self.drivers[0].precision.should_recompute(step)
@@ -168,7 +176,7 @@ class CrowdDriver:
                 def crowd_step(idx: int) -> None:
                     d = self.drivers[idx]
                     for i, w in deals[idx]:
-                        d.rng = streams[i]  # walker i always consumes stream i
+                        d.rng = rng_streams[i]  # walker i always consumes stream i
                         d.load_walker(w, recompute=recompute)
                         d.sweep()
                         energies[i] = d.store_walker(w)
@@ -181,6 +189,8 @@ class CrowdDriver:
                         crowd_step(i)
                 result.energies.append(float(np.mean(energies)))
                 result.populations.append(walkers)
+                if streams is not None:
+                    streams.record(step, energies)
 
     def close(self, cancel: bool = False) -> None:
         """Idempotent pool shutdown; ``cancel`` drops queued work."""

@@ -38,25 +38,51 @@ class DMCDriver(QMCDriverBase):
     def run(self, walkers: int | List[Walker] = 16, steps: int = 20,
             profile: bool = False, label: str = "dmc",
             target_population: int | None = None,
-            branching: str = "stochastic") -> QMCResult:
+            branching: str = "stochastic",
+            streams=None, resume=None) -> QMCResult:
+        """``streams``/``resume`` follow the VMC driver's contract: stream
+        per-generation rows (trace + online reblocker), checkpoint the
+        full run state — including the trial-energy feedback scalars and
+        the post-branch population — and continue bitwise from a
+        :class:`~repro.output.runstate.RunCheckpoint`."""
         if branching not in ("stochastic", "comb"):
             raise ValueError(f"unknown branching scheme {branching!r}")
-        if isinstance(walkers, int):
-            pop = self.create_walkers(walkers)
+        start_step = 0
+        e_best = None
+        if resume is not None:
+            from repro.output.runstate import restore_rng
+            if resume.kind != "dmc":
+                raise ValueError(
+                    f"checkpoint kind {resume.kind!r} is not a DMC run")
+            pop = resume.walkers
+            start_step = resume.step
+            restore_rng(self.rng, resume.rng_states["driver"])
+            self.n_accept = int(resume.scalars["n_accept"])
+            self.n_moves = int(resume.scalars["n_moves"])
+            target = int(resume.scalars["target"])
+            e_trial = float(resume.scalars["e_trial"])
+            e_best = float(resume.scalars["e_best"])
+            branching = resume.meta.get("branching", branching)
         else:
-            pop = walkers
-        target = target_population if target_population else len(pop)
-        e_trial = float(np.mean([w.properties["local_energy"] for w in pop]))
+            if isinstance(walkers, int):
+                pop = self.create_walkers(walkers)
+            else:
+                pop = walkers
+            target = target_population if target_population else len(pop)
+            e_trial = float(np.mean(
+                [w.properties["local_energy"] for w in pop]))
         if profile:
             PROFILER.start_run()
         t0 = time.perf_counter()
         result = QMCResult(method="DMC", steps=steps)
         with METRICS.scope("DMC"):
             pop, e_trial, result = self._generations(
-                pop, steps, target, branching, e_trial, result)
+                pop, steps, target, branching, e_trial, result,
+                start_step=start_step, e_best=e_best, streams=streams)
         result.elapsed = time.perf_counter() - t0
         result.acceptance = self.acceptance_ratio
         result.estimators = self.estimators
+        result.online = streams.online if streams is not None else None
         result.extra["moves"] = float(self.n_moves)
         result.extra["accepted"] = float(self.n_accept)
         if profile:
@@ -66,11 +92,14 @@ class DMCDriver(QMCDriverBase):
 
     def _generations(self, pop: List[Walker], steps: int, target: int,
                      branching: str, e_trial: float,
-                     result: QMCResult):
-        e_best = e_trial
-        for step in range(1, steps + 1):
+                     result: QMCResult, start_step: int = 0,
+                     e_best: float | None = None, streams=None):
+        if e_best is None:
+            e_best = e_trial
+        for step in range(start_step + 1, start_step + steps + 1):
             energies = []
             weights = []
+            comps: dict[str, list] = {}
             recompute = self.precision.should_recompute(step)
             for w in pop:
                 el_old = w.properties["local_energy"]
@@ -78,6 +107,8 @@ class DMCDriver(QMCDriverBase):
                 accepted_before = self.n_accept
                 self.sweep()
                 el_new = self.store_walker(w)
+                for name, v in sorted(self.ham.last_components.items()):
+                    comps.setdefault(name, []).append(v)
                 # Age-based stuck-walker control: a walker whose sweep
                 # accepted nothing grows old; persistent walkers get
                 # their branching weight damped so they die out instead
@@ -97,6 +128,13 @@ class DMCDriver(QMCDriverBase):
             wsum = float(np.sum(weights))
             e_mixed = float(np.sum(weights * np.asarray(energies)) / wsum)
             result.energies.append(e_mixed)
+            if streams is not None:
+                # Pre-branch values: weight-carrying samples in walker
+                # order, the same stream the EstimatorManager saw.
+                streams.record(
+                    step, np.asarray(energies, dtype=np.float64), weights,
+                    {name: np.asarray(vals, dtype=np.float64)
+                     for name, vals in comps.items()})
             # Branch (Alg. 1, L13) and update E_T (L14).
             with METRICS.scope("branch"):
                 if branching == "comb":
@@ -111,7 +149,32 @@ class DMCDriver(QMCDriverBase):
                 max(len(pop), 1) / target)
             result.populations.append(len(pop))
             result.trial_energies.append(e_trial)
+            if streams is not None and streams.want_checkpoint(step):
+                # Post-branch population + post-draw RNG + updated
+                # feedback scalars: a resume continues at step+1 bitwise.
+                self._save_checkpoint(streams, step, pop, target, branching,
+                                      e_trial, e_best)
         return pop, e_trial, result
+
+    def _save_checkpoint(self, streams, step: int, pop: List[Walker],
+                         target: int, branching: str, e_trial: float,
+                         e_best: float) -> None:
+        from repro.output.runstate import (RunCheckpoint, rng_state,
+                                           save_run_checkpoint)
+        ckpt = RunCheckpoint(
+            kind="dmc", step=step,
+            rng_states={"driver": rng_state(self.rng)},
+            scalars={"n_accept": float(self.n_accept),
+                     "n_moves": float(self.n_moves),
+                     "target": float(target),
+                     "e_trial": e_trial, "e_best": e_best},
+            walkers=pop,
+            online_state=(streams.online.state_dict()
+                          if streams.online is not None else None),
+            trace_position=streams.trace_position.as_array(),
+            meta={"branching": branching},
+        )
+        save_run_checkpoint(streams.checkpoint_path, ckpt)
 
     def _branch(self, pop: List[Walker]) -> List[Walker]:
         """Stochastic-rounding branching; resets surviving weights to ~1."""

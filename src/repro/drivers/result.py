@@ -21,6 +21,7 @@ class QMCResult:
     elapsed: float = 0.0
     profile: Optional[object] = None  # HotspotProfile when profiling was on
     estimators: Optional[object] = None  # EstimatorManager from the driver
+    online: Optional[object] = None  # OnlineScalarStats when streaming was on
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -12,9 +12,21 @@ from repro.output.writers import (
     write_scalar_dat,
 )
 from repro.output.checkpoint import load_population, save_population
+from repro.output.stream import (
+    StreamSet, TraceCorruptionError, TraceError, TraceField, TracePosition,
+    TraceReader, TraceSchemaError, TraceTruncationError, TraceWriter,
+    merge_crowd_segments,
+)
+from repro.output.runstate import (
+    RunCheckpoint, load_run_checkpoint, save_run_checkpoint,
+)
 
 __all__ = [
     "write_scalar_dat", "read_scalar_dat",
     "result_summary_dict", "write_json_summary",
     "save_population", "load_population",
+    "TraceField", "TracePosition", "TraceWriter", "TraceReader",
+    "TraceError", "TraceSchemaError", "TraceCorruptionError",
+    "TraceTruncationError", "merge_crowd_segments", "StreamSet",
+    "RunCheckpoint", "save_run_checkpoint", "load_run_checkpoint",
 ]

@@ -20,49 +20,41 @@ from repro.particles.walker import Walker
 CHECKPOINT_VERSION = 1
 
 
-def save_population(path: str, walkers: List[Walker],
-                    metadata: dict | None = None) -> None:
-    """Write a walker population checkpoint."""
+def population_arrays(walkers: List[Walker]) -> dict:
+    """Flatten a population into the checkpoint array set (bit-exact).
+
+    Shared by :func:`save_population` and the full-run checkpoints in
+    :mod:`repro.output.runstate`.
+    """
     if not walkers:
         raise ValueError("refusing to checkpoint an empty population")
     n = walkers[0].n
     if any(w.n != n for w in walkers):
         raise ValueError("walkers disagree on particle count")
-    R = np.stack([w.R for w in walkers])
-    weights = np.array([w.weight for w in walkers])
-    mults = np.array([w.multiplicity for w in walkers])
-    ages = np.array([w.age for w in walkers], dtype=np.int64)
     buf_sizes = np.array([w.buffer.size for w in walkers], dtype=np.int64)
     if len({int(s) for s in buf_sizes}) > 1:
         raise ValueError("walkers disagree on buffer layout")
-    buffers = np.stack([w.buffer.as_array() for w in walkers]) \
-        if buf_sizes[0] > 0 else np.zeros((len(walkers), 0))
-    props = json.dumps([w.properties for w in walkers])
-    np.savez_compressed(
-        path,
-        version=CHECKPOINT_VERSION,
-        R=R, weights=weights, multiplicities=mults, ages=ages,
-        buffers=buffers,
-        buffer_dtype=str(walkers[0].buffer.dtype),
-        properties=props,
-        metadata=json.dumps(metadata or {}),
-    )
+    return {
+        "R": np.stack([w.R for w in walkers]),
+        "weights": np.array([w.weight for w in walkers]),
+        "multiplicities": np.array([w.multiplicity for w in walkers]),
+        "ages": np.array([w.age for w in walkers], dtype=np.int64),
+        "buffers": (np.stack([w.buffer.as_array() for w in walkers])
+                    if buf_sizes[0] > 0 else np.zeros((len(walkers), 0))),
+        "buffer_dtype": str(walkers[0].buffer.dtype),
+        "properties": json.dumps([w.properties for w in walkers]),
+    }
 
 
-def load_population(path: str) -> tuple[List[Walker], dict]:
-    """Read a checkpoint back into (walkers, metadata)."""
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["version"])
-        if version != CHECKPOINT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        R = data["R"]
-        weights = data["weights"]
-        mults = data["multiplicities"]
-        ages = data["ages"]
-        buffers = data["buffers"]
-        buffer_dtype = np.dtype(str(data["buffer_dtype"]))
-        props = json.loads(str(data["properties"]))
-        metadata = json.loads(str(data["metadata"]))
+def population_from_arrays(data) -> List[Walker]:
+    """Rebuild the walker list from :func:`population_arrays` output."""
+    R = data["R"]
+    weights = data["weights"]
+    mults = data["multiplicities"]
+    ages = data["ages"]
+    buffers = data["buffers"]
+    buffer_dtype = np.dtype(str(data["buffer_dtype"]))
+    props = json.loads(str(data["properties"]))
     walkers = []
     for i in range(R.shape[0]):
         w = Walker.from_positions(R[i], dtype=buffer_dtype)
@@ -74,4 +66,27 @@ def load_population(path: str) -> tuple[List[Walker], dict]:
             w.buffer.register(buffers[i].astype(buffer_dtype))
             w.buffer.seal()
         walkers.append(w)
+    return walkers
+
+
+def save_population(path: str, walkers: List[Walker],
+                    metadata: dict | None = None) -> None:
+    """Write a walker population checkpoint."""
+    arrays = population_arrays(walkers)
+    np.savez_compressed(
+        path,
+        version=CHECKPOINT_VERSION,
+        metadata=json.dumps(metadata or {}),
+        **arrays,
+    )
+
+
+def load_population(path: str) -> tuple[List[Walker], dict]:
+    """Read a checkpoint back into (walkers, metadata)."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        walkers = population_from_arrays(data)
+        metadata = json.loads(str(data["metadata"]))
     return walkers, metadata

@@ -100,6 +100,10 @@ class _LocalWalkerState:  # repro: cold
     def checkpoint(self) -> Dict[str, np.ndarray]:
         return {name: getattr(self, name).copy() for name in _STATE_FIELDS}
 
+    def restore_all(self, snapshot: Dict[str, np.ndarray]) -> None:
+        for name in _STATE_FIELDS:
+            getattr(self, name)[...] = snapshot[name]
+
     def close(self) -> None:
         pass
 
@@ -133,12 +137,15 @@ class _CrowdEngine:
                  n_crowds: int, total_walkers: int, master_seed: int,
                  timestep: float, use_drift: bool,
                  precision: PrecisionPolicy, mode: str,
-                 start_generation: int = 1):
+                 start_generation: int = 1, trace_base: int = 0):
         self.crowd = int(crowd)
         self.n_crowds = int(n_crowds)
         self.mode = mode
         self.tau = float(timestep)
         self.trace = trace
+        #: generations completed before this run segment (full-run
+        #: resume): trace row 0 holds generation ``trace_base + 1``
+        self.trace_base = int(trace_base)
         #: this crowd's columns of the (steps, W) trace arrays
         self.cols = slice(self.crowd, None, self.n_crowds)
         views = state.crowd_views(crowd, n_crowds)
@@ -217,7 +224,7 @@ class _CrowdEngine:
     def _record(self, step: int, el: np.ndarray) -> None:  # repro: hot  # repro: commit
         """Write this generation's estimator inputs into the trace block
         (strided shared-memory columns — never pickled)."""
-        row = step - 1
+        row = step - 1 - self.trace_base
         self.trace.local_energy[row, self.cols] = el
         self.trace.weight[row, self.cols] = self.driver.batch.weight
         comps = self.driver.ham.last_components
@@ -251,6 +258,57 @@ class _WorkerConfig:  # repro: cold
     #: into a *frozen* trace row out of band — the race the
     #: ShmRaceSanitizer quiescent-window checksums must catch
     race_generation: Optional[int] = None
+    #: generations completed before this run segment (full-run resume);
+    #: trace-block row 0 holds generation ``trace_base + 1``
+    trace_base: int = 0
+    #: per-crowd streaming segment trace (repro.output.stream): file
+    #: path, the parent's run meta, and the sorted component order the
+    #: merged canonical trace uses
+    segment_path: Optional[str] = None
+    segment_meta: Optional[dict] = None
+    segment_names: Optional[tuple] = None
+
+
+def _segment_open(cfg: _WorkerConfig):  # repro: cold
+    """Open (or re-open) this crowd's streaming segment trace.
+
+    Fresh spawns write a deterministic schema-versioned header; respawns
+    and full-run resumes roll the file back to the replay generation
+    (segments flush every generation, so chunk boundaries align with the
+    cut and the continued file stays byte-identical to an uninterrupted
+    run's)."""
+    from repro.output.stream import TraceField, TraceWriter
+    if cfg.start_generation > 1 and os.path.exists(cfg.segment_path):
+        return TraceWriter.reopen_below_step(
+            cfg.segment_path, cfg.start_generation, flush_every=1)
+    names = tuple(cfg.segment_names or ())
+    fields = [TraceField("weight", "<f8"), TraceField("local_energy", "<f8")]
+    if names:
+        fields.append(TraceField("components", "<f8", (len(names),)))
+    meta = dict(cfg.segment_meta or {})
+    meta["components"] = list(names)
+    meta["segment"] = {"crowd": cfg.crowd, "n_crowds": cfg.n_crowds,
+                       "total_walkers": cfg.total_walkers}
+    return TraceWriter(cfg.segment_path, fields, meta=meta, flush_every=1)
+
+
+def _segment_append(writer, engine: _CrowdEngine, cfg: _WorkerConfig,
+                    step: int) -> None:
+    """Append this generation's strided trace-row slice to the crowd's
+    segment file, component columns permuted from Hamiltonian order to
+    the sorted order the merged canonical trace declares."""
+    row = step - 1 - cfg.trace_base
+    trace = engine.trace
+    cols = engine.cols
+    values = {"weight": np.array(trace.weight[row, cols]),
+              "local_energy": np.array(trace.local_energy[row, cols])}
+    names = tuple(cfg.segment_names or ())
+    if names:
+        ham_names = tuple(engine.driver.ham.names)
+        perm = [ham_names.index(nm) for nm in names]
+        values["components"] = np.ascontiguousarray(
+            trace.components[row, cols][:, perm])
+    writer.append_row(step, values)
 
 
 def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
@@ -259,6 +317,7 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
     comm = cfg.comm
     state = None
     trace = None
+    segment = None
     failed = False
     armed = False
     try:
@@ -276,7 +335,10 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
         engine = _CrowdEngine(
             cfg.spec, state, trace, cfg.crowd, cfg.n_crowds,
             cfg.total_walkers, cfg.master_seed, cfg.timestep,
-            cfg.use_drift, cfg.precision, cfg.mode, cfg.start_generation)
+            cfg.use_drift, cfg.precision, cfg.mode, cfg.start_generation,
+            cfg.trace_base)
+        if cfg.segment_path is not None:
+            segment = _segment_open(cfg)
         comm.allgather(("ready", cfg.crowd, os.getpid()))
         with METRICS.scope("Crowd"):
             while True:
@@ -288,6 +350,10 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
                         and step >= cfg.crash_generation):
                     os._exit(23)  # injected fault: die without cleanup
                 accepted = engine.run_generation(step, e_trial)
+                if segment is not None:
+                    # Durable before the done token: the parent may
+                    # checkpoint right after this generation.
+                    _segment_append(segment, engine, cfg, step)
                 if cfg.race_generation == step and step >= 2:
                     # Injected fault: scribble on a frozen history row,
                     # outside any commit scope — exactly the out-of-band
@@ -313,7 +379,7 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
     finally:
         if armed:
             RngStreamSanitizer.disarm()
-        for obj in (trace, state):
+        for obj in (segment, trace, state):
             if obj is not None:
                 try:
                     obj.close()
@@ -383,18 +449,59 @@ class ParallelCrowdDriver:  # repro: cold
         self._incarnation = 0
         self._mode = "vmc"
         self._steps = 0
+        self._trace_base = 0
+        #: per-crowd segment trace paths of the latest run (or None)
+        self.segment_paths: Optional[List[str]] = None
+        self._segment_meta: Optional[dict] = None
+        self._segment_names: Optional[tuple] = None
         self._comm_totals = {"allreduce_count": 0, "p2p_messages": 0,
                              "p2p_bytes": 0.0}
 
     # -- the run loop (shared by serial and process paths) -----------------------
-    def run(self, steps: int = 10, mode: str = "vmc") -> QMCResult:
-        """Run ``steps`` generations; one fresh worker pool per call."""
+    def run(self, steps: int = 10, mode: str = "vmc", streams=None,
+            resume=None, segment_dir: Optional[str] = None,
+            abort_after: Optional[int] = None) -> QMCResult:
+        """Run ``steps`` generations; one fresh worker pool per call.
+
+        ``streams`` (a :class:`repro.output.stream.StreamSet`) streams
+        each generation's walker-ordered trace row to the binary trace +
+        online reblocker and checkpoints the full run every
+        ``checkpoint_every`` generations.  ``resume`` (a ``kind ==
+        "parallel"`` :class:`~repro.output.runstate.RunCheckpoint`)
+        continues a checkpointed run bitwise: the shared walker block,
+        branch RNG and feedback scalars are restored and every crowd
+        respawns at ``start_generation = step + 1`` — the same
+        fast-forward path that makes within-run crash recovery bitwise,
+        so the continued trace and error bars equal an uninterrupted
+        run's.  ``segment_dir`` turns on per-crowd segment trace files
+        (``crowd{c}of{K}.trace``) that merge into the canonical trace
+        via :func:`repro.output.stream.merge_crowd_segments`.
+        ``abort_after`` is the restart battery's kill hook: the parent
+        ``os._exit(17)`` s right after that generation's checkpoint, like
+        a SIGKILL landing between generations (shared segments are left
+        for the harness to reap).
+        """
         if mode not in ("vmc", "dmc"):
             raise ValueError(f"unknown mode {mode!r}")
         if steps < 1:
             raise ValueError(f"need at least one step, got {steps}")
+        start_gen = 0
+        if resume is not None:
+            if resume.kind != "parallel":
+                raise ValueError(
+                    f"checkpoint kind {resume.kind!r} is not a parallel run")
+            if resume.meta.get("mode") != mode:
+                raise ValueError(
+                    f"checkpoint is a {resume.meta.get('mode')!r} run, "
+                    f"not {mode!r}")
+            if int(resume.meta.get("nwalkers", -1)) != self.nw \
+                    or int(resume.meta.get("seed", -1)) != self.master_seed:
+                raise ValueError(
+                    "checkpoint population/seed do not match this driver")
+            start_gen = int(resume.step)
         self._mode = mode
         self._steps = int(steps)
+        self._trace_base = start_gen
         self._incarnation = 0
         self.respawns = 0
         self._comm_totals = {"allreduce_count": 0, "p2p_messages": 0,
@@ -402,6 +509,18 @@ class ParallelCrowdDriver:  # repro: cold
         W, n = self.nw, self.spec.n
         ncomp = len(self._ham_names)
         shared = self.workers > 0
+        self.segment_paths = None
+        self._segment_meta = None
+        self._segment_names = None
+        if shared and segment_dir is not None:
+            os.makedirs(segment_dir, exist_ok=True)
+            K = self.workers
+            self.segment_paths = [
+                os.path.join(segment_dir, f"crowd{c}of{K}.trace")
+                for c in range(K)]
+            self._segment_meta = dict(streams.meta) if streams is not None \
+                else {}
+            self._segment_names = tuple(sorted(self._ham_names))
         t_setup = time.perf_counter()
         if shared:
             self._state = SharedWalkerState.create(W, n)
@@ -410,14 +529,20 @@ class ParallelCrowdDriver:  # repro: cold
             self._state = _LocalWalkerState(W, n)
             self._trace = _LocalTrace(steps, W, ncomp)
         state = self._state
-        state.R[...] = self.spec.initial_positions(W)
+        if resume is not None:
+            state.restore_all(resume.shared_state)
+        else:
+            state.R[...] = self.spec.initial_positions(W)
         label = "ParallelDMC" if mode == "dmc" else "ParallelVMC"
         result = QMCResult(
             method=f"{mode.upper()}(crowds x{max(self.workers, 1)})",
             steps=steps)
-        accepted_total = 0
         branch_rng = np.random.default_rng(
             np.random.SeedSequence(self.master_seed).spawn(W + 1)[W])
+        accepted_total = 0
+        if resume is not None:
+            branch_rng.bit_generator.state = resume.rng_states["branch"]
+            accepted_total = int(resume.scalars["accepted_total"])
         armed = False
         if sanitizers_enabled():
             # Same fail-fast global-RNG guard the workers arm; stream
@@ -428,19 +553,22 @@ class ParallelCrowdDriver:  # repro: cold
                 self._race = ShmRaceSanitizer()
         try:
             if shared:
-                self._ensure_pool(1)
+                self._ensure_pool(start_gen + 1)
             else:
                 self._engine = _CrowdEngine(
                     self.spec, state, self._trace, 0, 1, W,
                     self.master_seed, self.tau, self.use_drift,
-                    self.precision, mode, 1)
+                    self.precision, mode, start_gen + 1, start_gen)
             setup_s = time.perf_counter() - t_setup
             e_trial = (float(np.mean(state.local_energy))
                        if mode == "dmc" else None)
             e_best = e_trial
+            if resume is not None and mode == "dmc":
+                e_trial = float(resume.scalars["e_trial"])
+                e_best = float(resume.scalars["e_best"])
             t0 = time.perf_counter()
             with METRICS.scope(label):
-                for step in range(1, steps + 1):
+                for step in range(start_gen + 1, start_gen + steps + 1):
                     self._checkpoint = state.checkpoint()
                     if shared:
                         self._race_begin(step)
@@ -450,6 +578,9 @@ class ParallelCrowdDriver:  # repro: cold
                     else:
                         accepted_total += self._engine.run_generation(
                             step, e_trial)
+                    if streams is not None:
+                        self._stream_row(streams, step,
+                                         step - 1 - start_gen)
                     el = state.local_energy
                     if mode == "vmc":
                         result.energies.append(float(np.mean(el)))
@@ -477,6 +608,21 @@ class ParallelCrowdDriver:  # repro: cold
                         result.trial_energies.append(e_trial)
                     if shared:
                         self._race_seal_state()
+                    if streams is not None and streams.want_checkpoint(step):
+                        self._save_run_checkpoint(
+                            streams, step, mode, branch_rng,
+                            accepted_total, e_trial, e_best)
+                    if abort_after is not None and step >= abort_after:
+                        # Restart-battery kill hook: die like a SIGKILL
+                        # between generations — checkpoint and trace are
+                        # already durable; no flush/close/unlink runs.
+                        # Workers are torn down first only because they
+                        # inherit every comm pipe fd at fork: orphans
+                        # would deadlock in recv() holding each other's
+                        # write ends open (they carry no durable state —
+                        # segment files flush every generation).
+                        self._terminate_pool()
+                        os._exit(17)
             elapsed = time.perf_counter() - t0
             trace_data = self._trace.as_arrays()
             worker_stats = self._finalize() if shared else None
@@ -484,8 +630,9 @@ class ParallelCrowdDriver:  # repro: cold
             if armed:
                 RngStreamSanitizer.disarm()
             self._teardown()
+        result.online = streams.online if streams is not None else None
         result.elapsed = elapsed
-        moves = steps * W * n
+        moves = (start_gen + steps) * W * n
         result.acceptance = accepted_total / moves if moves else 0.0
         result.estimators = self._build_estimators(trace_data)
         result.extra["moves"] = float(moves)
@@ -505,6 +652,47 @@ class ParallelCrowdDriver:  # repro: cold
 
     def run_dmc(self, steps: int = 10) -> QMCResult:
         return self.run(steps=steps, mode="dmc")
+
+    # -- streaming + full-run checkpoints ----------------------------------------
+    def _stream_row(self, streams, step: int, row: int) -> None:
+        """Feed one generation's walker-ordered trace-block row to the
+        stream bundle (binary trace + online reblocker) — the same
+        pre-reweight values ``_build_estimators`` replays at end of run,
+        so online results are bitwise independent of the worker count."""
+        trace = self._trace
+        el = np.array(trace.local_energy[row])
+        wt = np.array(trace.weight[row])
+        comps = {name: np.array(trace.components[row, :, i])
+                 for i, name in enumerate(self._ham_names)}
+        streams.record(step, el, wt, comps)
+
+    def _save_run_checkpoint(self, streams, step: int, mode: str,
+                             branch_rng: np.random.Generator,
+                             accepted_total: int, e_trial, e_best) -> None:
+        """Durable end-of-generation snapshot: the shared walker block
+        (post-branch), the branch RNG and the feedback scalars.  Worker
+        RNG streams are *not* stored — a resume respawns every crowd at
+        ``step + 1`` and the engines fast-forward deterministically,
+        exactly like within-run crash recovery."""
+        from repro.output.runstate import (RunCheckpoint, rng_state,
+                                           save_run_checkpoint)
+        scalars = {"accepted_total": float(accepted_total)}
+        if mode == "dmc":
+            scalars["e_trial"] = float(e_trial)
+            scalars["e_best"] = float(e_best)
+        ckpt = RunCheckpoint(
+            kind="parallel", step=step,
+            rng_states={"branch": rng_state(branch_rng)},
+            scalars=scalars,
+            shared_state={name: np.array(getattr(self._state, name))
+                          for name in _STATE_FIELDS},
+            online_state=(streams.online.state_dict()
+                          if streams.online is not None else None),
+            trace_position=streams.trace_position.as_array(),
+            meta={"mode": mode, "nwalkers": self.nw,
+                  "seed": self.master_seed, "n": self.spec.n},
+        )
+        save_run_checkpoint(streams.checkpoint_path, ckpt)
 
     # -- parent-side DMC branch (walker migration between crowds) ----------------
     def _branch_comb(self, state, rng: np.random.Generator) -> None:
@@ -539,7 +727,7 @@ class ParallelCrowdDriver:  # repro: cold
             return
         for name in _STATE_FIELDS:
             race.verify(f"state/{name}", getattr(self._state, name))
-        hist = step - 1
+        hist = step - 1 - self._trace_base
         if hist > 0:
             race.seal("trace/local_energy",
                       self._trace.local_energy[:hist])
@@ -553,7 +741,7 @@ class ParallelCrowdDriver:  # repro: cold
         race = self._race
         if race is None:
             return
-        hist = step - 1
+        hist = step - 1 - self._trace_base
         if hist > 0:
             race.verify("trace/local_energy",
                         self._trace.local_energy[:hist])
@@ -592,7 +780,12 @@ class ParallelCrowdDriver:  # repro: cold
                 ncomp=len(self._ham_names), comm=endpoints[r],
                 metrics_enabled=METRICS.enabled,
                 crash_generation=(crash_plan or {}).get(crowd),
-                race_generation=(race_plan or {}).get(crowd))
+                race_generation=(race_plan or {}).get(crowd),
+                trace_base=self._trace_base,
+                segment_path=(self.segment_paths[crowd]
+                              if self.segment_paths else None),
+                segment_meta=self._segment_meta,
+                segment_names=self._segment_names)
             proc = self._ctx.Process(
                 target=_worker_main, args=(cfg,),
                 name=f"repro-crowd-{crowd}", daemon=True)
@@ -693,7 +886,7 @@ class ParallelCrowdDriver:  # repro: cold
         payloads = None
         while payloads is None:
             try:
-                self._ensure_pool(self._steps + 1)
+                self._ensure_pool(self._trace_base + self._steps + 1)
                 self._sync(lambda t: self._comm.bcast(("stop",), timeout=t))
                 gathered = self._sync(lambda t: self._comm.allgather(
                     None, timeout=t))

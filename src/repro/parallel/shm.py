@@ -138,6 +138,13 @@ class SharedWalkerState:
             getattr(self, name)[crowd::n_crowds] = \
                 snapshot[name][crowd::n_crowds]
 
+    def restore_all(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Overwrite every field from a snapshot — used by within-run
+        crash recovery and by full-run restart from an on-disk
+        :class:`~repro.output.runstate.RunCheckpoint`."""
+        for name, _, _ in _FIELDS:
+            getattr(self, name)[...] = snapshot[name]
+
     # -- teardown ---------------------------------------------------------------
     @staticmethod
     def _cleanup(shm: shared_memory.SharedMemory) -> None:

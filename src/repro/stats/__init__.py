@@ -15,6 +15,9 @@ from repro.stats.series import (
     autocorrelation_function, autocorrelation_time, blocking_error,
     dmc_efficiency, effective_samples, timestep_extrapolation,
 )
+from repro.stats.online import (
+    BlockLevel, OnlineEstimate, OnlineReblocker, OnlineScalarStats,
+)
 
 __all__ = [
     "autocorrelation_function",
@@ -23,4 +26,8 @@ __all__ = [
     "effective_samples",
     "dmc_efficiency",
     "timestep_extrapolation",
+    "OnlineReblocker",
+    "OnlineScalarStats",
+    "OnlineEstimate",
+    "BlockLevel",
 ]

@@ -5,13 +5,25 @@ from __future__ import annotations
 import numpy as np
 
 
-def autocorrelation_function(x: np.ndarray, max_lag: int | None = None
-                             ) -> np.ndarray:
+# Below this size the O(n * max_lag) direct sum is cheaper than setting
+# up two FFTs; above it the FFT path wins decisively (O(n log n) total,
+# which is what makes the offline oracle usable on full production
+# traces inside the differential test battery).
+_FFT_MIN_SIZE = 256
+
+
+def autocorrelation_function(x: np.ndarray, max_lag: int | None = None,
+                             method: str = "auto") -> np.ndarray:
     """Normalized autocorrelation rho(k) for k = 0..max_lag.
 
     rho(0) == 1; computed with the standard biased estimator (divides by
     the lag-0 variance and the full length), which is what integrated
     autocorrelation-time estimates want.
+
+    ``method`` selects the evaluation path: ``"direct"`` is the lag-loop
+    reference, ``"fft"`` evaluates every lag at once via the Wiener-
+    Khinchin theorem (zero-padded rfft, so no circular aliasing), and
+    ``"auto"`` picks by size.  The two paths agree within 1e-12.
     """
     x = np.asarray(x, dtype=np.float64)
     n = x.size
@@ -20,15 +32,26 @@ def autocorrelation_function(x: np.ndarray, max_lag: int | None = None
     if max_lag is None:
         max_lag = n - 1
     max_lag = min(max_lag, n - 1)
+    if method not in ("auto", "fft", "direct"):
+        raise ValueError(f"unknown method {method!r}")
     xc = x - x.mean()
     var = float(xc @ xc)
     if var == 0.0:
         # Constant series: perfectly correlated at every lag.
         return np.ones(max_lag + 1)
-    out = np.empty(max_lag + 1)
-    for k in range(max_lag + 1):
-        out[k] = float(xc[: n - k] @ xc[k:]) / var
-    return out
+    if method == "direct" or (method == "auto" and n < _FFT_MIN_SIZE):
+        out = np.empty(max_lag + 1)
+        for k in range(max_lag + 1):
+            out[k] = float(xc[: n - k] @ xc[k:]) / var
+        return out
+    # Wiener-Khinchin: the linear (non-circular) autocovariance is the
+    # inverse transform of |F(xc)|^2 once xc is zero-padded to >= 2n.
+    nfft = 1
+    while nfft < 2 * n:
+        nfft *= 2
+    f = np.fft.rfft(xc, n=nfft)
+    acov = np.fft.irfft(f * np.conj(f), n=nfft)[: max_lag + 1]
+    return acov / var
 
 
 def autocorrelation_time(x: np.ndarray, window: int | None = None) -> float:

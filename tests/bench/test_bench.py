@@ -76,7 +76,8 @@ def test_suites_are_well_formed():
     for name, cases in SUITES.items():
         assert cases, name
         for case in cases:
-            assert case.kind in ("system", "batched", "parallel", "nlpp")
+            assert case.kind in ("system", "batched", "parallel", "nlpp",
+                                 "streaming")
             assert case.versions
             if case.kind == "parallel":
                 assert case.workers
@@ -90,6 +91,18 @@ def test_parallel_case_in_smoke_doc(smoke_doc):
     assert "serial" in wl["versions"]
     assert set(wl["versions"]) | set(wl["skipped"]) == {"serial", "w1"}
     assert wl["trace_bitwise_identical"]
+    for entry in wl["versions"].values():
+        assert entry["throughput"] > 0
+
+
+def test_streaming_case_in_smoke_doc(smoke_doc):
+    by_name = {wl["name"]: wl for wl in smoke_doc["workloads"]}
+    wl = by_name["streaming-N12-W4"]
+    assert wl["kind"] == "streaming"
+    assert set(wl["versions"]) == {"memory", "streaming"}
+    # the runner itself asserts bitwise energy parity; here we only need
+    # the overhead ratio to have been measured and be positive
+    assert wl["speedups"]["streaming_over_memory"] > 0
     for entry in wl["versions"].values():
         assert entry["throughput"] > 0
 

@@ -56,6 +56,49 @@ class TestAutocorrelation:
         assert effective_samples(x) < 1500
 
 
+class TestAutocorrelationFFT:
+    """The Wiener-Khinchin path must agree with the lag-loop reference."""
+
+    @pytest.mark.parametrize("n", [2, 3, 17, 100, 1024, 4097])
+    def test_fft_matches_direct(self, n):
+        x = _ar1(n, 0.6, seed=n) if n > 2 else np.array([1.0, -2.0])[:n + 1]
+        direct = autocorrelation_function(x, method="direct")
+        fft = autocorrelation_function(x, method="fft")
+        assert fft.shape == direct.shape
+        np.testing.assert_allclose(fft, direct, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("max_lag", [0, 1, 5, 99])
+    def test_fft_matches_direct_with_max_lag(self, max_lag):
+        x = _ar1(100, 0.5, seed=21)
+        direct = autocorrelation_function(x, max_lag, method="direct")
+        fft = autocorrelation_function(x, max_lag, method="fft")
+        np.testing.assert_allclose(fft, direct, rtol=0, atol=1e-12)
+
+    def test_auto_selects_consistent_result(self):
+        for n in (32, 5000):  # straddles the _FFT_MIN_SIZE switchover
+            x = _ar1(n, 0.4, seed=n + 1)
+            auto = autocorrelation_function(x, 10, method="auto")
+            direct = autocorrelation_function(x, 10, method="direct")
+            np.testing.assert_allclose(auto, direct, rtol=0, atol=1e-12)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="method"):
+            autocorrelation_function(np.arange(10.0), method="welch")
+
+    def test_constant_series_fft(self):
+        rho = autocorrelation_function(np.full(64, 3.5), 5, method="fft")
+        assert np.all(rho == 1.0)
+
+    @given(st.integers(min_value=3, max_value=400),
+           st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=40, deadline=None)
+    def test_fft_matches_direct_property(self, n, seed):
+        x = np.random.default_rng(seed).normal(size=n)
+        direct = autocorrelation_function(x, method="direct")
+        fft = autocorrelation_function(x, method="fft")
+        np.testing.assert_allclose(fft, direct, rtol=0, atol=1e-12)
+
+
 class TestBlocking:
     def test_white_noise_matches_naive(self):
         x = np.random.default_rng(7).normal(size=4096)
