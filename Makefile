@@ -4,8 +4,8 @@ PYTHON ?= python
 BENCH_OUT ?= /tmp/repro-bench
 
 .PHONY: install test test-fast lint lint-strict lint-baseline check bench \
-	bench-check bench-parallel bench-figures restart-check report \
-	examples clean
+	bench-check bench-parallel bench-backend bench-figures check-backends \
+	restart-check report examples clean
 
 LINT_BASELINE = benchmarks/baselines/lint_baseline.json
 
@@ -26,7 +26,7 @@ lint:
 # findings absent from the committed baseline (CI's lint-strict job).
 lint-strict:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ \
-		--select R001,R002,R003,R004,R005,R006,R007,R008,R009,R010 \
+		--select R001,R002,R003,R004,R005,R006,R007,R008,R009,R010,R011 \
 		--baseline $(LINT_BASELINE)
 
 # Regenerate the grandfathered-findings baseline (review the diff!).
@@ -34,7 +34,10 @@ lint-baseline:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ \
 		--write-baseline $(LINT_BASELINE)
 
-# lint + tier-1 tests; run `make bench-check` too before perf-sensitive PRs.
+# lint + tier-1 tests.  Optional-dependency targets are NOT included:
+# run `make bench-check` before perf-sensitive PRs, and `make
+# check-backends` when touching backend kernels (its jax parity legs
+# only run where jax is installed — see docs/backends.md).
 check: lint test
 
 # Quick bench suite -> BENCH_<tag>.json (REPRO_METRICS embeds the timer tree).
@@ -56,6 +59,29 @@ bench-check: bench
 bench-parallel:
 	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench \
 		--suite parallel --tag parallel --out $(BENCH_OUT)
+
+# Kernel-backend micro-benchmarks (docs/backends.md): every registered
+# hot kernel timed under numpy and, when importable, jax, on the two
+# workload-shaped cases.  On jax-less hosts the jax leg is declared in
+# the artifact's `skipped` list instead of failing.
+bench-backend:
+	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench \
+		--suite backend --tag backend --out $(BENCH_OUT)
+
+# Backend-parity gate, the local mirror of CI's backend-parity job:
+# the backend suite plus the batched differential suite under each
+# *available* backend (REPRO_BACKEND routes the kernels; the batched
+# conftest skips bitwise-only classes for non-exact backends).
+check-backends:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/backend/ -x -q
+	PYTHONPATH=src REPRO_BACKEND=numpy $(PYTHON) -m pytest \
+		tests/batched/ -x -q
+	@PYTHONPATH=src $(PYTHON) -c "from repro.backend import available_backends; \
+		import sys; sys.exit(0 if 'jax' in available_backends() else 3)" \
+		&& PYTHONPATH=src REPRO_BACKEND=jax $(PYTHON) -m pytest \
+			tests/backend/ tests/batched/ -x -q \
+		|| { [ $$? -eq 3 ] && echo "jax not installed - jax leg skipped" \
+			"(pip install -r requirements-ci-jax.txt)"; }
 
 # Kill-and-restart parity battery with the runtime sanitizers armed:
 # byte-identical traces + bit-identical online error bars after a

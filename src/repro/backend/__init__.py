@@ -1,0 +1,46 @@
+"""Pluggable kernel backends (see docs/backends.md).
+
+Public surface::
+
+    from repro.backend import active, get_backend, use_backend
+
+    get_backend("jax")          # explicit instance (BackendUnavailableError
+                                # with install hints if jax is absent)
+    with use_backend("jax"):    # thread-local override for a scope
+        ...
+    active()                    # what kernel call sites dispatch through
+
+Resolution order: innermost ``use_backend``/``backend.scope()`` on this
+thread, then the ``REPRO_BACKEND`` environment variable, then the
+bitwise-exact ``numpy`` default.
+"""
+
+from repro.backend.base import (
+    KERNEL_NAMES,
+    BackendUnavailableError,
+    KernelBackend,
+)
+from repro.backend.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    active,
+    available_backends,
+    get_backend,
+    known_backends,
+    register_backend,
+    use_backend,
+)
+
+__all__ = [
+    "KERNEL_NAMES",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "active",
+    "available_backends",
+    "get_backend",
+    "known_backends",
+    "register_backend",
+    "use_backend",
+]

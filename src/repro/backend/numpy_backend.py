@@ -1,0 +1,240 @@
+"""The reference NumPy kernel backend — bitwise-identical to the code it
+was extracted from.
+
+Every method here is the pre-backend implementation of its kernel,
+moved verbatim (op for op, in the same order) out of
+``repro.batched.distances`` / ``repro.batched.spo`` /
+``repro.jastrow.functor`` / ``repro.splines.cubic1d`` /
+``repro.determinant.dirac`` / ``repro.batched.driver``.  That verbatim
+extraction is what lets this backend declare ``exact_match = True``:
+``REPRO_BACKEND=numpy`` (and the default) must reproduce current traces
+bit for bit, and the restart/differential suites gate exactly that.
+
+Keep it boring.  Any "improvement" to an expression here that changes
+its floating-point op sequence is a determinism regression, not a
+cleanup (see the bitwise contracts in docs/batched_walkers.md and
+docs/parallel_crowds.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend.base import KernelBackend
+from repro.distances.base import BIG_DISTANCE
+
+# 1D segment basis (Horner form) and the 3D stencil basis — imported
+# from their canonical homes so the numerical constants cannot drift.
+from repro.splines.cubic1d import _A as _A1, _dA as _dA1, _d2A as _d2A1
+from repro.splines.bspline3d import _A as _A3, _dA as _dA3, _d2A as _d2A3
+
+
+def _weight_rows3(u: np.ndarray):
+    """Batched 3D segment weights: (W,) offsets -> three (W, 4) sets."""
+    pu = np.stack([np.ones_like(u), u, u * u, u * u * u], axis=-1)
+    return (np.matmul(_A3, pu[:, :, None])[:, :, 0],
+            np.matmul(_dA3, pu[:, :, None])[:, :, 0],
+            np.matmul(_d2A3, pu[:, :, None])[:, :, 0])
+
+
+class NumpyBackend(KernelBackend):
+    """Bitwise-exact NumPy implementation of every registered kernel."""
+
+    name = "numpy"
+    exact_match = True
+
+    # -- distance kernels ----------------------------------------------------------
+    def aa_row(self, soa, rk, lattice, self_index=-1):
+        nw, _, n = soa.shape
+        dr64 = np.empty((nw, 3, n), dtype=np.float64)
+        for d in range(3):
+            dr64[:, d] = soa[:, d] - rk[:, d, None]
+        if lattice.periodic:
+            dr64 = lattice.min_image_disp(
+                dr64.transpose(0, 2, 1)).transpose(0, 2, 1)
+        r2 = dr64[:, 0] * dr64[:, 0] + dr64[:, 1] * dr64[:, 1] \
+            + dr64[:, 2] * dr64[:, 2]
+        r = np.sqrt(r2)
+        if self_index >= 0:
+            r[:, self_index] = BIG_DISTANCE
+            dr64[:, :, self_index] = 0
+        return r, dr64
+
+    def ab_row(self, src_soa, rk, lattice):
+        nw = rk.shape[0]
+        ns = src_soa.shape[1]
+        dr64 = np.empty((nw, 3, ns), dtype=np.float64)
+        for d in range(3):
+            dr64[:, d] = src_soa[d][None, :] - rk[:, d, None]
+        if lattice.periodic:
+            dr64 = lattice.min_image_disp(
+                dr64.transpose(0, 2, 1)).transpose(0, 2, 1)
+        r = np.sqrt(dr64[:, 0] * dr64[:, 0] + dr64[:, 1] * dr64[:, 1]
+                    + dr64[:, 2] * dr64[:, 2])
+        return r, dr64
+
+    def aa_pairs(self, R, lattice):
+        n = R.shape[1]
+        dr = R[:, None, :, :] - R[:, :, None, :]  # dr[w, k, i] = r_i - r_k
+        if lattice.periodic:
+            dr = lattice.min_image_disp(dr)
+        dist = np.sqrt(np.sum(np.square(dr), axis=-1))
+        idx = np.arange(n)
+        dist[:, idx, idx] = BIG_DISTANCE
+        disp = np.transpose(dr, (0, 1, 3, 2))
+        disp[:, idx, :, idx] = 0
+        return dist, disp
+
+    def ab_pairs(self, src_R, R, lattice):
+        # dr[w, k, I] = R_I - r_k, matching the per-walker AB convention.
+        dr = src_R[None, None, :, :] - R[:, :, None, :]
+        if lattice.periodic:
+            dr = lattice.min_image_disp(dr)
+        dist = np.sqrt(np.sum(np.square(dr), axis=-1))
+        return dist, np.transpose(dr, (0, 1, 3, 2))
+
+    # -- Jastrow functor kernels -----------------------------------------------------
+    def functor_v(self, coefs, x0, h, nintervals, rcut, r):
+        r = np.asarray(r, dtype=np.float64)
+        mask = r < rcut
+        out = np.zeros_like(r)
+        if np.any(mask):
+            out[mask] = self.bspline1d_v(coefs, x0, h, nintervals, r[mask])
+        return out
+
+    def functor_vgl(self, coefs, x0, h, nintervals, rcut, r):
+        r = np.asarray(r, dtype=np.float64)
+        mask = r < rcut
+        u = np.zeros_like(r)
+        du = np.zeros_like(r)
+        d2u = np.zeros_like(r)
+        if np.any(mask):
+            v, dv, d2v = self.bspline1d_vgl(coefs, x0, h, nintervals,
+                                            r[mask])
+            u[mask] = v
+            du[mask] = dv
+            d2u[mask] = d2v
+        return u, du, d2u
+
+    # -- raw 1D spline kernels (elementwise Horner) ----------------------------------
+    def _locate1(self, x0, h, nintervals, r):
+        t = (np.asarray(r, dtype=np.float64) - x0) / h
+        i = np.clip(np.floor(t).astype(np.int64), 0, nintervals - 1)
+        u = t - i
+        return i, u
+
+    def bspline1d_v(self, coefs, x0, h, nintervals, r):
+        i, u = self._locate1(x0, h, nintervals, r)
+        v = np.zeros_like(u)
+        for k in range(4):
+            row = _A1[k]
+            b = row[0] + u * (row[1] + u * (row[2] + u * row[3]))
+            v += coefs[i + k] * b
+        return v
+
+    def bspline1d_vgl(self, coefs, x0, h, nintervals, r):
+        i, u = self._locate1(x0, h, nintervals, r)
+        v = np.zeros_like(u)
+        dv = np.zeros_like(u)
+        d2v = np.zeros_like(u)
+        for k in range(4):
+            b = _A1[k][0] + u * (_A1[k][1] + u * (_A1[k][2] + u * _A1[k][3]))
+            db = _dA1[k][0] + u * (_dA1[k][1] + u * _dA1[k][2])
+            d2b = _d2A1[k][0] + u * _d2A1[k][1]
+            ck = coefs[i + k]
+            v += ck * b
+            dv += ck * db
+            d2v += ck * d2b
+        dv /= h
+        d2v /= h * h
+        return v, dv, d2v
+
+    # -- 3D B-spline SPO kernels -----------------------------------------------------
+    def _locate3(self, cell_inverse, dims, r):
+        frac = np.asarray(r, dtype=np.float64) @ cell_inverse
+        frac = frac - np.floor(frac)
+        dimsf = np.array(dims, dtype=np.float64)
+        t = frac * dimsf
+        i = np.minimum(t.astype(np.int64), (dimsf - 1).astype(np.int64))
+        u = t - i
+        return i, u
+
+    def _gather3(self, coefs, i):
+        """Gather the W stencil blocks: (W, 4, 4, 4, norb), accumulation
+        precision (Sec. 7.2: contraction is double even for fp32
+        tables)."""
+        o = np.arange(4)
+        blocks = coefs[
+            i[:, 0, None, None, None] + o[:, None, None],
+            i[:, 1, None, None, None] + o[None, :, None],
+            i[:, 2, None, None, None] + o[None, None, :],
+        ]
+        return blocks.astype(np.float64, copy=False)
+
+    def spline3d_v(self, coefs, cell_inverse, dims, r):
+        i, u = self._locate3(cell_inverse, dims, r)
+        ax, _, _ = _weight_rows3(u[:, 0])
+        by, _, _ = _weight_rows3(u[:, 1])
+        cz, _, _ = _weight_rows3(u[:, 2])
+        blocks = self._gather3(coefs, i)
+        return np.einsum("wi,wj,wk,wijkm->wm", ax, by, cz, blocks)
+
+    def spline3d_vgl(self, coefs, cell_inverse, dims, r):
+        nw = r.shape[0]
+        norb = coefs.shape[-1]
+        nx, ny, nz = dims
+        i, u = self._locate3(cell_inverse, dims, r)
+        wx = _weight_rows3(u[:, 0])
+        wy = _weight_rows3(u[:, 1])
+        wz = _weight_rows3(u[:, 2])
+        blocks = self._gather3(coefs, i)
+
+        def contract(wa, wb, wc):
+            return np.einsum("wi,wj,wk,wijkm->wm", wa, wb, wc, blocks)
+
+        a, da, d2a = wx
+        b, db, d2b = wy
+        c, dc, d2c = wz
+        v = contract(a, b, c)
+        # Gradient and Hessian in fractional units, then the chain rule.
+        gu = np.stack([
+            contract(da, b, c) * nx,
+            contract(a, db, c) * ny,
+            contract(a, b, dc) * nz,
+        ], axis=1)  # (W, 3, m)
+        hu = np.empty((nw, 3, 3, norb))
+        hu[:, 0, 0] = contract(d2a, b, c) * nx * nx
+        hu[:, 1, 1] = contract(a, d2b, c) * ny * ny
+        hu[:, 2, 2] = contract(a, b, d2c) * nz * nz
+        hu[:, 0, 1] = hu[:, 1, 0] = contract(da, db, c) * nx * ny
+        hu[:, 0, 2] = hu[:, 2, 0] = contract(da, b, dc) * nx * nz
+        hu[:, 1, 2] = hu[:, 2, 1] = contract(a, db, dc) * ny * nz
+        g = np.einsum("ab,wbm->wma", cell_inverse, gu)
+        lap = np.einsum("ia,wabm,ib->wm", cell_inverse, hu, cell_inverse)
+        return v, g, lap
+
+    # -- determinant ratio kernels ---------------------------------------------------
+    def det_ratio(self, phi, ainv_col):
+        return float(phi @ ainv_col)
+
+    def det_ratios_vp(self, phi, ainv_cols):
+        return np.einsum("mj,jm->m", phi, ainv_cols)
+
+    # -- fused accept/reject ---------------------------------------------------------
+    def exp_rows(self, x):
+        """Per-walker libm exp — bitwise-matches the scalar path's
+        math.exp (np.exp's SIMD path strays by 1 ulp on a few percent of
+        arguments, enough to flip a Metropolis comparison)."""
+        out = np.empty_like(x)
+        for w in range(x.shape[0]):
+            out[w] = math.exp(x[w])
+        return out
+
+    def accept_mask(self, rho, log_t, uniforms):
+        if log_t is None:
+            A = np.minimum(1.0, rho * rho)
+        else:
+            A = np.minimum(1.0, rho * rho * self.exp_rows(log_t))
+        return (uniforms < A) & (rho != 0.0)

@@ -1,0 +1,149 @@
+"""Backend registry: name -> :class:`KernelBackend` resolution.
+
+Resolution order at every kernel call site (via :func:`active`):
+
+1. the innermost :func:`use_backend` / ``KernelBackend.scope()`` context
+   on this thread (the per-driver override);
+2. the ``REPRO_BACKEND`` environment variable;
+3. ``"numpy"``.
+
+Backend construction is lazy and cached per name, so importing
+``repro.backend`` costs nothing and a jax-less host only fails when
+somebody actually asks for the jax backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.backend.base import BackendUnavailableError, KernelBackend
+
+ENV_VAR = "REPRO_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+
+def _make_numpy() -> KernelBackend:
+    from repro.backend.numpy_backend import NumpyBackend
+    return NumpyBackend()
+
+
+def _make_jax() -> KernelBackend:
+    from repro.backend.jax_backend import JaxBackend  # may raise
+    return JaxBackend()
+
+
+#: name -> zero-arg factory; extend via :func:`register_backend`.
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "numpy": _make_numpy,
+    "jax": _make_jax,
+}
+
+_instances: Dict[str, KernelBackend] = {}
+_instances_lock = threading.Lock()
+_tls = threading.local()
+
+
+def register_backend(name: str,
+                     factory: Callable[[], KernelBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[str(name)] = factory
+    with _instances_lock:
+        _instances.pop(str(name), None)
+
+
+def known_backends() -> List[str]:
+    """Every registered name, constructible on this host or not."""
+    return sorted(_FACTORIES)
+
+
+def available_backends() -> List[str]:
+    """Registered names whose backend actually constructs here."""
+    out = []
+    for name in known_backends():
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return out
+
+
+def get_backend(name: Optional[Union[str, KernelBackend]] = None
+                ) -> KernelBackend:
+    """Resolve ``name`` to a backend instance.
+
+    ``None`` resolves through ``REPRO_BACKEND`` then the default; a
+    :class:`KernelBackend` instance passes through unchanged (the
+    per-driver override accepts either form).  Unknown or
+    unconstructible names raise :class:`BackendUnavailableError` with an
+    actionable message.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None:
+        name = os.environ.get(ENV_VAR, "").strip() or DEFAULT_BACKEND
+    name = str(name).lower()
+    with _instances_lock:
+        inst = _instances.get(name)
+    if inst is not None:
+        return inst
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise BackendUnavailableError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{', '.join(known_backends())} (set {ENV_VAR} or pass "
+            f"backend=... to the driver)")
+    try:
+        inst = factory()
+    except BackendUnavailableError:
+        raise
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            f"kernel backend {name!r} is registered but its "
+            f"dependencies are missing on this host: {exc}. "
+            + _install_hint(name)) from exc
+    with _instances_lock:
+        _instances.setdefault(name, inst)
+    return inst
+
+
+def _install_hint(name: str) -> str:
+    if name == "jax":
+        return ("Install the CPU wheel with `pip install \"jax[cpu]\"` "
+                "(or `pip install -r requirements-ci-jax.txt`), or unset "
+                f"{ENV_VAR} to run on the bitwise-exact numpy backend.")
+    return f"Check the backend's requirements, or unset {ENV_VAR}."
+
+
+def _override_stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def active() -> KernelBackend:
+    """The backend every kernel call site dispatches through."""
+    stack = _override_stack()
+    if stack:
+        return stack[-1]
+    return get_backend(None)
+
+
+@contextmanager
+def _backend_scope(backend: KernelBackend):
+    stack = _override_stack()
+    stack.append(backend)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+def use_backend(name: Union[str, KernelBackend]):
+    """Context manager: ``with use_backend("jax"): ...`` routes every
+    kernel call on this thread through the named backend."""
+    return _backend_scope(get_backend(name))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active
 from repro.containers.aligned import aligned_empty, padded_size
 from repro.distances.base import BIG_DISTANCE
 from repro.metrics.registry import METRICS
@@ -32,26 +33,14 @@ def _batched_row_from(soa: np.ndarray, n: int, rk: np.ndarray, lattice,
     of that walker's particles — the batched twin of ``_row_from``.
 
     ``soa`` is the (W, 3, Np) position block, ``rk`` a (W, 3) block of
-    centers; outputs are (W, Np) and (W, 3, Np) views.  One contiguous
-    vector operation per Cartesian component, over all W walkers at once.
+    centers; outputs are (W, Np) and (W, 3, Np) views.  The arithmetic
+    lives in the active backend's ``aa_row`` kernel (accumulation
+    precision); the assignments into the out views perform the policy
+    downcast, exactly like the per-walker kernel.
     """
-    nw = soa.shape[0]
-    # Displacement intermediates stay in accumulation precision; the
-    # assignment into ``out_dr`` performs the policy downcast (exactly
-    # like the per-walker kernel).
-    dr64 = np.empty((nw, 3, n), dtype=np.float64)  # repro: noqa R002
-    for d in range(3):
-        dr64[:, d] = soa[:, d, :n] - rk[:, d, None]
-    if lattice.periodic:
-        dr64 = lattice.min_image_disp(
-            dr64.transpose(0, 2, 1)).transpose(0, 2, 1)
-    out_dr[:, :, :n] = dr64
-    r2 = dr64[:, 0] * dr64[:, 0] + dr64[:, 1] * dr64[:, 1] \
-        + dr64[:, 2] * dr64[:, 2]
-    out_r[:, :n] = np.sqrt(r2)
-    if self_index >= 0:
-        out_r[:, self_index] = BIG_DISTANCE
-        out_dr[:, :, self_index] = 0
+    r, dr = active().aa_row(soa[:, :, :n], rk, lattice, self_index)
+    out_dr[:, :, :n] = np.asarray(dr)
+    out_r[:, :n] = np.asarray(r)
 
 
 class BatchedDistTableAA:
@@ -83,17 +72,10 @@ class BatchedDistTableAA:
     # -- full evaluation ---------------------------------------------------------
     def evaluate(self, batch) -> None:
         """From-scratch recompute of all W tables from the canonical R."""
-        R = batch.R  # (W, N, 3) float64
         n = self.n
-        dr = R[:, None, :, :] - R[:, :, None, :]  # dr[w, k, i] = r_i - r_k
-        if self.lattice.periodic:
-            dr = self.lattice.min_image_disp(dr)
-        dist = np.sqrt(np.sum(np.square(dr), axis=-1))
-        self.distances[:, :, :n] = dist
-        idx = np.arange(n)
-        self.distances[:, idx, idx] = BIG_DISTANCE
-        self.displacements[:, :, :, :n] = np.transpose(dr, (0, 1, 3, 2))
-        self.displacements[:, idx, :, idx] = 0
+        dist, disp = active().aa_pairs(batch.R, self.lattice)
+        self.distances[:, :, :n] = np.asarray(dist)
+        self.displacements[:, :, :, :n] = np.asarray(disp)
         itemsize = self.dtype.itemsize
         OPS.record(self.category, flops=9.0 * self.nw * n * n,
                    rbytes=24.0 * self.nw * n,
@@ -214,14 +196,9 @@ class BatchedDistTableAB:
         self.temp_dr = np.zeros((self.nw, 3, self.nsp), dtype=self.dtype)
 
     def evaluate(self, batch) -> None:
-        R = batch.R  # (W, Nt, 3)
-        # dr[w, k, I] = R_I - r_k, matching the per-walker AB convention.
-        dr = self.source.R[None, None, :, :] - R[:, :, None, :]
-        if self.lattice.periodic:
-            dr = self.lattice.min_image_disp(dr)
-        self.distances[:, :, : self.ns] = np.sqrt(
-            np.sum(np.square(dr), axis=-1))
-        self.displacements[:, :, :, : self.ns] = np.transpose(dr, (0, 1, 3, 2))
+        dist, disp = active().ab_pairs(self.source.R, batch.R, self.lattice)
+        self.distances[:, :, : self.ns] = np.asarray(dist)
+        self.displacements[:, :, :, : self.ns] = np.asarray(disp)
         itemsize = self.dtype.itemsize
         OPS.record(self.category, flops=9.0 * self.nw * self.nt * self.ns,
                    rbytes=24.0 * self.nw * (self.nt + self.ns),
@@ -230,16 +207,9 @@ class BatchedDistTableAB:
     def move(self, batch, rnew: np.ndarray, k: int) -> None:
         rk = np.asarray(rnew, dtype=np.float64)  # repro: noqa R002
         nw, ns = self.nw, self.ns
-        dr64 = np.empty((nw, 3, ns), dtype=np.float64)  # repro: noqa R002
-        for d in range(3):
-            dr64[:, d] = self._src_soa[d, :ns][None, :] - rk[:, d, None]
-        if self.lattice.periodic:
-            dr64 = self.lattice.min_image_disp(
-                dr64.transpose(0, 2, 1)).transpose(0, 2, 1)
-        self.temp_dr[:, :, :ns] = dr64
-        self.temp_r[:, :ns] = np.sqrt(
-            dr64[:, 0] * dr64[:, 0] + dr64[:, 1] * dr64[:, 1]
-            + dr64[:, 2] * dr64[:, 2])
+        r, dr = active().ab_row(self._src_soa[:, :ns], rk, self.lattice)
+        self.temp_dr[:, :, :ns] = np.asarray(dr)
+        self.temp_r[:, :ns] = np.asarray(r)
         itemsize = self.dtype.itemsize
         OPS.record(self.category, flops=9.0 * nw * ns,
                    rbytes=24.0 * nw * ns, wbytes=4.0 * itemsize * nw * ns)

@@ -25,7 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.batched.jastrow import exp_rows
+from repro.backend import get_backend
 from repro.batched.sanitize import BatchedSanitizerSuite
 from repro.batched.system import JastrowSystemSpec, walker_streams
 from repro.batched.walkerbatch import WalkerBatch
@@ -49,8 +49,13 @@ class BatchedCrowdDriver:
                  use_drift: bool = True,
                  precision: PrecisionPolicy = FULL,
                  batch: Optional[WalkerBatch] = None,
-                 rngs: Optional[List[np.random.Generator]] = None):
+                 rngs: Optional[List[np.random.Generator]] = None,
+                 backend=None):
         self.spec = spec
+        # Kernel backend: a name ("numpy"/"jax"), a KernelBackend
+        # instance, or None for REPRO_BACKEND-then-default resolution.
+        # Every driver entry point activates it for its own thread scope.
+        self.backend = get_backend(backend)
         self.nw = int(nwalkers)
         self.n = spec.n
         self.tau = float(timestep)
@@ -92,9 +97,10 @@ class BatchedCrowdDriver:
                            if sanitizers_enabled() else None)
         #: optional fused-step trace: list of (W,) bool masks, one per move
         self.move_log: Optional[List[np.ndarray]] = None
-        for t in self.tables:
-            t.evaluate(self.batch)
-        self.batch.logpsi[...] = self._evaluate_log()
+        with self.backend.scope():
+            for t in self.tables:
+                t.evaluate(self.batch)
+            self.batch.logpsi[...] = self._evaluate_log()
 
     # -- wavefunction over components ---------------------------------------------
     def _evaluate_log(self) -> np.ndarray:
@@ -147,7 +153,7 @@ class BatchedCrowdDriver:
     # -- the fused sweep -----------------------------------------------------------
     def sweep(self) -> int:
         """One PbyP pass: W walkers advance electron k together."""
-        with METRICS.scope("sweep"):
+        with self.backend.scope(), METRICS.scope("sweep"):
             return self._sweep()
 
     def _sweep(self) -> int:
@@ -180,11 +186,11 @@ class BatchedCrowdDriver:
                 log_t = (-np.matmul(back[:, None, :], back[:, :, None])[:, 0, 0]
                          + np.matmul(fwd[:, None, :],
                                      fwd[:, :, None])[:, 0, 0]) / (2.0 * tau)
-                A = np.minimum(1.0, rho * rho * exp_rows(log_t))
             else:
                 rho = self._ratio(k)
-                A = np.minimum(1.0, rho * rho)
-            acc = (uniforms[:, k] < A) & (rho != 0.0)
+                log_t = None
+            acc = np.asarray(
+                self.backend.accept_mask(rho, log_t, uniforms[:, k]))
             if self.move_log is not None:
                 self.move_log.append(acc.copy())
             for t in self.tables:
@@ -207,20 +213,21 @@ class BatchedCrowdDriver:
         writer (the DMC branch commit of the process-parallel crowds)
         rewrites positions behind the driver's back.  Estimators are not
         touched.  Returns the refreshed per-walker local energies."""
-        self.batch.sync_soa()
-        for t in self.tables:
-            with PROFILER.timer(t.category):
-                t.evaluate(self.batch)
-        self.batch.logpsi[...] = self._evaluate_log()
-        el = self.ham.evaluate(self.batch, self.tables, self.G, self.L)
-        self.batch.local_energy[...] = el
-        return el
+        with self.backend.scope():
+            self.batch.sync_soa()
+            for t in self.tables:
+                with PROFILER.timer(t.category):
+                    t.evaluate(self.batch)
+            self.batch.logpsi[...] = self._evaluate_log()
+            el = self.ham.evaluate(self.batch, self.tables, self.G, self.L)
+            self.batch.local_energy[...] = el
+            return el
 
     # -- measurement ----------------------------------------------------------------
     def measure(self) -> np.ndarray:
         """Refresh tables from scratch and evaluate E_L per walker —
         the batched ``store_walker``."""
-        with METRICS.scope("measure"):
+        with self.backend.scope(), METRICS.scope("measure"):
             return self._measure()
 
     def _measure(self) -> np.ndarray:
@@ -261,7 +268,8 @@ class BatchedCrowdDriver:
             with METRICS.scope("BatchedVMC"):
                 for step in range(1, steps + 1):
                     if self.precision.should_recompute(step):
-                        self.batch.logpsi[...] = self._evaluate_log()
+                        with self.backend.scope():
+                            self.batch.logpsi[...] = self._evaluate_log()
                     self.sweep()
                     el = self.measure()
                     self.batch.age += 1

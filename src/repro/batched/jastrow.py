@@ -24,11 +24,11 @@ differential suite):
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.backend import active
 from repro.distances.base import BIG_DISTANCE
 from repro.jastrow.functor import BsplineFunctor
 from repro.lint.hot import hot_kernel
@@ -37,11 +37,9 @@ from repro.profiling.profiler import PROFILER
 
 
 def exp_rows(x: np.ndarray) -> np.ndarray:
-    """Per-walker libm exp — bitwise-matches the scalar path's math.exp."""
-    out = np.empty_like(x)
-    for w in range(x.shape[0]):
-        out[w] = math.exp(x[w])
-    return out
+    """Per-walker exp via the active backend (the exact backend uses a
+    libm loop that bitwise-matches the scalar path's math.exp)."""
+    return np.asarray(active().exp_rows(x))
 
 
 @hot_kernel

@@ -3,7 +3,9 @@
 One call evaluates all orbitals at W walkers' active-electron positions:
 the 4x4x4 stencil blocks of all walkers are gathered into a
 ``(W, 4, 4, 4, norb)`` slab and contracted with one batched einsum,
-instead of W separate ``multi_v`` calls.
+instead of W separate ``multi_v`` calls.  The stencil arithmetic lives
+in the active backend's ``spline3d_v`` / ``spline3d_vgl`` kernels; this
+module owns the spline-object unpacking and the op accounting.
 
 Unlike the distance/Jastrow kernels, the batched contraction is *not*
 bitwise-identical to the per-walker one (einsum picks a different
@@ -19,53 +21,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active
 from repro.lint.hot import hot_kernel
 from repro.perfmodel.opcount import OPS
-from repro.splines.bspline3d import BSpline3D, _A, _dA, _d2A
-
-
-def _locate_rows(spline: BSpline3D, r: np.ndarray):
-    """Per-walker stencil origins and offsets for (W, 3) Cartesian points."""
-    frac = np.asarray(r, dtype=np.float64) @ spline.cell_inverse  # repro: noqa R002
-    frac = frac - np.floor(frac)
-    dims = np.array([spline.nx, spline.ny, spline.nz],
-                    dtype=np.float64)  # repro: noqa R002
-    t = frac * dims
-    i = np.minimum(t.astype(np.int64), (dims - 1).astype(np.int64))
-    u = t - i
-    return i, u
-
-
-def _weight_rows(u: np.ndarray):
-    """Batched segment weights: (W,) offsets -> (W, 4) per weight set."""
-    pu = np.stack([np.ones_like(u), u, u * u, u * u * u], axis=-1)
-    return (np.matmul(_A, pu[:, :, None])[:, :, 0],
-            np.matmul(_dA, pu[:, :, None])[:, :, 0],
-            np.matmul(_d2A, pu[:, :, None])[:, :, 0])
-
-
-def _gather_blocks(spline: BSpline3D, i: np.ndarray) -> np.ndarray:
-    """Gather the W stencil blocks: (W, 4, 4, 4, norb), accumulation
-    precision (Sec. 7.2: contraction is double even for fp32 tables)."""
-    o = np.arange(4)
-    blocks = spline.coefs[
-        i[:, 0, None, None, None] + o[:, None, None],
-        i[:, 1, None, None, None] + o[None, :, None],
-        i[:, 2, None, None, None] + o[None, None, :],
-    ]
-    return blocks.astype(np.float64, copy=False)  # repro: noqa R002
+from repro.splines.bspline3d import BSpline3D
 
 
 @hot_kernel
 def batched_multi_v(spline: BSpline3D, r: np.ndarray) -> np.ndarray:
     """Values of all orbitals at W points: (W, 3) -> (W, norb)."""
     nw = r.shape[0]
-    i, u = _locate_rows(spline, r)
-    ax, _, _ = _weight_rows(u[:, 0])
-    by, _, _ = _weight_rows(u[:, 1])
-    cz, _, _ = _weight_rows(u[:, 2])
-    blocks = _gather_blocks(spline, i)
-    v = np.einsum("wi,wj,wk,wijkm->wm", ax, by, cz, blocks)
+    v = np.asarray(active().spline3d_v(
+        spline.coefs, spline.cell_inverse,
+        (spline.nx, spline.ny, spline.nz), r))
     OPS.record("Bspline-v", flops=nw * (2.0 * 64 * spline.norb + 200),
                rbytes=nw * 64.0 * spline.norb * spline.dtype.itemsize,
                wbytes=nw * 8.0 * spline.norb)
@@ -77,37 +45,10 @@ def batched_multi_vgl(spline: BSpline3D, r: np.ndarray):
     """Values, Cartesian gradients and Laplacians of all orbitals at W
     points: (W, 3) -> (v (W, m), g (W, m, 3), lap (W, m))."""
     nw = r.shape[0]
-    i, u = _locate_rows(spline, r)
-    wx = _weight_rows(u[:, 0])
-    wy = _weight_rows(u[:, 1])
-    wz = _weight_rows(u[:, 2])
-    nx, ny, nz = spline.nx, spline.ny, spline.nz
-    blocks = _gather_blocks(spline, i)
-
-    def contract(wa, wb, wc):
-        return np.einsum("wi,wj,wk,wijkm->wm", wa, wb, wc, blocks)
-
-    a, da, d2a = wx
-    b, db, d2b = wy
-    c, dc, d2c = wz
-    v = contract(a, b, c)
-    # Gradient and Hessian in fractional units, then the chain rule.
-    gu = np.stack([
-        contract(da, b, c) * nx,
-        contract(a, db, c) * ny,
-        contract(a, b, dc) * nz,
-    ], axis=1)  # (W, 3, m)
-    hu = np.empty((nw, 3, 3, spline.norb))
-    hu[:, 0, 0] = contract(d2a, b, c) * nx * nx
-    hu[:, 1, 1] = contract(a, d2b, c) * ny * ny
-    hu[:, 2, 2] = contract(a, b, d2c) * nz * nz
-    hu[:, 0, 1] = hu[:, 1, 0] = contract(da, db, c) * nx * ny
-    hu[:, 0, 2] = hu[:, 2, 0] = contract(da, b, dc) * nx * nz
-    hu[:, 1, 2] = hu[:, 2, 1] = contract(a, db, dc) * ny * nz
-    inv = spline.cell_inverse
-    g = np.einsum("ab,wbm->wma", inv, gu)
-    lap = np.einsum("ia,wabm,ib->wm", inv, hu, inv)
+    v, g, lap = active().spline3d_vgl(
+        spline.coefs, spline.cell_inverse,
+        (spline.nx, spline.ny, spline.nz), r)
     OPS.record("Bspline-vgh", flops=nw * (2.0 * 64 * spline.norb * 10 + 500),
                rbytes=nw * 64.0 * spline.norb * spline.dtype.itemsize,
                wbytes=nw * 8.0 * spline.norb * 13)
-    return v, g, lap
+    return np.asarray(v), np.asarray(g), np.asarray(lap)

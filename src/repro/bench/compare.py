@@ -23,7 +23,10 @@ Three metric families, three bands:
   speedup must meet the floor outright.  A candidate missing it — the
   bench runner's CPU guard skips worker counts the host cannot seat —
   passes by default; ``--enforce-floors`` makes absence itself a
-  regression (for runners known to have the cores).
+  regression (for runners known to have the cores), except when the
+  candidate workload *reported* the leg in its ``skipped`` list (the
+  CPU guard, or the backend case's optional-dep guard on hosts without
+  jax): a declared skip is never a floor failure.
 
 A workload or version present in the baseline but missing from the
 candidate is itself a regression (the suite silently lost coverage)
@@ -119,9 +122,20 @@ def compare_artifacts(baseline: dict, candidate: dict,
         for sname, floor in wl.get("speedup_floors", {}).items():
             cand_speedup = cand_wl.get("speedups", {}).get(sname)
             if cand_speedup is None:
+                # A leg the runner *reported* skipping (parallel's CPU
+                # guard, backend's optional-dep guard) is excused even
+                # under --enforce-floors: the host could not measure it
+                # and said so in the artifact.
+                skipped = cand_wl.get("skipped") or []
+                if skipped:
+                    checks.append(Check(
+                        f"{name}/floor/{sname}", floor, 0.0,
+                        f"not measured (skipped: {', '.join(skipped)})",
+                        ok=True))
+                    continue
                 checks.append(Check(
                     f"{name}/floor/{sname}", floor, 0.0,
-                    "not measured (CPU guard)" if not enforce_floors
+                    "not measured" if not enforce_floors
                     else "floor speedup missing from candidate",
                     ok=not enforce_floors))
                 continue

@@ -346,8 +346,149 @@ def run_streaming_case(case: BenchCase) -> dict:
     return out
 
 
+#: kernels timed by the ``backend`` bench kind — the array-shaped subset
+#: of repro.backend.base.KERNEL_NAMES (the scalar det_ratio and the 1D
+#: value-only kernel are dominated by call overhead, not kernel work)
+_BACKEND_BENCH_KERNELS = (
+    "aa_row", "ab_row", "aa_pairs", "ab_pairs", "functor_v", "functor_vgl",
+    "bspline1d_vgl", "spline3d_v", "spline3d_vgl", "det_ratios_vp",
+    "exp_rows", "accept_mask",
+)
+
+
+def _backend_kernel_inputs(n: int, nwalkers: int, seed: int):
+    """Workload-shaped inputs for every benched kernel.
+
+    Sizes mirror the batched driver's call sites: W walkers of n
+    electrons in a cubic cell scaled to roughly constant density, with
+    n/4 ions, n/2 orbitals and a Jastrow cutoff inside the cell.
+    Returns ``(inputs, input_bytes)``.
+    """
+    import numpy as np
+
+    from repro.jastrow.functor import BsplineFunctor
+    from repro.lattice.cell import CrystalLattice
+    from repro.splines.bspline3d import BSpline3D
+
+    rng = np.random.default_rng(seed)
+    W = nwalkers
+    a = 6.0 * (n / 32.0) ** (1.0 / 3.0)
+    lattice = CrystalLattice.cubic(a)
+    ns = max(4, n // 4)
+    norb = max(4, n // 2)
+    nvp = 12
+    f = BsplineFunctor.from_shape(rcut=min(2.5, 0.45 * a), cusp=-0.25)
+    s = f.spline
+    sp = BSpline3D.fit(rng.normal(size=(8, 8, 8, norb)),
+                       np.linalg.inv(np.eye(3) * a), dtype=np.float64)
+    soa = rng.uniform(0, a, (W, 3, n))
+    rk = rng.uniform(0, a, (W, 3))
+    inputs = {
+        "aa_row": (soa, rk, lattice, 0),
+        "ab_row": (rng.uniform(0, a, (3, ns)), rk, lattice),
+        "aa_pairs": (rng.uniform(0, a, (W, n, 3)), lattice),
+        "ab_pairs": (rng.uniform(0, a, (ns, 3)),
+                     rng.uniform(0, a, (W, n, 3)), lattice),
+        "functor_v": (s.coefs, s.x0, s.h, s.n, f.rcut,
+                      rng.uniform(0, 1.5 * f.rcut, (W, n))),
+        "functor_vgl": (s.coefs, s.x0, s.h, s.n, f.rcut,
+                        rng.uniform(0, 1.5 * f.rcut, (W, n))),
+        "bspline1d_vgl": (s.coefs, s.x0, s.h, s.n,
+                          rng.uniform(0, f.rcut, (W * n,))),
+        "spline3d_v": (sp.coefs, sp.cell_inverse, (sp.nx, sp.ny, sp.nz),
+                       rng.uniform(0, a, (W, 3))),
+        "spline3d_vgl": (sp.coefs, sp.cell_inverse, (sp.nx, sp.ny, sp.nz),
+                         rng.uniform(0, a, (W, 3))),
+        "det_ratios_vp": (rng.normal(size=(nvp, n)),
+                          rng.normal(size=(n, nvp))),
+        "exp_rows": (rng.normal(scale=0.3, size=W),),
+        "accept_mask": (rng.normal(loc=0.9, scale=0.3, size=W),
+                        rng.normal(scale=0.3, size=W),
+                        rng.uniform(size=W)),
+    }
+    input_bytes = sum(
+        arg.nbytes for args in inputs.values() for arg in args
+        if hasattr(arg, "nbytes"))
+    return inputs, input_bytes
+
+
+def _force(out) -> None:
+    """Materialize a kernel result (drains jax's async dispatch queue the
+    same way the real call sites do: a host coercion)."""
+    import numpy as np
+    if isinstance(out, tuple):
+        for o in out:
+            np.asarray(o)
+    else:
+        np.asarray(out)
+
+
+def run_backend_case(case: BenchCase) -> dict:
+    """Per-kernel micro-benchmarks of the kernel-backend registry.
+
+    Every kernel in ``_BACKEND_BENCH_KERNELS`` runs under each requested
+    backend on identical inputs: one untimed warm-up call (jit
+    compilation lands there), then ``case.steps`` timed repetitions,
+    best-of kept.  A backend the host cannot construct (jax not
+    installed) lands in ``skipped`` — the same report-don't-fail pattern
+    as the parallel case's CPU guard — and a ``floor`` case emits a
+    ``speedup_floors`` entry for ``jax_over_numpy`` that the compare
+    gate enforces only on hosts that measured it (the CI jax leg).
+    """
+    from repro.backend import BackendUnavailableError, get_backend
+
+    inputs, input_bytes = _backend_kernel_inputs(case.n, case.nwalkers,
+                                                 case.seed)
+    versions: Dict[str, dict] = {}
+    skipped = []
+    kernel_best: Dict[str, Dict[str, float]] = {}
+    for label in case.versions:
+        try:
+            backend = get_backend(label)
+        except BackendUnavailableError:
+            skipped.append(label)
+            continue
+        best: Dict[str, float] = {}
+        with backend.scope():
+            for kname in _BACKEND_BENCH_KERNELS:
+                args = inputs[kname]
+                fn = getattr(backend, kname)
+                _force(fn(*args))  # warm-up: jit tracing + compilation
+                times = []
+                for _ in range(case.steps):
+                    t0 = time.perf_counter()
+                    _force(fn(*args))
+                    times.append(time.perf_counter() - t0)
+                best[kname] = min(times)
+        total = sum(best.values())
+        versions[label] = _version_entry(
+            throughput=len(best) * case.nwalkers / total,
+            seconds_per_step=total / len(best),
+            total_seconds=total,
+            hotspots={k: v / total for k, v in best.items()},
+            peak_walker_bytes=input_bytes / case.nwalkers)
+        kernel_best[label] = best
+    speedups: Dict[str, float] = {}
+    if "numpy" in kernel_best and "jax" in kernel_best:
+        np_best, jx_best = kernel_best["numpy"], kernel_best["jax"]
+        for kname in _BACKEND_BENCH_KERNELS:
+            speedups[f"jax_over_numpy:{kname}"] = (
+                np_best[kname] / jx_best[kname])
+        speedups["jax_over_numpy"] = (
+            sum(np_best.values()) / sum(jx_best.values()))
+    out = {
+        "name": case.name, "kind": "backend", "workload": case.workload,
+        "n_electrons": case.n, "steps": case.steps, "walkers": case.nwalkers,
+        "versions": versions, "speedups": speedups, "skipped": skipped,
+    }
+    if case.floor > 0:
+        out["speedup_floors"] = {"jax_over_numpy": float(case.floor)}
+    return out
+
+
 _CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case,
-                 "nlpp": run_nlpp_case, "streaming": run_streaming_case}
+                 "nlpp": run_nlpp_case, "streaming": run_streaming_case,
+                 "backend": run_backend_case}
 
 
 def run_suite(suite_name: str, tag: str,

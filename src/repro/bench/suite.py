@@ -29,6 +29,13 @@ Two kinds of cases:
   per-generation binary trace + online reblocker attached, interleaved
   repetitions, energies asserted bitwise equal.  ``floor`` gates
   ``streaming_over_memory`` (0.95 = at most 5% overhead).
+* ``backend`` — per-kernel micro-benchmarks of the kernel-backend
+  registry (docs/backends.md): every registered hot kernel timed under
+  the ``numpy`` backend and, when importable, the ``jax`` backend on
+  workload-shaped inputs.  Reports ``jax_over_numpy`` per kernel and in
+  aggregate; on hosts without jax the leg lands in ``skipped`` (the
+  same pattern as the parallel CPU guard) and only the floors entry is
+  committed, to be enforced by the CI jax leg that can measure it.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ class BenchCase:
 
     name: str
     kind: str    # "system" | "batched" | "parallel" | "nlpp" | "streaming"
+                 # | "backend"
     versions: Tuple[str, ...]
     # system-kind knobs
     workload: str = ""
@@ -72,7 +80,7 @@ class BenchCase:
 
     def __post_init__(self):
         if self.kind not in ("system", "batched", "parallel", "nlpp",
-                             "streaming"):
+                             "streaming", "backend"):
             raise ValueError(f"unknown bench kind {self.kind!r}")
 
 
@@ -95,6 +103,12 @@ QUICK_SUITE = (
     BenchCase(name="streaming-N32-W16", kind="streaming",
               versions=("memory", "streaming"),
               n=32, nwalkers=16, steps=6, floor=0.95),
+    BenchCase(name="backend-NiO32-N96-W8", kind="backend",
+              versions=("numpy", "jax"),
+              workload="NiO-32", n=96, nwalkers=8, steps=3, floor=0.5),
+    BenchCase(name="backend-Be64-N32-W16", kind="backend",
+              versions=("numpy", "jax"),
+              workload="Be-64", n=32, nwalkers=16, steps=3, floor=0.5),
 )
 
 #: The fuller trajectory: two chemistries, all three versions, and a
@@ -144,5 +158,16 @@ PARALLEL_SUITE = (
               n=48, nwalkers=64, workers=(0, 1, 2, 4), steps=2),
 )
 
+#: Backend-only suite (``make bench-backend``): the two workload-shaped
+#: kernel micro-benchmarks, at more repetitions than the quick suite.
+BACKEND_SUITE = (
+    BenchCase(name="backend-NiO32-N96-W8", kind="backend",
+              versions=("numpy", "jax"),
+              workload="NiO-32", n=96, nwalkers=8, steps=7, floor=0.5),
+    BenchCase(name="backend-Be64-N32-W16", kind="backend",
+              versions=("numpy", "jax"),
+              workload="Be-64", n=32, nwalkers=16, steps=7, floor=0.5),
+)
+
 SUITES = {"quick": QUICK_SUITE, "full": FULL_SUITE, "smoke": SMOKE_SUITE,
-          "parallel": PARALLEL_SUITE}
+          "parallel": PARALLEL_SUITE, "backend": BACKEND_SUITE}

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active
 from repro.perfmodel.opcount import OPS
 from repro.profiling.profiler import PROFILER
 
@@ -120,8 +121,9 @@ class DiracDeterminant:
         i = k - self.first
         v = self.spo.evaluate_v(P.active_pos)[: self.nel]
         with PROFILER.timer("DetUpdate"):
-            rho = float(np.asarray(v, dtype=np.float64) @
-                        self.psiM_inv[:, i].astype(np.float64, copy=False))
+            rho = active().det_ratio(
+                np.asarray(v, dtype=np.float64),
+                self.psiM_inv[:, i].astype(np.float64, copy=False))
             self._cache[k] = (v, None, None, rho)
             OPS.record("DetUpdate", flops=2.0 * self.nel,
                        rbytes=self.dtype.itemsize * 2.0 * self.nel,
@@ -142,8 +144,9 @@ class DiracDeterminant:
         i = k - self.first
         v = self.spo.evaluate_v(np.asarray(r_new, dtype=np.float64))[: self.nel]
         with PROFILER.timer("DetUpdate"):
-            rho = float(np.asarray(v, dtype=np.float64) @
-                        self.psiM_inv[:, i].astype(np.float64, copy=False))
+            rho = active().det_ratio(
+                np.asarray(v, dtype=np.float64),
+                self.psiM_inv[:, i].astype(np.float64, copy=False))
             OPS.record("DetUpdate", flops=2.0 * self.nel,
                        rbytes=self.dtype.itemsize * 2.0 * self.nel,
                        wbytes=8.0)
@@ -176,7 +179,7 @@ class DiracDeterminant:
         with PROFILER.timer("DetUpdate"):
             cols = self.psiM_inv.astype(np.float64, copy=False)[
                 :, owners[idx] - self.first]
-            rho[idx] = np.einsum("mj,jm->m", phi, cols)
+            rho[idx] = np.asarray(active().det_ratios_vp(phi, cols))
             OPS.record("DetUpdate", flops=2.0 * self.nel * idx.size,
                        rbytes=self.dtype.itemsize * 2.0 * self.nel * idx.size,
                        wbytes=8.0 * idx.size)
@@ -191,7 +194,7 @@ class DiracDeterminant:
         v, g, l = v[: self.nel], g[: self.nel], l[: self.nel]
         with PROFILER.timer("DetUpdate"):
             col = self.psiM_inv[:, i].astype(np.float64, copy=False)
-            rho = float(np.asarray(v, dtype=np.float64) @ col)
+            rho = active().det_ratio(np.asarray(v, dtype=np.float64), col)
             grad = (np.asarray(g, dtype=np.float64).T @ col) / rho
             self._cache[k] = (v, g, l, rho)
             OPS.record("DetUpdate", flops=8.0 * self.nel,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active
 from repro.lint.hot import hot_kernel
 from repro.splines.cubic1d import CubicBSpline1D
 
@@ -78,27 +79,17 @@ class BsplineFunctor:
         """u(r) with the cutoff mask applied, vectorized."""
         # Functor math runs in accumulation precision by design: spline
         # coefficients are double, and the 1D tables are tiny.
-        r = np.asarray(r, dtype=np.float64)  # repro: noqa R002
-        mask = r < self.rcut
-        out = np.zeros_like(r)
-        if np.any(mask):
-            out[mask] = self.spline.evaluate_v(r[mask])
-        return out
+        s = self.spline
+        return np.asarray(
+            active().functor_v(s.coefs, s.x0, s.h, s.n, self.rcut, r))
 
     @hot_kernel
     def evaluate_vgl(self, r: np.ndarray):
         """(u, du/dr, d2u/dr2), each zero beyond the cutoff, vectorized."""
-        r = np.asarray(r, dtype=np.float64)  # repro: noqa R002
-        mask = r < self.rcut
-        u = np.zeros_like(r)
-        du = np.zeros_like(r)
-        d2u = np.zeros_like(r)
-        if np.any(mask):
-            v, dv, d2v = self.spline.evaluate_vgl(r[mask])
-            u[mask] = v
-            du[mask] = dv
-            d2u[mask] = d2v
-        return u, du, d2u
+        s = self.spline
+        u, du, d2u = active().functor_vgl(s.coefs, s.x0, s.h, s.n,
+                                          self.rcut, r)
+        return np.asarray(u), np.asarray(du), np.asarray(d2u)
 
     # -- scalar evaluation (Ref kernels) --------------------------------------------------
     def evaluate_v_scalar(self, r: float) -> float:

@@ -137,7 +137,8 @@ class _CrowdEngine:
                  n_crowds: int, total_walkers: int, master_seed: int,
                  timestep: float, use_drift: bool,
                  precision: PrecisionPolicy, mode: str,
-                 start_generation: int = 1, trace_base: int = 0):
+                 start_generation: int = 1, trace_base: int = 0,
+                 backend: Optional[str] = None):
         self.crowd = int(crowd)
         self.n_crowds = int(n_crowds)
         self.mode = mode
@@ -168,7 +169,7 @@ class _CrowdEngine:
             views["local_energy"], views["age"], dtype=precision)
         self.driver = BatchedCrowdDriver(
             spec, self.nw, 0, timestep, use_drift, precision,
-            batch=batch, rngs=rngs)
+            batch=batch, rngs=rngs, backend=backend)
         nlpp = getattr(self.driver.ham, "nlpp", None)
         if nlpp is not None:
             # Quadrature-rotation contract: rotations are keyed on the
@@ -267,6 +268,9 @@ class _WorkerConfig:  # repro: cold
     segment_path: Optional[str] = None
     segment_meta: Optional[dict] = None
     segment_names: Optional[tuple] = None
+    #: kernel-backend *name* (picklable; each worker resolves its own
+    #: instance), None for REPRO_BACKEND-then-default resolution
+    backend: Optional[str] = None
 
 
 def _segment_open(cfg: _WorkerConfig):  # repro: cold
@@ -336,7 +340,7 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
             cfg.spec, state, trace, cfg.crowd, cfg.n_crowds,
             cfg.total_walkers, cfg.master_seed, cfg.timestep,
             cfg.use_drift, cfg.precision, cfg.mode, cfg.start_generation,
-            cfg.trace_base)
+            cfg.trace_base, backend=cfg.backend)
         if cfg.segment_path is not None:
             segment = _segment_open(cfg)
         comm.allgather(("ready", cfg.crowd, os.getpid()))
@@ -407,7 +411,8 @@ class ParallelCrowdDriver:  # repro: cold
                  sync_timeout: float = 120.0, liveness_poll: float = 0.25,
                  max_respawns: int = 3, start_method: Optional[str] = None,
                  crash_plan: Optional[Dict[int, int]] = None,
-                 race_plan: Optional[Dict[int, int]] = None):
+                 race_plan: Optional[Dict[int, int]] = None,
+                 backend: Optional[str] = None):
         if nwalkers < 1:
             raise ValueError(f"need at least one walker, got {nwalkers}")
         if workers < 0:
@@ -422,6 +427,9 @@ class ParallelCrowdDriver:  # repro: cold
         self.sync_timeout = float(sync_timeout)
         self.liveness_poll = float(liveness_poll)
         self.max_respawns = int(max_respawns)
+        #: kernel-backend name shipped to every crowd (None = resolve
+        #: REPRO_BACKEND-then-default in each process independently)
+        self.backend = backend
         #: {crowd: generation} — worker ``crowd`` (incarnation 0 only)
         #: calls ``os._exit`` on reaching that generation; test hook for
         #: the detect-and-respawn path.  Ignored when ``workers == 0``.
@@ -558,7 +566,8 @@ class ParallelCrowdDriver:  # repro: cold
                 self._engine = _CrowdEngine(
                     self.spec, state, self._trace, 0, 1, W,
                     self.master_seed, self.tau, self.use_drift,
-                    self.precision, mode, start_gen + 1, start_gen)
+                    self.precision, mode, start_gen + 1, start_gen,
+                    backend=self.backend)
             setup_s = time.perf_counter() - t_setup
             e_trial = (float(np.mean(state.local_energy))
                        if mode == "dmc" else None)
@@ -785,7 +794,8 @@ class ParallelCrowdDriver:  # repro: cold
                 segment_path=(self.segment_paths[crowd]
                               if self.segment_paths else None),
                 segment_meta=self._segment_meta,
-                segment_names=self._segment_names)
+                segment_names=self._segment_names,
+                backend=self.backend)
             proc = self._ctx.Process(
                 target=_worker_main, args=(cfg,),
                 name=f"repro-crowd-{crowd}", daemon=True)

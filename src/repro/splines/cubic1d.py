@@ -13,6 +13,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend import active
+
 # Segment basis matrix: row dot (1, u, u^2, u^3) gives B_{i..i+3}(u)/6.
 _A = np.array([
     [1.0, -3.0, 3.0, -1.0],
@@ -97,30 +99,19 @@ class CubicBSpline1D:
         return cls.interpolate(x0, x1, vals, deriv0, deriv1)
 
     # -- evaluation: vectorized (SoA path) --------------------------------------------
-    def _locate(self, r):
-        t = (np.asarray(r, dtype=np.float64) - self.x0) / self.h
-        i = np.clip(np.floor(t).astype(np.int64), 0, self.n - 1)
-        u = t - i
-        return i, u
-
     def evaluate_v(self, r):
         """Values at point(s) r (vectorized). Scalar in, scalar out.
 
-        Elementwise Horner in the same operation order as
-        :meth:`evaluate_v_scalar`: IEEE elementwise ops are exactly
-        rounded, so the result is bitwise independent of the batch
-        length, strides and SIMD path — a GEMM here (``_A @ pu``) picks
-        BLAS kernels by column count and breaks the cross-batch-width
-        determinism contract (docs/parallel_crowds.md).
+        The exact backend's kernel is elementwise Horner in the same
+        operation order as :meth:`evaluate_v_scalar`: IEEE elementwise
+        ops are exactly rounded, so the result is bitwise independent of
+        the batch length, strides and SIMD path — a GEMM there
+        (``_A @ pu``) picks BLAS kernels by column count and breaks the
+        cross-batch-width determinism contract (docs/parallel_crowds.md).
         """
         scalar = np.ndim(r) == 0
-        i, u = self._locate(np.atleast_1d(r))
-        c = self.coefs
-        v = np.zeros_like(u)
-        for k in range(4):
-            row = _A[k]
-            b = row[0] + u * (row[1] + u * (row[2] + u * row[3]))
-            v += c[i + k] * b
+        v = np.asarray(active().bspline1d_v(
+            self.coefs, self.x0, self.h, self.n, np.atleast_1d(r)))
         return float(v[0]) if scalar else v
 
     def evaluate_vgl(self, r):
@@ -130,24 +121,11 @@ class CubicBSpline1D:
         mirroring :meth:`evaluate_vgl_scalar` op for op.
         """
         scalar = np.ndim(r) == 0
-        i, u = self._locate(np.atleast_1d(r))
-        c = self.coefs
-        v = np.zeros_like(u)
-        dv = np.zeros_like(u)
-        d2v = np.zeros_like(u)
-        for k in range(4):
-            b = _A[k][0] + u * (_A[k][1] + u * (_A[k][2] + u * _A[k][3]))
-            db = _dA[k][0] + u * (_dA[k][1] + u * _dA[k][2])
-            d2b = _d2A[k][0] + u * _d2A[k][1]
-            ck = c[i + k]
-            v += ck * b
-            dv += ck * db
-            d2v += ck * d2b
-        dv /= self.h
-        d2v /= self.h * self.h
+        v, dv, d2v = active().bspline1d_vgl(
+            self.coefs, self.x0, self.h, self.n, np.atleast_1d(r))
         if scalar:
             return float(v[0]), float(dv[0]), float(d2v[0])
-        return v, dv, d2v
+        return np.asarray(v), np.asarray(dv), np.asarray(d2v)
 
     # -- evaluation: scalar (AoS/ref path) ------------------------------------------------
     def evaluate_v_scalar(self, r: float) -> float:

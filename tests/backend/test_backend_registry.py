@@ -1,0 +1,134 @@
+"""Registry resolution: names, env var, scoping, and failure modes."""
+
+import importlib.util
+import os
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ENV_VAR,
+    BackendUnavailableError,
+    KernelBackend,
+    active,
+    available_backends,
+    get_backend,
+    known_backends,
+    register_backend,
+    use_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+
+HAVE_JAX = importlib.util.find_spec("jax") is not None
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            os.environ.pop(ENV_VAR, None)
+            b = get_backend()
+            assert b.name == "numpy"
+            assert b.exact_match is True
+            assert isinstance(b, NumpyBackend)
+
+    def test_env_var_resolution(self):
+        with mock.patch.dict(os.environ, {ENV_VAR: "numpy"}):
+            assert get_backend().name == "numpy"
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_instance_passthrough(self):
+        b = NumpyBackend()
+        assert get_backend(b) is b
+
+    def test_known_backends_lists_both(self):
+        assert known_backends() == ["jax", "numpy"]
+
+    def test_available_backends_matches_host(self):
+        avail = available_backends()
+        assert "numpy" in avail
+        assert ("jax" in avail) == HAVE_JAX
+
+    def test_unknown_name_is_typed_and_actionable(self):
+        with pytest.raises(BackendUnavailableError) as err:
+            get_backend("cupy")
+        msg = str(err.value)
+        assert "numpy" in msg and ENV_VAR in msg
+
+    def test_unavailable_is_an_importerror_subclass(self):
+        # Callers may catch plain ImportError around optional backends.
+        assert issubclass(BackendUnavailableError, ImportError)
+
+    @pytest.mark.skipif(HAVE_JAX, reason="jax installed on this host")
+    def test_missing_jax_raises_actionable_error(self):
+        """The satellite contract: a typed error naming the fix."""
+        with pytest.raises(BackendUnavailableError) as err:
+            get_backend("jax")
+        msg = str(err.value)
+        assert "jax" in msg
+        assert "pip install" in msg
+        assert ENV_VAR in msg
+
+    @pytest.mark.skipif(not HAVE_JAX, reason="jax not installed")
+    def test_jax_backend_constructs_when_available(self):
+        b = get_backend("jax")
+        assert b.name == "jax"
+        assert b.exact_match is False
+
+
+class TestScoping:
+    def test_use_backend_overrides_and_restores(self):
+        base = active().name
+        with use_backend("numpy") as b:
+            assert active() is b
+        assert active().name == base
+
+    def test_scope_method_matches_use_backend(self):
+        b = get_backend("numpy")
+        with b.scope():
+            assert active() is b
+
+    def test_scopes_nest(self):
+        outer = NumpyBackend()
+        inner = NumpyBackend()
+        with outer.scope():
+            with inner.scope():
+                assert active() is inner
+            assert active() is outer
+
+    def test_register_backend_round_trip(self):
+        class Fake(KernelBackend):
+            name = "fake"
+
+        register_backend("fake", Fake)
+        try:
+            assert "fake" in known_backends()
+            assert isinstance(get_backend("fake"), Fake)
+        finally:
+            from repro.backend import registry
+            registry._FACTORIES.pop("fake", None)
+            registry._instances.pop("fake", None)
+
+
+class TestDriverIntegration:
+    def test_driver_accepts_backend_name_and_instance(self):
+        from repro.batched import BatchedCrowdDriver, JastrowSystemSpec
+        spec = JastrowSystemSpec(n=8, seed=3)
+        by_name = BatchedCrowdDriver(spec, 2, 1, backend="numpy")
+        inst = NumpyBackend()
+        by_inst = BatchedCrowdDriver(spec, 2, 1, backend=inst)
+        assert by_name.backend.name == "numpy"
+        assert by_inst.backend is inst
+
+    def test_driver_backend_override_reproduces_default(self):
+        """An explicit numpy override is the default path, bitwise."""
+        from repro.batched import BatchedCrowdDriver, JastrowSystemSpec
+        spec = JastrowSystemSpec(n=8, seed=3)
+        a = BatchedCrowdDriver(spec, 3, 11)
+        a.run(2)
+        b = BatchedCrowdDriver(spec, 3, 11, backend="numpy")
+        b.run(2)
+        assert np.array_equal(a.batch.R, b.batch.R)
+        assert np.array_equal(a.batch.local_energy, b.batch.local_energy)

@@ -1,0 +1,58 @@
+"""Property tests over the kernel registry (hypothesis-driven).
+
+Two contracts, for every backend the host can construct:
+
+* **coverage** — every name in ``KERNEL_NAMES`` has an input factory in
+  kernel_cases.py, so a kernel added to the registry without test
+  plumbing fails here rather than silently going ungated;
+* **shape/dtype stability** — each kernel returns the same output
+  shapes and dtypes whether its storage-side inputs arrive in the FULL
+  (float64) or MIXED (float32) value dtype: accumulation is always
+  float64 at the kernel boundary, never silently downcast.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import available_backends, get_backend
+from repro.backend.base import KERNEL_NAMES
+
+from kernel_cases import LATTICES, assert_coverage, build_case, run_kernel
+
+BACKENDS = available_backends()
+
+
+def test_every_kernel_has_an_input_factory():
+    assert_coverage()
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+@given(seed=st.integers(0, 2**31 - 1),
+       lattice_key=st.sampled_from(sorted(LATTICES)),
+       W=st.integers(1, 5), n=st.integers(4, 9))
+@settings(max_examples=8, deadline=None, derandomize=True)
+def test_shapes_and_dtypes_match_across_precisions(
+        backend_name, kernel, seed, lattice_key, W, n):
+    backend = get_backend(backend_name)
+    lattice = LATTICES[lattice_key]
+    results = {}
+    for vd in (np.float64, np.float32):
+        rng = np.random.default_rng(seed)  # same draws, different storage
+        args, expected = build_case(kernel, rng, vd, lattice, W=W, n=n)
+        out = run_kernel(backend, kernel, args)
+        assert len(out) == len(expected), kernel
+        for got, (shape, dtype) in zip(out, expected):
+            assert got.shape == shape, (kernel, vd)
+            if dtype is not None:
+                assert got.dtype == dtype, (kernel, vd)
+        results[np.dtype(vd).name] = out
+    # The float32 storage run must agree with the float64 one to single
+    # precision — the downcast touched inputs, not the accumulator.
+    for a, b in zip(results["float64"], results["float32"]):
+        if a.dtype == bool:
+            continue  # accept decisions may legitimately flip at f32
+        np.testing.assert_allclose(a, b, rtol=2e-4, atol=2e-4)

@@ -77,7 +77,7 @@ def test_suites_are_well_formed():
         assert cases, name
         for case in cases:
             assert case.kind in ("system", "batched", "parallel", "nlpp",
-                                 "streaming")
+                                 "streaming", "backend")
             assert case.versions
             if case.kind == "parallel":
                 assert case.workers
@@ -144,6 +144,29 @@ def test_compare_fails_on_hotspot_upheaval(smoke_doc):
     assert any(not c.ok and f"hotspot/{top}" in c.label for c in checks)
 
 
+def test_backend_case_runs_and_reports_skips():
+    import importlib.util
+
+    from repro.bench.runner import run_backend_case
+    from repro.bench.suite import BenchCase
+
+    case = BenchCase(name="backend-tiny", kind="backend",
+                     versions=("numpy", "jax"), workload="Be-64",
+                     n=8, nwalkers=2, steps=1, floor=0.5)
+    out = run_backend_case(case)
+    assert out["kind"] == "backend"
+    entry = out["versions"]["numpy"]
+    assert entry["throughput"] > 0
+    assert abs(sum(entry["hotspots"].values()) - 1.0) < 1e-9
+    if importlib.util.find_spec("jax") is None:
+        assert out["skipped"] == ["jax"]
+        assert out["speedups"] == {}
+    else:
+        assert out["skipped"] == []
+        assert out["speedups"]["jax_over_numpy"] > 0
+    assert out["speedup_floors"] == {"jax_over_numpy": 0.5}
+
+
 def test_compare_missing_workload_is_a_regression(smoke_doc):
     partial = copy.deepcopy(smoke_doc)
     partial["workloads"] = partial["workloads"][:1]
@@ -160,12 +183,22 @@ def test_compare_speedup_floor_gate(smoke_doc):
             wl["speedup_floors"] = {"w4_over_serial": 2.5}
     assert validate_artifact(base) == []
     # candidate without the measured speedup: ok by default (CPU guard),
-    # a regression under enforce_floors
+    # a regression under enforce_floors — unless the candidate *declared*
+    # the skip in its workload's ``skipped`` list
     checks = compare_artifacts(base, smoke_doc)
     floor_checks = [c for c in checks if "floor/w4_over_serial" in c.label]
     assert floor_checks and all(c.ok for c in floor_checks)
-    strict = compare_artifacts(base, smoke_doc, enforce_floors=True)
+    undeclared = copy.deepcopy(smoke_doc)
+    for wl in undeclared["workloads"]:
+        wl.pop("skipped", None)
+    strict = compare_artifacts(base, undeclared, enforce_floors=True)
     assert any(not c.ok and "floor/" in c.label for c in strict)
+    declared = copy.deepcopy(smoke_doc)
+    for wl in declared["workloads"]:
+        if wl["kind"] == "parallel":
+            wl["skipped"] = ["w4"]
+    excused = compare_artifacts(base, declared, enforce_floors=True)
+    assert all(c.ok for c in excused if "floor/" in c.label)
     # candidate carrying the speedup must meet the floor outright
     meets = copy.deepcopy(smoke_doc)
     misses = copy.deepcopy(smoke_doc)

@@ -1,0 +1,10 @@
+"""Bad fixture: host NumPy inside a backend-pure kernel scope (R011)."""
+
+import numpy as np
+import jax.numpy as jnp
+
+
+def aa_row(soa, rk):  # repro: backend-pure
+    dr = np.asarray(soa) - rk[:, None]
+    big = np.float64(1e30)
+    return jnp.sqrt(jnp.sum(dr * dr, axis=1)), big

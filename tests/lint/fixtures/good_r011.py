@@ -1,0 +1,15 @@
+"""Clean fixture: backend-pure kernels stay in jnp; np lives outside."""
+
+import numpy as np
+import jax.numpy as jnp
+
+_STENCIL = np.arange(4)  # host constant, built outside the pure scope
+
+
+def aa_row(soa, rk):  # repro: backend-pure
+    dr = jnp.asarray(soa) - rk[:, None]
+    return jnp.sqrt(jnp.sum(dr * dr, axis=1))
+
+
+def to_host(out):
+    return np.asarray(out)  # boundary coercion is not backend-pure

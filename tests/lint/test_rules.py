@@ -72,6 +72,22 @@ class TestGoldenFixtures:
     def test_r010_clean(self):
         assert lint_fixture("good_r010.py") == []
 
+    def test_r011_exact_lines(self):
+        assert lint_fixture("bad_r011.py") == [("R011", 8), ("R011", 9)]
+
+    def test_r011_clean(self):
+        assert lint_fixture("good_r011.py") == []
+
+    def test_r011_module_pragma_covers_all_defs(self):
+        src = (
+            "# repro: backend-pure\n"
+            "import numpy as np\n"
+            "def kernel(x):\n"
+            "    return np.exp(x)\n"
+        )
+        hits = [(v.rule, v.line) for v in lint_source(src, "x.py", ALL_RULES)]
+        assert hits == [("R011", 4)]
+
     def test_w002_flags_stale_suppression(self):
         assert lint_fixture("stale_noqa.py") == [("W002", 9)]
 
