@@ -4,8 +4,8 @@ PYTHON ?= python
 BENCH_OUT ?= /tmp/repro-bench
 
 .PHONY: install test test-fast lint lint-strict lint-baseline check bench \
-	bench-check bench-parallel bench-backend bench-figures check-backends \
-	restart-check report examples clean
+	bench-check bench-parallel bench-backend bench-spline bench-figures \
+	check-backends restart-check report examples clean
 
 LINT_BASELINE = benchmarks/baselines/lint_baseline.json
 
@@ -67,6 +67,13 @@ bench-parallel:
 bench-backend:
 	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench \
 		--suite backend --tag backend --out $(BENCH_OUT)
+
+# Shared-slab + tiled-vgh suite (docs/spline_memory.md): flat vs
+# tile-blocked 3D vgh (bitwise-asserted, tiled_over_flat floor) plus
+# forked per-worker RSS with a private table copy vs one SharedCoefSlab.
+bench-spline:
+	PYTHONPATH=src REPRO_METRICS=1 $(PYTHON) -m repro.bench \
+		--suite spline --tag spline --out $(BENCH_OUT)
 
 # Backend-parity gate, the local mirror of CI's backend-parity job:
 # the backend suite plus the batched differential suite under each

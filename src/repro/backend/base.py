@@ -58,6 +58,9 @@ KERNEL_NAMES = (
     # batched 3D B-spline SPO value / value-grad-lap (stencil contraction)
     "spline3d_v",
     "spline3d_vgl",
+    # tile-blocked batched value-grad-hessian (one neighborhood walk for
+    # all ten derivative channels, orbital axis processed in tiles)
+    "spline3d_vgh_tiled",
     # DiracDeterminant ratio-only Sherman-Morrison row kernels
     "det_ratio",
     "det_ratios_vp",
@@ -146,6 +149,20 @@ class KernelBackend:
 
     def spline3d_vgl(self, coefs, cell_inverse, dims, r):
         """(v (W, m), g (W, m, 3), lap (W, m)) at W Cartesian points."""
+        raise NotImplementedError
+
+    def spline3d_vgh_tiled(self, coefs, cell_inverse, dims, r, tile):
+        """Tile-blocked value-grad-Hessian: (v (W, m), g (W, m, 3),
+        h (W, m, 3, 3)) at W Cartesian points.
+
+        The ten stencil contractions (value, three gradient channels,
+        six Hessian channels) walk each walker's 4x4x4 neighborhood
+        *once* per tile of ``tile`` orbitals instead of once per
+        channel.  Exact backends must keep the result bitwise equal to
+        the flat per-channel path
+        (:func:`repro.backend.numpy_backend.flat_spline3d_vgh`) for
+        every tile size, including ``tile >= m``.
+        """
         raise NotImplementedError
 
     # -- determinant ratio kernels ---------------------------------------------------

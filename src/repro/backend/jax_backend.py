@@ -262,6 +262,47 @@ def _spline3d_vgl(coefs, cell_inverse, dims, r):
         coefs, cell_inverse, dims, r.astype(jnp.float64))
 
 
+def _spline3d_vgh1(coefs, cell_inverse, dims, r_w):
+    nx, ny, nz = dims
+    i, u = _locate3(cell_inverse, dims, r_w)
+    a, da, d2a = _weights3(u[0])
+    b, db, d2b = _weights3(u[1])
+    c, dc, d2c = _weights3(u[2])
+    blocks = _gather3(coefs, i, coefs.shape[-1])
+
+    def contract(wa, wb, wc):
+        return jnp.einsum("i,j,k,ijkm->m", wa, wb, wc, blocks)
+
+    v = contract(a, b, c)
+    gu = jnp.stack([
+        contract(da, b, c) * nx,
+        contract(a, db, c) * ny,
+        contract(a, b, dc) * nz,
+    ])  # (3, m), fractional units
+    huxy = contract(da, db, c) * (nx * ny)
+    huxz = contract(da, b, dc) * (nx * nz)
+    huyz = contract(a, db, dc) * (ny * nz)
+    hu = jnp.stack([
+        jnp.stack([contract(d2a, b, c) * (nx * nx), huxy, huxz]),
+        jnp.stack([huxy, contract(a, d2b, c) * (ny * ny), huyz]),
+        jnp.stack([huxz, huyz, contract(a, b, d2c) * (nz * nz)]),
+    ])  # (3, 3, m)
+    g = jnp.einsum("ab,bm->ma", cell_inverse, gu)
+    h = jnp.einsum("ia,abm,jb->mij", cell_inverse, hu, cell_inverse)
+    return v, g, h
+
+
+@partial(jax.jit, static_argnames=("dims", "tile"))
+def _spline3d_vgh_tiled(coefs, cell_inverse, dims, r, tile):
+    # ``tile`` is accepted for signature parity with the numpy kernel
+    # but deliberately unused: XLA already fuses the ten channel
+    # contractions into one pass over the gathered blocks, which is the
+    # very blocking the numpy tile loop reconstructs by hand.
+    del tile
+    return jax.vmap(_spline3d_vgh1, in_axes=(None, None, None, 0))(
+        coefs, cell_inverse, dims, r.astype(jnp.float64))
+
+
 # -- determinant / accept kernels ------------------------------------------------
 @jax.jit
 def _det_ratio(phi, ainv_col):
@@ -333,6 +374,11 @@ class JaxBackend(KernelBackend):
     def spline3d_vgl(self, coefs, cell_inverse, dims, r):
         return _spline3d_vgl(coefs, jnp.asarray(cell_inverse),
                              tuple(int(d) for d in dims), r)
+
+    def spline3d_vgh_tiled(self, coefs, cell_inverse, dims, r, tile):
+        return _spline3d_vgh_tiled(coefs, jnp.asarray(cell_inverse),
+                                   tuple(int(d) for d in dims), r,
+                                   int(tile) if tile else 0)
 
     def det_ratio(self, phi, ainv_col):
         return float(_det_ratio(phi, ainv_col))

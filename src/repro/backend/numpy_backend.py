@@ -215,6 +215,71 @@ class NumpyBackend(KernelBackend):
         lap = np.einsum("ia,wabm,ib->wm", cell_inverse, hu, cell_inverse)
         return v, g, lap
 
+    def spline3d_vgh_tiled(self, coefs, cell_inverse, dims, r, tile):
+        """Tile-blocked vgh: one neighborhood walk per orbital tile.
+
+        The ten per-channel contractions of the flat path each stream
+        the gathered (W, 4, 4, 4, m) blocks once; here the ten channel
+        weight tensors are stacked into one (W, 10, 4, 4, 4) operand and
+        a single einsum per tile streams each orbital block exactly
+        once.  Per output element the i, j, k summation order and the
+        (a*b)*c weight products are identical to the flat path's, so the
+        result is bitwise equal to :func:`flat_spline3d_vgh` for every
+        tile size (tests/batched/test_tiled_vgh.py pins this).
+
+        The cheap 3x3 frame rotations run once over the full orbital
+        axis, not per tile: einsum's inner SIMD grouping depends on the
+        width of the last axis, so per-tile rotation would stray by an
+        ulp for odd tile widths.  Accumulating the grid-frame gu/hu at
+        full width hands the chain-rule einsums byte-identical operands
+        to the flat path's.
+        """
+        nw = r.shape[0]
+        norb = coefs.shape[-1]
+        nx, ny, nz = dims
+        tile = norb if tile is None or int(tile) <= 0 \
+            else min(int(tile), norb)
+        i, u = self._locate3(cell_inverse, dims, r)
+        a, da, d2a = _weight_rows3(u[:, 0])
+        b, db, d2b = _weight_rows3(u[:, 1])
+        c, dc, d2c = _weight_rows3(u[:, 2])
+        blocks = self._gather3(coefs, i)
+        # Channel order: v, du_x, du_y, du_z, then the Hessian's upper
+        # triangle xx, yy, zz, xy, xz, yz (fractional units; the grid
+        # scalings land after the contraction, as in spline3d_vgl).
+        wt = np.stack([
+            np.einsum("wi,wj,wk->wijk", a, b, c),
+            np.einsum("wi,wj,wk->wijk", da, b, c),
+            np.einsum("wi,wj,wk->wijk", a, db, c),
+            np.einsum("wi,wj,wk->wijk", a, b, dc),
+            np.einsum("wi,wj,wk->wijk", d2a, b, c),
+            np.einsum("wi,wj,wk->wijk", a, d2b, c),
+            np.einsum("wi,wj,wk->wijk", a, b, d2c),
+            np.einsum("wi,wj,wk->wijk", da, db, c),
+            np.einsum("wi,wj,wk->wijk", da, b, dc),
+            np.einsum("wi,wj,wk->wijk", a, db, dc),
+        ], axis=1)
+        v = np.empty((nw, norb))
+        gu = np.empty((nw, 3, norb))
+        hu = np.empty((nw, 3, 3, norb))
+        for start in range(0, norb, tile):
+            stop = min(start + tile, norb)
+            out = np.einsum("wcijk,wijkm->wcm", wt, blocks[..., start:stop])
+            v[:, start:stop] = out[:, 0]
+            gu[:, 0, start:stop] = out[:, 1] * nx
+            gu[:, 1, start:stop] = out[:, 2] * ny
+            gu[:, 2, start:stop] = out[:, 3] * nz
+            s = slice(start, stop)
+            hu[:, 0, 0, s] = out[:, 4] * nx * nx
+            hu[:, 1, 1, s] = out[:, 5] * ny * ny
+            hu[:, 2, 2, s] = out[:, 6] * nz * nz
+            hu[:, 0, 1, s] = hu[:, 1, 0, s] = out[:, 7] * nx * ny
+            hu[:, 0, 2, s] = hu[:, 2, 0, s] = out[:, 8] * nx * nz
+            hu[:, 1, 2, s] = hu[:, 2, 1, s] = out[:, 9] * ny * nz
+        g = np.einsum("ab,wbm->wma", cell_inverse, gu)
+        h = np.einsum("ia,wabm,jb->wmij", cell_inverse, hu, cell_inverse)
+        return v, g, h
+
     # -- determinant ratio kernels ---------------------------------------------------
     def det_ratio(self, phi, ainv_col):
         return float(phi @ ainv_col)
@@ -238,3 +303,46 @@ class NumpyBackend(KernelBackend):
         else:
             A = np.minimum(1.0, rho * rho * self.exp_rows(log_t))
         return (uniforms < A) & (rho != 0.0)
+
+
+def flat_spline3d_vgh(coefs, cell_inverse, dims, r):
+    """Flat batched value-grad-Hessian: one einsum per derivative channel.
+
+    The direct extension of :meth:`NumpyBackend.spline3d_vgl` to the full
+    Hessian — each of the ten channels streams the gathered blocks once.
+    This is the bitwise oracle the tiled kernel is pinned against and the
+    ``flat`` leg of the ``spline_memory`` bench.
+    """
+    be = _REFERENCE
+    nw = r.shape[0]
+    norb = coefs.shape[-1]
+    nx, ny, nz = dims
+    i, u = be._locate3(cell_inverse, dims, r)
+    a, da, d2a = _weight_rows3(u[:, 0])
+    b, db, d2b = _weight_rows3(u[:, 1])
+    c, dc, d2c = _weight_rows3(u[:, 2])
+    blocks = be._gather3(coefs, i)
+
+    def contract(wa, wb, wc):
+        return np.einsum("wi,wj,wk,wijkm->wm", wa, wb, wc, blocks)
+
+    v = contract(a, b, c)
+    gu = np.stack([
+        contract(da, b, c) * nx,
+        contract(a, db, c) * ny,
+        contract(a, b, dc) * nz,
+    ], axis=1)
+    hu = np.empty((nw, 3, 3, norb))
+    hu[:, 0, 0] = contract(d2a, b, c) * nx * nx
+    hu[:, 1, 1] = contract(a, d2b, c) * ny * ny
+    hu[:, 2, 2] = contract(a, b, d2c) * nz * nz
+    hu[:, 0, 1] = hu[:, 1, 0] = contract(da, db, c) * nx * ny
+    hu[:, 0, 2] = hu[:, 2, 0] = contract(da, b, dc) * nx * nz
+    hu[:, 1, 2] = hu[:, 2, 1] = contract(a, db, dc) * ny * nz
+    g = np.einsum("ab,wbm->wma", cell_inverse, gu)
+    h = np.einsum("ia,wabm,jb->wmij", cell_inverse, hu, cell_inverse)
+    return v, g, h
+
+
+#: stateless helper instance backing :func:`flat_spline3d_vgh`
+_REFERENCE = NumpyBackend()

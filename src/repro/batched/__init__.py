@@ -18,7 +18,8 @@ from repro.batched.jastrow import BatchedOneBodyJastrow, BatchedTwoBodyJastrow
 from repro.batched.nlpp import BatchedNonLocalPP
 from repro.batched.reference import ReferenceTrace, run_reference
 from repro.batched.sanitize import BatchedSanitizerSuite
-from repro.batched.spo import batched_multi_v, batched_multi_vgl
+from repro.batched.spo import (batched_multi_v, batched_multi_vgh,
+                               batched_multi_vgh_flat, batched_multi_vgl)
 from repro.batched.system import (BatchedHamiltonian, JastrowSystemSpec,
                                   walker_streams)
 from repro.batched.walkerbatch import WalkerBatch
@@ -40,4 +41,6 @@ __all__ = [
     "run_reference",
     "batched_multi_v",
     "batched_multi_vgl",
+    "batched_multi_vgh",
+    "batched_multi_vgh_flat",
 ]

@@ -41,6 +41,38 @@ def batched_multi_v(spline: BSpline3D, r: np.ndarray) -> np.ndarray:
 
 
 @hot_kernel
+def batched_multi_vgh(spline: BSpline3D, r: np.ndarray, tile: int = 64):
+    """Values, Cartesian gradients and full Hessians of all orbitals at
+    W points via the tile-blocked kernel: (W, 3) -> (v (W, m),
+    g (W, m, 3), h (W, m, 3, 3)).
+
+    This is the batched generalization of the per-walker
+    ``TiledBSpline3D`` path: each walker's 4x4x4 neighborhood is walked
+    once per tile of ``tile`` orbitals for all ten derivative channels.
+    On the numpy backend the result is bitwise independent of ``tile``
+    and bitwise equal to :func:`batched_multi_vgh_flat`.
+    """
+    nw = r.shape[0]
+    v, g, h = active().spline3d_vgh_tiled(
+        spline.coefs, spline.cell_inverse,
+        (spline.nx, spline.ny, spline.nz), r, tile)
+    OPS.record("Bspline-vgh", flops=nw * (2.0 * 64 * spline.norb * 10 + 500),
+               rbytes=nw * 64.0 * spline.norb * spline.dtype.itemsize,
+               wbytes=nw * 8.0 * spline.norb * 13)
+    return np.asarray(v), np.asarray(g), np.asarray(h)
+
+
+def batched_multi_vgh_flat(spline: BSpline3D, r: np.ndarray):
+    """Flat (one einsum per derivative channel) batched vgh — the
+    numpy-only bitwise oracle and the ``flat`` leg of the
+    ``spline_memory`` bench.  Not backend-dispatched by design."""
+    from repro.backend.numpy_backend import flat_spline3d_vgh
+    return flat_spline3d_vgh(
+        spline.coefs, spline.cell_inverse,
+        (spline.nx, spline.ny, spline.nz), r)
+
+
+@hot_kernel
 def batched_multi_vgl(spline: BSpline3D, r: np.ndarray):
     """Values, Cartesian gradients and Laplacians of all orbitals at W
     points: (W, 3) -> (v (W, m), g (W, m, 3), lap (W, m))."""

@@ -486,9 +486,186 @@ def run_backend_case(case: BenchCase) -> dict:
     return out
 
 
+def _private_rss_bytes() -> int:
+    """This process's private (unshared) resident bytes — the number a
+    per-worker table copy moves and a shared-slab mapping does not."""
+    total = 0
+    with open("/proc/self/smaps_rollup") as fh:
+        for line in fh:
+            if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                total += int(line.split()[1]) * 1024
+    return total
+
+
+def _rss_probe_child(descriptor, mode: str, wfd: int) -> None:
+    """Forked-child body: attach the slab, realize one table-residency
+    strategy, report the private-RSS delta in bytes over ``wfd``.
+
+    Exits via ``os._exit`` so the parent's atexit/finalizer machinery
+    (including the slab owner's unlink guard) never runs here.
+    """
+    import struct
+
+    import numpy as np
+
+    from repro.splines.slab import SharedCoefSlab
+
+    status = 1
+    try:
+        slab = SharedCoefSlab.attach(descriptor)
+        base = _private_rss_bytes()
+        if mode == "copy":
+            # What K independent workers do today: a private replica.
+            table = np.array(slab.coefs)
+        else:
+            # Shared mapping: read-touch every page; they stay shared.
+            table = float(np.asarray(slab.coefs).sum())
+        delta = _private_rss_bytes() - base
+        del table
+        os.write(wfd, struct.pack("q", delta))
+        slab.close()
+        status = 0
+    except Exception:
+        pass
+    finally:
+        os._exit(status)
+
+
+def _measure_worker_rss(descriptor, k: int) -> Optional[Dict[str, list]]:
+    """Fork ``k`` probe children per strategy and collect RSS deltas.
+
+    Children run sequentially (the per-worker delta is what matters,
+    not aggregate pressure) and each measures around only its own
+    table realization, so parent-inherited pages cancel out.  Returns
+    None on hosts without ``fork`` + ``smaps_rollup``.
+    """
+    import struct
+
+    if not hasattr(os, "fork") or not os.path.exists("/proc/self/smaps_rollup"):
+        return None
+    deltas: Dict[str, list] = {"copy": [], "slab": []}
+    for mode in ("copy", "slab"):
+        for _ in range(k):
+            rfd, wfd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # pragma: no cover - exits via os._exit
+                os.close(rfd)
+                _rss_probe_child(descriptor, mode, wfd)
+            os.close(wfd)
+            data = b""
+            while len(data) < 8:
+                chunk = os.read(rfd, 8 - len(data))
+                if not chunk:
+                    break
+                data += chunk
+            os.close(rfd)
+            _, st = os.waitpid(pid, 0)
+            if len(data) == 8 and os.WIFEXITED(st) \
+                    and os.WEXITSTATUS(st) == 0:
+                deltas[mode].append(float(struct.unpack("q", data)[0]))
+    if not deltas["copy"] or not deltas["slab"]:
+        return None
+    return deltas
+
+
+def run_spline_memory_case(case: BenchCase) -> dict:
+    """Time the flat per-channel 3D vgh path against the tile-blocked
+    kernel on one shared-slab table, and measure what the slab saves.
+
+    Timing legs interleave (A/B per repetition, best-of kept) on the
+    identical slab-backed spline; the tiled result must be **bitwise**
+    equal to the flat oracle — a mismatch fails the whole bench run.
+    The memory half forks ``workers[0]`` children per strategy
+    (private table copy vs shared-slab attach) and reports each child's
+    private-RSS delta against the
+    :meth:`~repro.memory.model.MemoryModel.shared_table_report`
+    prediction; hosts without ``/proc`` fall back to pure accounting
+    with ``rss_measured: false``.
+    """
+    import numpy as np
+
+    from repro.batched.spo import batched_multi_vgh, batched_multi_vgh_flat
+    from repro.memory.model import MemoryModel
+    from repro.splines.bspline3d import BSpline3D
+    from repro.splines.slab import SharedCoefSlab
+
+    norb = case.n
+    grid = case.grid or 12
+    tile = case.tile or 64
+    k = case.workers[0] if case.workers else 4
+    rng = np.random.default_rng(case.seed)
+    a = 6.0
+    values = rng.normal(size=(grid, grid, grid, norb))
+    source = BSpline3D.fit(values, np.linalg.inv(np.eye(3) * a),
+                           dtype=np.float64)
+    r = rng.uniform(0, a, (case.nwalkers, 3))
+    with SharedCoefSlab.promote(source) as slab:
+        sp = slab.as_spline()
+        legs = {
+            "flat": lambda: batched_multi_vgh_flat(sp, r),
+            "tiled": lambda: batched_multi_vgh(sp, r, tile=tile),
+        }
+        results = {label: fn() for label, fn in legs.items()}  # warm-up
+        for ref, got in zip(results["flat"], results["tiled"]):
+            if not np.array_equal(ref, got):
+                raise RuntimeError(
+                    f"{case.name}: tiled vgh kernel is NOT bitwise equal "
+                    f"to the flat path (tile={tile}) — exactness regression")
+        best = {label: float("inf") for label in legs}
+        for _ in range(case.steps):
+            for label, fn in legs.items():
+                t0 = time.perf_counter()
+                fn()
+                best[label] = min(best[label], time.perf_counter() - t0)
+        deltas = _measure_worker_rss(slab.descriptor, k)
+        table_bytes = float(slab.nbytes)
+    predicted = MemoryModel.shared_table_report(table_bytes, k)
+    if deltas is not None:
+        copy_b = float(np.median(deltas["copy"]))
+        # An attacher's private delta is ~0; its fair share of the one
+        # physical slab is table/K.
+        shared_b = float(np.median(deltas["slab"])) + table_bytes / k
+        rss_measured = True
+    else:
+        copy_b = predicted["per_worker_copy_bytes"]
+        shared_b = predicted["per_worker_shared_bytes"]
+        rss_measured = False
+    out_bytes = float(sum(arr.nbytes for arr in results["flat"]))
+    versions = {
+        label: _version_entry(
+            throughput=case.nwalkers / best[label],
+            seconds_per_step=best[label],
+            total_seconds=best[label] * case.steps,
+            hotspots={"Bspline-vgh": 1.0},
+            peak_walker_bytes=out_bytes / case.nwalkers)
+        for label in ("flat", "tiled")
+    }
+    out = {
+        "name": case.name, "kind": "spline_memory", "n_electrons": case.n,
+        "steps": case.steps, "walkers": case.nwalkers,
+        "norb": norb, "grid": grid, "tile": tile,
+        "versions": versions,
+        "speedups": {"tiled_over_flat": best["flat"] / best["tiled"]},
+        "memory": {
+            "table_bytes": table_bytes,
+            "n_processes": k,
+            "predicted": predicted,
+            "per_worker_copy_bytes": copy_b,
+            "per_worker_shared_bytes": shared_b,
+            "measured_ratio": shared_b / copy_b if copy_b else 0.0,
+            "rss_measured": rss_measured,
+        },
+        "skipped": [],
+    }
+    if case.floor > 0:
+        out["speedup_floors"] = {"tiled_over_flat": float(case.floor)}
+    return out
+
+
 _CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case,
                  "nlpp": run_nlpp_case, "streaming": run_streaming_case,
-                 "backend": run_backend_case}
+                 "backend": run_backend_case,
+                 "spline_memory": run_spline_memory_case}
 
 
 def run_suite(suite_name: str, tag: str,

@@ -36,6 +36,14 @@ Two kinds of cases:
   aggregate; on hosts without jax the leg lands in ``skipped`` (the
   same pattern as the parallel CPU guard) and only the floors entry is
   committed, to be enforced by the CI jax leg that can measure it.
+* ``spline_memory`` — the shared-slab + tiled-vgh pair
+  (docs/spline_memory.md): the flat per-channel 3D vgh evaluation
+  (``flat``) vs the tile-blocked kernel (``tiled``) on one fitted
+  orbital table, results asserted bitwise equal, ``floor`` gating
+  ``tiled_over_flat``; plus per-worker coefficient-table RSS measured
+  by forking ``workers[0]`` children per strategy (private copy vs
+  :class:`~repro.splines.slab.SharedCoefSlab` attach), reported
+  against the :class:`~repro.memory.model.MemoryModel` prediction.
 """
 
 from __future__ import annotations
@@ -74,13 +82,17 @@ class BenchCase:
     # speedup floor (0 = report only, don't gate)
     npoints: int = 12
     floor: float = 0.0
+    # spline_memory-kind knobs: orbital tile width and logical grid
+    # points per axis of the fitted table (0 = kind-specific default)
+    tile: int = 0
+    grid: int = 0
     # shared
     steps: int = 2
     seed: int = 21
 
     def __post_init__(self):
         if self.kind not in ("system", "batched", "parallel", "nlpp",
-                             "streaming", "backend"):
+                             "streaming", "backend", "spline_memory"):
             raise ValueError(f"unknown bench kind {self.kind!r}")
 
 
@@ -109,6 +121,10 @@ QUICK_SUITE = (
     BenchCase(name="backend-Be64-N32-W16", kind="backend",
               versions=("numpy", "jax"),
               workload="Be-64", n=32, nwalkers=16, steps=3, floor=0.5),
+    BenchCase(name="spline-mem-M256-W32", kind="spline_memory",
+              versions=("flat", "tiled"),
+              n=256, nwalkers=32, grid=16, tile=64, workers=(4,),
+              steps=3, floor=1.2),
 )
 
 #: The fuller trajectory: two chemistries, all three versions, and a
@@ -146,6 +162,9 @@ SMOKE_SUITE = (
     BenchCase(name="streaming-N12-W4", kind="streaming",
               versions=("memory", "streaming"),
               n=12, nwalkers=4, steps=2),
+    BenchCase(name="spline-mem-M16-W8", kind="spline_memory",
+              versions=("flat", "tiled"),
+              n=16, nwalkers=8, grid=8, tile=4, workers=(2,), steps=1),
 )
 
 #: Multi-core crowd scaling (``make bench-parallel``): one sized
@@ -169,5 +188,19 @@ BACKEND_SUITE = (
               workload="Be-64", n=32, nwalkers=16, steps=7, floor=0.5),
 )
 
+#: Spline-memory suite (``make bench-spline``): the shared-slab +
+#: tiled-vgh gate at more repetitions, plus a larger-table sweep.
+SPLINE_SUITE = (
+    BenchCase(name="spline-mem-M256-W32", kind="spline_memory",
+              versions=("flat", "tiled"),
+              n=256, nwalkers=32, grid=16, tile=64, workers=(4,),
+              steps=5, floor=1.2),
+    BenchCase(name="spline-mem-M512-W32", kind="spline_memory",
+              versions=("flat", "tiled"),
+              n=512, nwalkers=32, grid=16, tile=64, workers=(4,),
+              steps=3, floor=1.2),
+)
+
 SUITES = {"quick": QUICK_SUITE, "full": FULL_SUITE, "smoke": SMOKE_SUITE,
-          "parallel": PARALLEL_SUITE, "backend": BACKEND_SUITE}
+          "parallel": PARALLEL_SUITE, "backend": BACKEND_SUITE,
+          "spline": SPLINE_SUITE}

@@ -11,9 +11,11 @@ R006  global RNG use (``np.random.*`` / ``random.*`` module-level state)
 R007  iteration over a set/dict feeding an accumulation or indexed write
       without a ``sorted(...)`` ordering guard — float accumulation order
       becomes insertion/hash-order dependent
-R008  write to a ``SharedWalkerState``/``SharedTraceBlock`` view outside
-      a ``# repro: commit`` scope — shared blocks may only be mutated at
-      sanctioned epoch boundaries (the zero-copy contract)
+R008  write to a ``SharedWalkerState``/``SharedTraceBlock``/
+      ``SharedCoefSlab`` view outside a ``# repro: commit`` scope —
+      shared blocks may only be mutated at sanctioned epoch boundaries
+      (the zero-copy contract; the coefficient slab is read-only for
+      every process after its one-time fill)
 R009  ``SimComm`` collective call nested under a data-dependent branch —
       if workers disagree on the condition, the SPMD sequence diverges
       and the crowd deadlocks or silently mismatches payloads
@@ -149,13 +151,15 @@ class RuleR008(ScopedVisitor):
 
     rule = "R008"
 
-    #: array fields exposed by SharedWalkerState / SharedTraceBlock
+    #: array fields exposed by SharedWalkerState / SharedTraceBlock /
+    #: SharedCoefSlab
     SHM_FIELDS = {"R", "weight", "logpsi", "local_energy", "age",
-                  "components"}
+                  "components", "coefs"}
     #: receiver spellings bound to shared blocks in this codebase
     SHM_RECEIVERS = {"state", "trace", "_state", "_trace",
                      "shm_state", "shm_trace", "shared_state",
-                     "shared_trace"}
+                     "shared_trace", "slab", "_slab", "coef_slab",
+                     "shared_slab", "spo_slab"}
 
     def _shm_write_target(self, target: ast.AST) -> Optional[str]:
         """``state.weight[...]`` / ``self.trace.local_energy[...]`` as a

@@ -100,20 +100,46 @@ class MemoryModel:
 
     # -- totals --------------------------------------------------------------------------
     def breakdown(self, version: CodeVersion, n_threads: int,
-                  n_walkers: int, label: str = "") -> MemoryBreakdown:
+                  n_walkers: int, label: str = "", n_processes: int = 1,
+                  shared_tables: bool = False) -> MemoryBreakdown:
+        """Footprint at scale.  ``n_processes`` counts crowd *processes*
+        (each holding its own table copy unless ``shared_tables`` maps
+        one read-only slab across all of them — the
+        :class:`repro.splines.slab.SharedCoefSlab` configuration)."""
+        k = max(1, int(n_processes))
+        table = self.spline_table_bytes(version)
+        table_total = table if shared_tables else table * k
         return MemoryBreakdown(
             label=label or f"{self.wl.name}/{version.label}",
-            spline_table=self.spline_table_bytes(version),
+            spline_table=table_total,
             per_walker=self.walker_bytes(version),
             per_thread=self.thread_bytes(version),
             n_threads=n_threads,
             n_walkers=n_walkers,
             components={
-                "spline": self.spline_table_bytes(version),
+                "spline": table_total,
                 "walker": self.walker_bytes(version),
                 "thread": self.thread_bytes(version),
             },
         )
+
+    @staticmethod
+    def shared_table_report(table_bytes: float, n_processes: int) -> dict:
+        """Predicted per-worker coefficient-table bytes: K private
+        copies vs one shared slab (whose single mapping amortizes to
+        ``table_bytes / K`` per worker).  The ``spline_memory`` bench
+        reports its measured RSS deltas against exactly these numbers.
+        """
+        k = max(1, int(n_processes))
+        per_copy = float(table_bytes)
+        per_shared = per_copy / k
+        return {
+            "n_processes": k,
+            "per_worker_copy_bytes": per_copy,
+            "per_worker_shared_bytes": per_shared,
+            "total_saved_bytes": (per_copy - per_shared) * k,
+            "predicted_ratio": per_shared / per_copy if per_copy else 0.0,
+        }
 
     def gamma_bytes(self, version: CodeVersion) -> float:
         """The paper's gamma: per-(thread+walker) bytes divided by N^2."""

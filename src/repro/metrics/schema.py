@@ -74,10 +74,11 @@ def _check_workload(entry: Any, index: int, errors: List[str]) -> None:
         if not isinstance(entry.get(key), typ):
             _err(errors, f"{path}.{key}", f"missing or not a {typ.__name__}")
     if entry.get("kind") not in (None, "system", "batched", "parallel",
-                                 "nlpp", "streaming", "backend"):
+                                 "nlpp", "streaming", "backend",
+                                 "spline_memory"):
         _err(errors, f"{path}.kind",
              "must be 'system', 'batched', 'parallel', 'nlpp', "
-             "'streaming' or 'backend'")
+             "'streaming', 'backend' or 'spline_memory'")
     versions = entry.get("versions")
     if isinstance(versions, dict):
         if not versions:

@@ -50,7 +50,7 @@ import multiprocessing as mp
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -69,6 +69,9 @@ from repro.metrics.registry import METRICS
 from repro.parallel.shm import SharedTraceBlock, SharedWalkerState
 from repro.parallel.shmcomm import CommPeerLost, CommTimeout, SharedMemComm
 from repro.precision.policy import FULL, PrecisionPolicy
+
+if TYPE_CHECKING:  # import cycle: repro.splines.slab maps shm via us
+    from repro.splines.slab import SharedCoefSlab, SlabDescriptor
 
 __all__ = ["ParallelCrowdDriver"]
 
@@ -138,8 +141,12 @@ class _CrowdEngine:
                  timestep: float, use_drift: bool,
                  precision: PrecisionPolicy, mode: str,
                  start_generation: int = 1, trace_base: int = 0,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None, spline=None):
         self.crowd = int(crowd)
+        #: optional SPO table (a slab-backed or in-process BSpline3D):
+        #: when set, every generation appends a per-walker orbital-norm
+        #: component through the tile-blocked vgh kernel
+        self.spline = spline
         self.n_crowds = int(n_crowds)
         self.mode = mode
         self.tau = float(timestep)
@@ -190,6 +197,15 @@ class _CrowdEngine:
             batch, drv.tables, drv.G, drv.L)
         self._needs_refresh = False
 
+    @property
+    def component_names(self) -> tuple:
+        """Trace component order: Hamiltonian terms, then the optional
+        SPO diagnostic column."""
+        names = tuple(self.driver.ham.names)
+        if self.spline is not None:
+            names += ("SpoNorm",)
+        return names
+
     def run_generation(self, step: int,
                        e_trial: Optional[float] = None) -> int:  # repro: hot
         """Advance this crowd one generation; returns accepted moves."""
@@ -231,6 +247,17 @@ class _CrowdEngine:
         comps = self.driver.ham.last_components
         for i, name in enumerate(self.driver.ham.names):
             self.trace.components[row, self.cols, i] = comps[name]
+        if self.spline is not None:
+            # Per-walker orbital norm at each walker's first particle,
+            # through the tile-blocked vgh kernel on the shared table.
+            # Every einsum is per-walker independent, so the column is
+            # bitwise identical across crowd decompositions.
+            from repro.batched.spo import batched_multi_vgh
+            v, _, _ = batched_multi_vgh(self.spline,
+                                        self.driver.batch.R[:, 0])
+            self.trace.components[row, self.cols,
+                                  len(self.driver.ham.names)] = \
+                np.einsum("wm,wm->w", v, v)
 
 
 @dataclass
@@ -271,6 +298,9 @@ class _WorkerConfig:  # repro: cold
     #: kernel-backend *name* (picklable; each worker resolves its own
     #: instance), None for REPRO_BACKEND-then-default resolution
     backend: Optional[str] = None
+    #: shared read-only SPO coefficient slab to attach (descriptor only
+    #: crosses the process boundary — the table itself never pickles)
+    slab: Optional[SlabDescriptor] = None
 
 
 def _segment_open(cfg: _WorkerConfig):  # repro: cold
@@ -308,7 +338,7 @@ def _segment_append(writer, engine: _CrowdEngine, cfg: _WorkerConfig,
               "local_energy": np.array(trace.local_energy[row, cols])}
     names = tuple(cfg.segment_names or ())
     if names:
-        ham_names = tuple(engine.driver.ham.names)
+        ham_names = engine.component_names
         perm = [ham_names.index(nm) for nm in names]
         values["components"] = np.ascontiguousarray(
             trace.components[row, cols][:, perm])
@@ -322,6 +352,7 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
     state = None
     trace = None
     segment = None
+    slab = None
     failed = False
     armed = False
     try:
@@ -336,11 +367,17 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
             cfg.state_name, cfg.total_walkers, cfg.n)
         trace = SharedTraceBlock.attach(
             cfg.trace_name, cfg.steps, cfg.total_walkers, cfg.ncomp)
+        if cfg.slab is not None:
+            # Map the one shared coefficient table (read-only) instead
+            # of rebuilding or copying it per worker.
+            from repro.splines.slab import SharedCoefSlab
+            slab = SharedCoefSlab.attach(cfg.slab)
         engine = _CrowdEngine(
             cfg.spec, state, trace, cfg.crowd, cfg.n_crowds,
             cfg.total_walkers, cfg.master_seed, cfg.timestep,
             cfg.use_drift, cfg.precision, cfg.mode, cfg.start_generation,
-            cfg.trace_base, backend=cfg.backend)
+            cfg.trace_base, backend=cfg.backend,
+            spline=slab.as_spline() if slab is not None else None)
         if cfg.segment_path is not None:
             segment = _segment_open(cfg)
         comm.allgather(("ready", cfg.crowd, os.getpid()))
@@ -383,7 +420,7 @@ def _worker_main(cfg: _WorkerConfig) -> None:  # repro: hot
     finally:
         if armed:
             RngStreamSanitizer.disarm()
-        for obj in (segment, trace, state):
+        for obj in (segment, slab, trace, state):
             if obj is not None:
                 try:
                     obj.close()
@@ -412,7 +449,7 @@ class ParallelCrowdDriver:  # repro: cold
                  max_respawns: int = 3, start_method: Optional[str] = None,
                  crash_plan: Optional[Dict[int, int]] = None,
                  race_plan: Optional[Dict[int, int]] = None,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None, spo_slab=None):
         if nwalkers < 1:
             raise ValueError(f"need at least one walker, got {nwalkers}")
         if workers < 0:
@@ -430,6 +467,15 @@ class ParallelCrowdDriver:  # repro: cold
         #: kernel-backend name shipped to every crowd (None = resolve
         #: REPRO_BACKEND-then-default in each process independently)
         self.backend = backend
+        #: optional SPO orbital table: a BSpline3D (promoted to one
+        #: shared read-only SharedCoefSlab when workers > 0) or an
+        #: already-built SharedCoefSlab.  Adds a per-walker "SpoNorm"
+        #: trace component evaluated through the tile-blocked vgh kernel
+        #: — bitwise identical across worker counts like every other
+        #: column.
+        self.spo_slab = spo_slab
+        self._slab: Optional[SharedCoefSlab] = None
+        self._slab_owned = False
         #: {crowd: generation} — worker ``crowd`` (incarnation 0 only)
         #: calls ``os._exit`` on reaching that generation; test hook for
         #: the detect-and-respawn path.  Ignored when ``workers == 0``.
@@ -446,6 +492,8 @@ class ParallelCrowdDriver:  # repro: cold
         self._ham_names = tuple(BatchedHamiltonian.BASE_NAMES)
         if getattr(spec, "with_nlpp", False):
             self._ham_names += ("NonLocalECP",)
+        if spo_slab is not None:
+            self._ham_names += ("SpoNorm",)
         self.respawns = 0
         self._procs: Dict[int, mp.process.BaseProcess] = {}
         self._comm: Optional[SharedMemComm] = None
@@ -529,6 +577,16 @@ class ParallelCrowdDriver:  # repro: cold
             self._segment_meta = dict(streams.meta) if streams is not None \
                 else {}
             self._segment_names = tuple(sorted(self._ham_names))
+        if self.spo_slab is not None and self._slab is None:
+            from repro.splines.slab import SharedCoefSlab
+            if isinstance(self.spo_slab, SharedCoefSlab):
+                self._slab = self.spo_slab
+                self._slab_owned = False
+            elif shared:
+                # One physical table for the whole pool: promote once,
+                # ship only the picklable descriptor to each crowd.
+                self._slab = SharedCoefSlab.promote(self.spo_slab)
+                self._slab_owned = True
         t_setup = time.perf_counter()
         if shared:
             self._state = SharedWalkerState.create(W, n)
@@ -563,11 +621,16 @@ class ParallelCrowdDriver:  # repro: cold
             if shared:
                 self._ensure_pool(start_gen + 1)
             else:
+                spline = None
+                if self._slab is not None:
+                    spline = self._slab.as_spline()
+                elif self.spo_slab is not None:
+                    spline = self.spo_slab
                 self._engine = _CrowdEngine(
                     self.spec, state, self._trace, 0, 1, W,
                     self.master_seed, self.tau, self.use_drift,
                     self.precision, mode, start_gen + 1, start_gen,
-                    backend=self.backend)
+                    backend=self.backend, spline=spline)
             setup_s = time.perf_counter() - t_setup
             e_trial = (float(np.mean(state.local_energy))
                        if mode == "dmc" else None)
@@ -795,7 +858,9 @@ class ParallelCrowdDriver:  # repro: cold
                               if self.segment_paths else None),
                 segment_meta=self._segment_meta,
                 segment_names=self._segment_names,
-                backend=self.backend)
+                backend=self.backend,
+                slab=(self._slab.descriptor
+                      if self._slab is not None else None))
             proc = self._ctx.Process(
                 target=_worker_main, args=(cfg,),
                 name=f"repro-crowd-{crowd}", daemon=True)
@@ -953,6 +1018,10 @@ class ParallelCrowdDriver:  # repro: cold
         for obj in (self._trace, self._state):
             if obj is not None:
                 obj.close()
+        if self._slab is not None and self._slab_owned:
+            self._slab.close()
+        self._slab = None
+        self._slab_owned = False
         self._trace = None
         self._state = None
         self._engine = None

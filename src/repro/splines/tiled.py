@@ -91,6 +91,12 @@ class TiledBSpline3D:
             self._pool.shutdown()
             self._pool = None
 
+    def __enter__(self) -> "TiledBSpline3D":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __del__(self):  # pragma: no cover - finalizer best-effort
         try:
             self.close()

@@ -89,6 +89,14 @@ def build_case(name, rng, value_dtype, lattice, W=3, n=6, ns=4):
         m = sp.norb
         return ((sp.coefs, sp.cell_inverse, (sp.nx, sp.ny, sp.nz), r),
                 [((W, m), F64), ((W, m, 3), F64), ((W, m), F64)])
+    if name == "spline3d_vgh_tiled":
+        sp = _spline3d(rng, vd)
+        r = rng.uniform(-2, 8, (W, 3))
+        m = sp.norb
+        # tile=2 < norb exercises the multi-tile loop, not just the
+        # degenerate single-tile case
+        return ((sp.coefs, sp.cell_inverse, (sp.nx, sp.ny, sp.nz), r, 2),
+                [((W, m), F64), ((W, m, 3), F64), ((W, m, 3, 3), F64)])
     if name == "det_ratio":
         phi = rng.normal(size=n)
         col = rng.normal(size=n)

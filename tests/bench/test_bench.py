@@ -77,9 +77,9 @@ def test_suites_are_well_formed():
         assert cases, name
         for case in cases:
             assert case.kind in ("system", "batched", "parallel", "nlpp",
-                                 "streaming", "backend")
+                                 "streaming", "backend", "spline_memory")
             assert case.versions
-            if case.kind == "parallel":
+            if case.kind in ("parallel", "spline_memory"):
                 assert case.workers
 
 
@@ -93,6 +93,22 @@ def test_parallel_case_in_smoke_doc(smoke_doc):
     assert wl["trace_bitwise_identical"]
     for entry in wl["versions"].values():
         assert entry["throughput"] > 0
+
+
+def test_spline_memory_case_in_smoke_doc(smoke_doc):
+    by_name = {wl["name"]: wl for wl in smoke_doc["workloads"]}
+    wl = by_name["spline-mem-M16-W8"]
+    assert wl["kind"] == "spline_memory"
+    assert set(wl["versions"]) == {"flat", "tiled"}
+    # the runner itself raises on a tiled-vs-flat bitwise mismatch; the
+    # artifact must carry the speedup and the memory report
+    assert wl["speedups"]["tiled_over_flat"] > 0
+    mem = wl["memory"]
+    assert mem["table_bytes"] > 0
+    assert mem["predicted"]["predicted_ratio"] == pytest.approx(
+        1.0 / mem["n_processes"])
+    assert mem["per_worker_shared_bytes"] < mem["per_worker_copy_bytes"]
+    assert isinstance(mem["rss_measured"], bool)
 
 
 def test_streaming_case_in_smoke_doc(smoke_doc):

@@ -7,3 +7,8 @@ def scribble(state, trace, row, cols, el):
     trace.local_energy[row, cols] = el
     state.weight[:] = 1.0
     trace.weight[row, cols] += 0.5
+
+
+def scribble_slab(slab, x):
+    slab.coefs[0, 0, 0, 0] = x
+    slab.coefs[..., :4] += x

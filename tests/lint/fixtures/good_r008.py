@@ -10,3 +10,11 @@ def commit_generation(state, trace, row, cols, el):  # repro: commit
 
 def read_only(state, row):
     return state.local_energy[row]
+
+
+def refill_tables(slab, staging):  # repro: commit
+    slab.coefs[...] = staging
+
+
+def read_slab(slab, r):
+    return slab.coefs[0, 0, 0]

@@ -54,7 +54,8 @@ class TestGoldenFixtures:
 
     def test_r008_exact_lines(self):
         assert lint_fixture("bad_r008.py") == [
-            ("R008", 7), ("R008", 8), ("R008", 9)]
+            ("R008", 7), ("R008", 8), ("R008", 9),
+            ("R008", 13), ("R008", 14)]
 
     def test_r008_clean(self):
         assert lint_fixture("good_r008.py") == []
