@@ -26,7 +26,7 @@ lint:
 # findings absent from the committed baseline (CI's lint-strict job).
 lint-strict:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/ benchmarks/ \
-		--select R001,R002,R003,R004,R005,R006,R007,R008,R009,R010,R011 \
+		--select R001,R002,R003,R004,R005,R006,R007,R008,R009,R010,R011,R012 \
 		--baseline $(LINT_BASELINE)
 
 # Regenerate the grandfathered-findings baseline (review the diff!).

@@ -13,7 +13,10 @@ Two contracts every backend implementation must honor:
 
 * **Purity** — kernels never mutate their inputs and never touch global
   state; all bookkeeping (OPS/METRICS records, padded-storage writes,
-  precision-policy downcasts) stays at the call site.
+  precision-policy downcasts) stays at the call site.  Sole sanctioned
+  exception: the ``sweep_step``/``sweep_run`` *pipeline kernels*, which
+  take a host-side :class:`repro.batched.sweep.SweepPlan` and commit
+  accepted moves into its batch/tables — see their docstrings.
 * **Boundary types** — call sites coerce results with ``np.asarray`` /
   ``float``, so a backend may return its own array type (e.g. a JAX
   ``DeviceArray``); inputs arrive as NumPy arrays.
@@ -67,6 +70,11 @@ KERNEL_NAMES = (
     # fused Metropolis accept/reject step of BatchedCrowdDriver
     "exp_rows",
     "accept_mask",
+    # fused whole-move / whole-sweep pipeline kernels (the one sanctioned
+    # departure from the pure array-in/array-out contract; see the
+    # KernelBackend docstrings)
+    "sweep_step",
+    "sweep_run",
 )
 
 
@@ -188,6 +196,37 @@ class KernelBackend:
         ``A = min(1, rho^2 * exp(log_t))`` (``log_t is None`` for the
         no-drift walk), accepted where ``uniforms < A`` and ``rho != 0``;
         returns the (W,) boolean mask.
+        """
+        raise NotImplementedError
+
+    # -- fused sweep pipeline --------------------------------------------------------
+    # ``sweep_step``/``sweep_run`` are *pipeline kernels* — the one
+    # sanctioned exception to the purity contract above.  They take a
+    # host-side :class:`repro.batched.sweep.SweepPlan` instead of plain
+    # arrays and COMMIT accepted moves into its batch and tables; that
+    # mutation is the pipeline's entire point (one backend call replaces
+    # the ~14 per-electron kernel dispatches the driver used to issue).
+    # Everything else still holds: no global state, all randoms are
+    # drawn host-side into the plan's workspace before the call, and
+    # exact backends must keep the accept/reject sequence bitwise equal
+    # to the reference loop (``BatchedCrowdDriver._loop_sweep``).
+
+    def sweep_step(self, plan, k):
+        """One whole Metropolis move of electron ``k`` across the crowd:
+        propose -> table move -> ratio/ratio_grad product -> drift limit
+        -> log T -> accept_mask -> commit.  Consumes ``plan.workspace``'s
+        pre-drawn ``chi_all[:, k]`` / ``uniforms[:, k]``, mutates the
+        plan's batch/tables, and returns the (W,) boolean accept mask.
+        """
+        raise NotImplementedError
+
+    def sweep_run(self, plan):
+        """One whole particle-by-particle sweep (all ``plan.n``
+        electrons).  Backends that can fuse the electron loop itself
+        (e.g. a jitted ``lax.fori_loop``) pay dispatch once per sweep
+        here; others loop over :meth:`sweep_step`.  Returns
+        ``(accepts_per_walker, accepted_total)`` — a fresh (W,) int64
+        array and a Python int.
         """
         raise NotImplementedError
 

@@ -324,6 +324,142 @@ def _accept_mask(rho, log_t, uniforms, drift):
     return (uniforms < A) & (rho != 0.0)
 
 
+# -- fused whole-sweep pipeline ---------------------------------------------------
+def _cols_vgl(r, fidx, coefs, x0s, hs, nints, rcuts):
+    """Cutoff-functor (u, du, d2u) over (W, cols) distances where column
+    ``j`` uses functor ``fidx[j]`` (coefs padded to a common length).
+
+    The per-column grid scalars broadcast against the walker axis; the
+    pre-mask-to-0 trick is the same as :func:`_functor_v` (masked
+    columns sit at BIG_DISTANCE and would overflow the Horner form).
+    """
+    x0 = x0s[fidx]
+    h = hs[fidx]
+    nint = nints[fidx]
+    rcut = rcuts[fidx]
+    mask = r < rcut
+    rs = jnp.where(mask, r, 0.0)
+    t = (rs - x0) / h
+    i = jnp.clip(jnp.floor(t).astype(jnp.int64), 0, nint - 1)
+    u = t - i
+    v = jnp.zeros_like(u)
+    dv = jnp.zeros_like(u)
+    d2v = jnp.zeros_like(u)
+    for k in range(4):
+        b = _A1[k][0] + u * (_A1[k][1] + u * (_A1[k][2] + u * _A1[k][3]))
+        db = _dA1[k][0] + u * (_dA1[k][1] + u * _dA1[k][2])
+        d2b = _d2A1[k][0] + u * _d2A1[k][1]
+        ck = coefs[fidx, i + k]
+        v = v + ck * b
+        dv = dv + ck * db
+        d2v = d2v + ck * d2b
+    zero = jnp.zeros_like(u)
+    return (jnp.where(mask, v, zero), jnp.where(mask, dv / h, zero),
+            jnp.where(mask, d2v / (h * h), zero))
+
+
+def _ee_row(R, rk, k, inverse, axes, shifts, periodic, orthogonal):
+    """Electron-electron row of electron ``k``: (W, n) distances and
+    (W, n, 3) displacements r_j - r_k, self entry masked to (BIG, 0)."""
+    dr = R - rk[:, None, :]
+    if periodic:
+        dr = _min_image(dr, inverse, axes, shifts, orthogonal)
+    r = jnp.sqrt(jnp.sum(dr * dr, axis=-1))
+    r = r.at[:, k].set(BIG_DISTANCE)
+    dr = dr.at[:, k].set(0.0)
+    return r, dr
+
+
+def _ei_row(src, rk, inverse, axes, shifts, periodic, orthogonal):
+    """Electron-ion row: (W, nion) distances and (W, nion, 3)
+    displacements R_I - r_k against the shared fixed ions."""
+    dr = src[None, :, :] - rk[:, None, :]
+    if periodic:
+        dr = _min_image(dr, inverse, axes, shifts, orthogonal)
+    return jnp.sqrt(jnp.sum(dr * dr, axis=-1)), dr
+
+
+def _limited_drift_jax(tau, cap_units, g):
+    """Branch-free norm-capped drift (the loop path's data-dependent
+    branch becomes a where)."""
+    drift = tau * g
+    norm = jnp.sqrt(jnp.sum(drift * drift, axis=-1))
+    cap = cap_units * jnp.sqrt(tau)
+    scale = jnp.where(norm > cap, cap / jnp.maximum(norm, 1e-300), 1.0)
+    return drift * scale[:, None]
+
+
+@partial(jax.jit,
+         static_argnames=("use_drift", "periodic", "orthogonal"))
+def _sweep_all(R, chi_all, uniforms, tau, cap_units,
+               g2_of, f2mat, c2, x02, h2, ni2, rc2,
+               src, f1idx, c1, x01, h1, ni1, rc1,
+               inverse, axes, shifts, use_drift, periodic, orthogonal):
+    """The whole PbyP sweep as ONE jitted computation.
+
+    ``lax.fori_loop`` carries (positions, per-walker accept counts,
+    per-move accept history) across the n electron moves, so host
+    dispatch is paid once per sweep instead of ~14x per electron.  Rows
+    are recomputed on the fly from the carried positions — equivalent
+    (to tolerance) to the host tables' incrementally updated storage.
+    """
+    nw, n, _ = R.shape
+
+    def j2_eval(r, dr, k):
+        fidx = f2mat[g2_of[k], g2_of]
+        u, du, _ = _cols_vgl(r, fidx, c2, x02, h2, ni2, rc2)
+        usum = jnp.sum(u, axis=-1)
+        grad = jnp.einsum("wj,wjd->wd", du / r, dr)
+        return usum, grad
+
+    def j1_eval(r, dr):
+        u, du, _ = _cols_vgl(r, f1idx, c1, x01, h1, ni1, rc1)
+        usum = jnp.sum(u, axis=-1)
+        grad = jnp.einsum("wj,wjd->wd", du / r, dr)
+        return usum, grad
+
+    def body(k, carry):
+        R, counts, hist = carry
+        rk = R[:, k]
+        chi = chi_all[:, k]
+        r2o, dr2o = _ee_row(R, rk, k, inverse, axes, shifts, periodic,
+                            orthogonal)
+        r1o, dr1o = _ei_row(src, rk, inverse, axes, shifts, periodic,
+                            orthogonal)
+        u2o, g2o = j2_eval(r2o, dr2o, k)
+        u1o, g1o = j1_eval(r1o, dr1o)
+        if use_drift:
+            drift_old = _limited_drift_jax(tau, cap_units, g2o + g1o)
+            rnew = rk + drift_old + chi
+        else:
+            rnew = rk + chi
+        r2n, dr2n = _ee_row(R, rnew, k, inverse, axes, shifts, periodic,
+                            orthogonal)
+        r1n, dr1n = _ei_row(src, rnew, inverse, axes, shifts, periodic,
+                            orthogonal)
+        u2n, g2n = j2_eval(r2n, dr2n, k)
+        u1n, g1n = j1_eval(r1n, dr1n)
+        rho = jnp.exp(-(u2n - u2o)) * jnp.exp(-(u1n - u1o))
+        if use_drift:
+            drift_new = _limited_drift_jax(tau, cap_units, g2n + g1n)
+            back = rk - rnew - drift_new
+            fwd = rnew - rk - drift_old
+            log_t = (-jnp.sum(back * back, axis=-1)
+                     + jnp.sum(fwd * fwd, axis=-1)) / (2.0 * tau)
+            A = jnp.minimum(1.0, rho * rho * jnp.exp(log_t))
+        else:
+            A = jnp.minimum(1.0, rho * rho)
+        acc = (uniforms[:, k] < A) & (rho != 0.0)
+        R = R.at[:, k].set(jnp.where(acc[:, None], rnew, rk))
+        counts = counts + acc.astype(jnp.int64)
+        hist = hist.at[k].set(acc)
+        return R, counts, hist
+
+    counts0 = jnp.zeros(nw, dtype=jnp.int64)
+    hist0 = jnp.zeros((n, nw), dtype=bool)
+    return jax.lax.fori_loop(0, n, body, (R, counts0, hist0))
+
+
 class JaxBackend(KernelBackend):
     """jit+vmap kernels; float64 accumulation, tolerance-gated parity."""
 
@@ -394,3 +530,47 @@ class JaxBackend(KernelBackend):
         lt = log_t if drift else jnp.zeros_like(jnp.asarray(rho))
         return _accept_mask(jnp.asarray(rho), jnp.asarray(lt),
                             jnp.asarray(uniforms), drift)
+
+    # -- fused sweep pipeline --------------------------------------------------------
+    def sweep_step(self, plan, k):
+        """Per-electron fused step: the reference pipeline with every
+        inner kernel routed through this backend's jitted primitives."""
+        from repro.batched.sweep import fused_sweep_step
+        with self.scope():
+            return fused_sweep_step(self, plan, k)
+
+    def sweep_run(self, plan):
+        """Whole-sweep jit: ONE ``_sweep_all`` dispatch moves all n
+        electrons, then the host state (batch positions, SoA mirror,
+        tables, move log) is resynchronized once.
+
+        The first call per plan builds the device payload (functor
+        banks, lattice args, group indices) and caches it on the plan;
+        component sets the payload builder does not understand fall back
+        to the per-step pipeline, which is still one backend call per
+        electron.  Payload staging and the post-sweep host writeback
+        are host code by design and live in
+        :mod:`repro.backend.jax_sweep_host`, outside this module's
+        backend-pure scope.
+        """
+        from repro.backend.jax_sweep_host import (
+            build_sweep_payload, finalize_sweep,
+        )
+        from repro.batched.sweep import fused_sweep_run
+
+        payload = plan._jax_payload
+        if payload is None:
+            payload = build_sweep_payload(plan)
+            plan._jax_payload = payload if payload is not None else False
+        if payload is False or payload is None:
+            with self.scope():
+                return fused_sweep_run(self, plan)
+        batch = plan.batch
+        ws = plan.workspace
+        R, counts, hist = _sweep_all(
+            jnp.asarray(batch.R), jnp.asarray(ws.chi_all),
+            jnp.asarray(ws.uniforms), plan.tau, plan.drift_cap,
+            *payload["traced"], use_drift=plan.use_drift,
+            periodic=payload["periodic"],
+            orthogonal=payload["orthogonal"])
+        return finalize_sweep(self, plan, R, counts, hist)

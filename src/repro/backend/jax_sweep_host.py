@@ -1,0 +1,110 @@
+"""Host side of the jax whole-sweep pipeline (docs/sweep_fusion.md).
+
+``jax_backend`` is a ``# repro: backend-pure`` module: everything in it
+must stay inside ``jnp`` so kernel bodies remain jit/vmap-traceable
+(rule R011).  The whole-sweep entry point, however, has two halves that
+are host code *by design* and therefore live here instead:
+
+* **payload staging** — flattening a plan's Jastrow functors, lattice
+  and group indices into padded device arrays, once per plan; and
+* **writeback** — after ``_sweep_all`` returns, committing the final
+  positions into the walker batch, refreshing the SoA mirror and
+  distance tables, and extending the move log / running sanitizers.
+
+Both touch driver-layer objects and NumPy storage, never the inside of
+a trace, so host-NumPy use here is correct rather than an R011 bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def functor_bank(functors):
+    """Stack a list of BsplineFunctors into padded device arrays:
+    (coefs (nf, Lmax), x0, h, nintervals, rcut) — the traced half of
+    the sweep payload."""
+    import jax.numpy as jnp
+    lmax = max(f.spline.coefs.shape[0] for f in functors)
+    coefs = np.zeros((len(functors), lmax))
+    for i, f in enumerate(functors):
+        coefs[i, :f.spline.coefs.shape[0]] = f.spline.coefs
+    return (jnp.asarray(coefs),
+            jnp.asarray(np.array([f.spline.x0 for f in functors])),
+            jnp.asarray(np.array([f.spline.h for f in functors])),
+            jnp.asarray(np.array([f.spline.n for f in functors],
+                                 dtype=np.int64)),
+            jnp.asarray(np.array([f.rcut for f in functors])))
+
+
+def build_sweep_payload(plan):
+    """Device-side constants of a plan's J2+J1 wavefunction, or None if
+    the component set is not the [J2, J1] shape the whole-sweep jit
+    understands (the caller then falls back to per-step dispatch)."""
+    import jax.numpy as jnp
+
+    from repro.backend.jax_backend import _lat_args
+
+    j2 = j1 = None
+    for c in plan.components:
+        if hasattr(c, "group_slices"):
+            j2 = c
+        elif hasattr(c, "ion_species_ids"):
+            j1 = c
+        else:
+            return None
+    if j2 is None or j1 is None:
+        return None
+    # J2: unique functor objects + a (ngroups, ngroups) index matrix.
+    funs2 = []
+    index2 = {}
+    ng = max(max(gi, gj) for gi, gj in j2.functors) + 1
+    fmat = np.zeros((ng, ng), dtype=np.int64)
+    for (gi, gj), f in j2.functors.items():
+        if id(f) not in index2:
+            index2[id(f)] = len(funs2)
+            funs2.append(f)
+        fmat[gi, gj] = fmat[gj, gi] = index2[id(f)]
+    c2, x02, h2, ni2, rc2 = functor_bank(funs2)
+    # J1: one functor per ion species, indexed per ion.
+    species = sorted(j1.functors)
+    funs1 = [j1.functors[g] for g in species]
+    sp_index = {g: i for i, g in enumerate(species)}
+    f1idx = np.array([sp_index[int(g)] for g in j1.ion_species_ids],
+                     dtype=np.int64)
+    c1, x01, h1, ni1, rc1 = functor_bank(funs1)
+    src = np.ascontiguousarray(plan.tables[j1.table_index]._src_soa.T)
+    inverse, axes, shifts, periodic, ortho = _lat_args(
+        plan.tables[j2.table_index].lattice)
+    return {
+        "traced": (jnp.asarray(j2.group_of), jnp.asarray(fmat),
+                   c2, x02, h2, ni2, rc2,
+                   jnp.asarray(src), jnp.asarray(f1idx),
+                   c1, x01, h1, ni1, rc1,
+                   inverse, axes, shifts),
+        "periodic": periodic,
+        "orthogonal": ortho,
+    }
+
+
+def finalize_sweep(backend, plan, R, counts, hist):
+    """One host resync per sweep: commit the device positions into the
+    canonical batch storage and SoA mirror, refresh the distance tables
+    from scratch under ``backend``'s scope, extend the move log from
+    the per-electron accept history, and run the sanitizers.  Returns
+    the driver-facing ``(accepts_per_walker, accepted_total)``."""
+    batch = plan.batch
+    batch.R[...] = np.asarray(R)
+    batch.sync_soa()
+    with backend.scope():
+        for t in plan.tables:
+            t.evaluate(batch)
+    if plan.move_log is not None:
+        hist_np = np.asarray(hist)
+        for k in range(plan.n):
+            plan.move_log.append(hist_np[k].copy())
+    if plan.sanitizers is not None:
+        with backend.scope():
+            plan.sanitizers.check_state(batch, plan.tables)
+    accepts = np.asarray(counts, dtype=np.int64)
+    return accepts, int(accepts.sum())

@@ -304,6 +304,25 @@ class NumpyBackend(KernelBackend):
             A = np.minimum(1.0, rho * rho * self.exp_rows(log_t))
         return (uniforms < A) & (rho != 0.0)
 
+    # -- fused sweep pipeline --------------------------------------------------------
+    # The reference fused implementation lives in repro.batched.sweep
+    # (the op-for-op extraction of the pre-fusion loop body).  The scope
+    # push routes the table/functor/exp_rows kernels the pipeline calls
+    # internally through *this* backend regardless of the ambient
+    # thread-local state.  The import is deferred: repro.batched.sweep
+    # is driver-layer code the registry must not pull in at backend
+    # construction time.
+
+    def sweep_step(self, plan, k):
+        from repro.batched.sweep import fused_sweep_step
+        with self.scope():
+            return fused_sweep_step(self, plan, k)
+
+    def sweep_run(self, plan):
+        from repro.batched.sweep import fused_sweep_run
+        with self.scope():
+            return fused_sweep_run(self, plan)
+
 
 def flat_spline3d_vgh(coefs, cell_inverse, dims, r):
     """Flat batched value-grad-Hessian: one einsum per derivative channel.

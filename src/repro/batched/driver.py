@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.backend import get_backend
 from repro.batched.sanitize import BatchedSanitizerSuite
+from repro.batched.sweep import SweepPlan, SweepWorkspace
 from repro.batched.system import JastrowSystemSpec, walker_streams
 from repro.batched.walkerbatch import WalkerBatch
 from repro.drivers.result import QMCResult
@@ -97,6 +98,15 @@ class BatchedCrowdDriver:
                            if sanitizers_enabled() else None)
         #: optional fused-step trace: list of (W,) bool masks, one per move
         self.move_log: Optional[List[np.ndarray]] = None
+        # Fused-sweep state (docs/sweep_fusion.md): one workspace of
+        # per-sweep/per-move scratch allocated here and reused for the
+        # driver's whole lifetime, and one plan bundling everything a
+        # backend sweep_run call needs.
+        self._workspace = SweepWorkspace(self.nw, self.n)
+        self._plan = SweepPlan(self.batch, self.tables, self.components,
+                               self._workspace, tau=self.tau,
+                               drift_cap=self.DRIFT_CAP,
+                               use_drift=self.use_drift)
         with self.backend.scope():
             for t in self.tables:
                 t.evaluate(self.batch)
@@ -157,6 +167,29 @@ class BatchedCrowdDriver:
             return self._sweep()
 
     def _sweep(self) -> int:
+        """Fused sweep: one ``sweep_run`` backend call for the whole
+        PbyP pass (docs/sweep_fusion.md).
+
+        The randoms are drawn host-side into the standing workspace with
+        the per-walker call pattern of the RNG contract; the plan's
+        ``move_log``/``sanitizers`` are re-synced because tests attach
+        them to the driver after construction.  Bitwise-pinned against
+        :meth:`_loop_sweep` by the differential suite.
+        """
+        plan = self._plan
+        plan.workspace.fill(self.rngs, plan.sqrt_tau)
+        plan.move_log = self.move_log
+        plan.sanitizers = self.sanitizers
+        accepts, accepted_total = self.backend.sweep_run(plan)
+        self.last_sweep_accepts = np.asarray(accepts, dtype=np.int64)
+        self.n_accept += accepted_total
+        self.n_moves += self.n * self.nw
+        return accepted_total
+
+    def _loop_sweep(self) -> int:
+        """The pre-fusion per-electron loop, retained verbatim as the
+        bitwise oracle for the fused pipeline (differential tests and
+        the ``sweep`` bench's ``loop`` leg rebind ``_sweep`` to this)."""
         batch = self.batch
         tau = self.tau
         sqrt_tau = math.sqrt(tau)
@@ -190,7 +223,8 @@ class BatchedCrowdDriver:
                 rho = self._ratio(k)
                 log_t = None
             acc = np.asarray(
-                self.backend.accept_mask(rho, log_t, uniforms[:, k]))
+                self.backend.accept_mask(  # repro: noqa R012
+                    rho, log_t, uniforms[:, k]))
             if self.move_log is not None:
                 self.move_log.append(acc.copy())
             for t in self.tables:

@@ -135,6 +135,47 @@ class BatchedTwoBodyJastrow:
             u_old = self._rows_v(table.dist_rows(k), k)
             return exp_rows(-(u_new - u_old)), grad_new
 
+    # -- fused-sweep API (repro.batched.sweep) -----------------------------------
+    # Same numerics as grad/ratio/ratio_grad with the per-call
+    # PROFILER.timer hoisted out, plus the drift path's one redundancy
+    # fix: ``_rows_vgl``'s value channel is bitwise the ``_rows_v`` row
+    # sum (identical Horner, coefficient gather and per-slice pairwise
+    # reduction), so ``sweep_grad`` hands its old-row value sum to
+    # ``sweep_ratio_grad`` as ``u_old`` instead of evaluating the old
+    # row's functors a second time per electron.  Only valid when
+    # ``table.move`` leaves the stored row untouched (forward-update AA,
+    # AB): the compute-on-the-fly AA table *refreshes* row k inside
+    # ``move``, so there ``sweep_grad`` reads the stale pre-refresh row
+    # (as the eager ``grad`` does) and returns ``u_old=None`` to force
+    # the post-move re-evaluation the eager path performs.
+
+    def sweep_grad(self, tables, k: int):
+        """Timer-free :meth:`grad`; returns ``(u_old_or_None, grad)``."""
+        table = tables[self.table_index]
+        u_old, g, _ = self._rows_vgl(table.dist_rows(k), table.disp_rows(k),
+                                     k)
+        if not getattr(table, "forward_update", True):
+            u_old = None  # OTF: move() refreshes the row we just read
+        return u_old, g
+
+    def sweep_ratio(self, tables, k: int) -> np.ndarray:
+        """Timer-free :meth:`ratio` for the fused sweep pipeline."""
+        table = tables[self.table_index]
+        u_new = self._rows_v(table.temp_rows(), k)
+        u_old = self._rows_v(table.dist_rows(k), k)
+        return exp_rows(-(u_new - u_old))
+
+    def sweep_ratio_grad(self, tables, k: int, u_old):
+        """Timer-free :meth:`ratio_grad` reusing :meth:`sweep_grad`'s
+        ``u_old`` (bitwise the ``_rows_v`` sum the eager path computes)
+        when available; ``None`` re-evaluates the post-move row."""
+        table = tables[self.table_index]
+        u_new, grad_new, _ = self._rows_vgl(table.temp_rows(),
+                                            table.temp_disp_rows(), k)
+        if u_old is None:
+            u_old = self._rows_v(table.dist_rows(k), k)
+        return exp_rows(-(u_new - u_old)), grad_new
+
     def evaluate_gl(self, tables, G: np.ndarray, L: np.ndarray) -> None:
         """Measurement-time grad/lap recomputed from the row blocks."""
         with PROFILER.timer("J2"):
@@ -261,6 +302,35 @@ class BatchedOneBodyJastrow:
                                                 table.temp_disp_rows())
             u_old = self._rows_v(table.dist_rows(k))
             return exp_rows(-(u_new - u_old)), grad_new
+
+    # -- fused-sweep API: timer-free + u_old-reusing twins, see the J2 note ------
+    # (The AB table's move never touches the stored rows — the ions are
+    # fixed — so the reuse gate is the same getattr, always-on here.)
+    def sweep_grad(self, tables, k: int):
+        """Timer-free :meth:`grad`; returns ``(u_old_or_None, grad)``."""
+        table = tables[self.table_index]
+        u_old, g, _ = self._rows_vgl(table.dist_rows(k), table.disp_rows(k))
+        if not getattr(table, "forward_update", True):
+            u_old = None
+        return u_old, g
+
+    def sweep_ratio(self, tables, k: int) -> np.ndarray:
+        """Timer-free :meth:`ratio` for the fused sweep pipeline."""
+        table = tables[self.table_index]
+        u_new = self._rows_v(table.temp_rows())
+        u_old = self._rows_v(table.dist_rows(k))
+        return exp_rows(-(u_new - u_old))
+
+    def sweep_ratio_grad(self, tables, k: int, u_old):
+        """Timer-free :meth:`ratio_grad` reusing :meth:`sweep_grad`'s
+        ``u_old`` (bitwise the ``_rows_v`` sum the eager path computes)
+        when available; ``None`` re-evaluates the post-move row."""
+        table = tables[self.table_index]
+        u_new, grad_new, _ = self._rows_vgl(table.temp_rows(),
+                                            table.temp_disp_rows())
+        if u_old is None:
+            u_old = self._rows_v(table.dist_rows(k))
+        return exp_rows(-(u_new - u_old)), grad_new
 
     def evaluate_gl(self, tables, G: np.ndarray, L: np.ndarray) -> None:
         with PROFILER.timer("J1"):

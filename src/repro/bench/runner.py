@@ -486,6 +486,167 @@ def run_backend_case(case: BenchCase) -> dict:
     return out
 
 
+class _CountingBackend:
+    """Proxy backend that counts dispatch crossings of the kernel seam.
+
+    Every registered kernel method increments ``dispatches`` at call
+    depth 0 and delegates to the wrapped backend.  Nested crossings are
+    not double-counted, and a delegated pipeline kernel (``sweep_run``)
+    re-scopes to the *inner* backend for its body, so the fused leg
+    counts exactly one dispatch per sweep while the loop leg counts
+    every per-electron table/functor/exp/accept call routed through
+    ``active()`` under this proxy's scope.
+    """
+
+    def __init__(self, inner):
+        from repro.backend.base import KERNEL_NAMES
+        self._inner = inner
+        self.name = inner.name
+        self.exact_match = inner.exact_match
+        self.dispatches = 0
+        self._depth = 0
+        for kname in KERNEL_NAMES:
+            setattr(self, kname, self._wrap(getattr(inner, kname)))
+
+    def _wrap(self, fn):
+        def call(*args, **kwargs):
+            if self._depth == 0:
+                self.dispatches += 1
+            self._depth += 1
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._depth -= 1
+        return call
+
+    def scope(self):
+        from repro.backend.registry import _backend_scope
+        return _backend_scope(self)
+
+    def __getattr__(self, name):  # non-kernel attributes pass through
+        return getattr(self._inner, name)
+
+
+def _sweep_driver(case: BenchCase, backend: str, oracle: bool = False):
+    """One batched driver for the sweep case; ``oracle=True`` rebinds
+    the retained pre-fusion loop body as its sweep implementation.
+
+    Forward-update AA flavor: the paper's default scheme, and the one
+    where the fused pipeline's old-row value reuse applies (the OTF
+    table refreshes the row inside ``move``, see batched/jastrow.py)."""
+    from repro.batched import BatchedCrowdDriver, JastrowSystemSpec
+
+    spec = JastrowSystemSpec(n=case.n, seed=7, aa_flavor="soa")
+    drv = BatchedCrowdDriver(spec, case.nwalkers, case.seed,
+                             use_drift=True, backend=backend)
+    if oracle:
+        drv._sweep = drv._loop_sweep
+    return drv
+
+
+def _assert_sweep_bitwise(case: BenchCase) -> None:
+    """The in-runner exactness gate: the fused numpy pipeline must be
+    bitwise the loop oracle — accept totals, energies, positions."""
+    import numpy as np
+
+    fused = _sweep_driver(case, "numpy")
+    loop = _sweep_driver(case, "numpy", oracle=True)
+    for _ in range(2):
+        ta, tb = fused.sweep(), loop.sweep()
+        if ta != tb or not np.array_equal(fused.last_sweep_accepts,
+                                          loop.last_sweep_accepts):
+            raise RuntimeError(
+                f"{case.name}: fused sweep accept stream diverged from "
+                f"the loop oracle — exactness regression")
+        if not np.array_equal(fused.measure(), loop.measure()):
+            raise RuntimeError(
+                f"{case.name}: fused sweep energies diverged from the "
+                f"loop oracle — exactness regression")
+    if not np.array_equal(fused.batch.R, loop.batch.R):
+        raise RuntimeError(
+            f"{case.name}: fused sweep positions diverged from the loop "
+            f"oracle — exactness regression")
+
+
+def run_sweep_case(case: BenchCase) -> dict:
+    """Measure what whole-sweep fusion buys (docs/sweep_fusion.md).
+
+    Legs: ``loop`` (the retained per-electron loop oracle — one backend
+    dispatch per table move/functor/exp/accept, ~14 per electron),
+    ``fused`` (the ``sweep_run`` pipeline kernel, one dispatch per
+    sweep) and, when importable, ``jax`` (the whole-sweep
+    ``lax.fori_loop`` jit; skipped otherwise, the backend-kind
+    pattern).  The fused numpy leg is asserted bitwise against the
+    loop oracle before any timing, each leg's backend-dispatch count
+    is measured with a counting proxy, repetitions interleave with
+    best-of kept, and a ``floor`` case emits a ``speedup_floors``
+    entry for ``fused_over_loop``.
+    """
+    from repro.backend import BackendUnavailableError
+
+    _assert_sweep_bitwise(case)
+    legs = {}
+    skipped = []
+    for label in case.versions:
+        backend = "jax" if label == "jax" else "numpy"
+        try:
+            drv = _sweep_driver(case, backend, oracle=(label == "loop"))
+        except BackendUnavailableError:
+            skipped.append(label)
+            continue
+        drv.sweep()  # warm-up (jit tracing + payload staging land here)
+        counting = _CountingBackend(drv.backend)
+        drv.backend = counting
+        drv.sweep()
+        drv.backend = counting._inner
+        legs[label] = {"drv": drv, "dispatches": counting.dispatches,
+                       "times": [], "prof": None}
+    reps = 3
+    for _ in range(reps):
+        for label, leg in legs.items():
+            drv = leg["drv"]
+            PROFILER.start_run()
+            t0 = time.perf_counter()
+            for _ in range(case.steps):
+                drv.sweep()
+            leg["times"].append(time.perf_counter() - t0)
+            leg["prof"] = PROFILER.stop_run(f"{case.name}/{label}")
+    steps_walkers = case.steps * case.nwalkers
+    versions: Dict[str, dict] = {}
+    for label, leg in legs.items():
+        drv = leg["drv"]
+        best = min(leg["times"])
+        walker_bytes = (drv.batch.R.nbytes + drv.batch.Rsoa.nbytes
+                        + sum(t.storage_bytes for t in drv.tables)
+                        ) / case.nwalkers
+        entry = _version_entry(
+            throughput=steps_walkers / best,
+            seconds_per_step=best / case.steps,
+            total_seconds=best,
+            hotspots=leg["prof"].normalized(),
+            peak_walker_bytes=walker_bytes)
+        entry["dispatches_per_sweep"] = float(leg["dispatches"])
+        entry["dispatches_per_electron"] = leg["dispatches"] / case.n
+        versions[label] = entry
+    speedups: Dict[str, float] = {}
+    if "loop" in versions and "fused" in versions:
+        speedups["fused_over_loop"] = (
+            versions["loop"]["total_seconds"]
+            / versions["fused"]["total_seconds"])
+    if "loop" in versions and "jax" in versions:
+        speedups["jax_over_loop"] = (
+            versions["loop"]["total_seconds"]
+            / versions["jax"]["total_seconds"])
+    out = {
+        "name": case.name, "kind": "sweep", "n_electrons": case.n,
+        "steps": case.steps, "walkers": case.nwalkers,
+        "versions": versions, "speedups": speedups, "skipped": skipped,
+    }
+    if case.floor > 0:
+        out["speedup_floors"] = {"fused_over_loop": float(case.floor)}
+    return out
+
+
 def _private_rss_bytes() -> int:
     """This process's private (unshared) resident bytes — the number a
     per-worker table copy moves and a shared-slab mapping does not."""
@@ -665,7 +826,8 @@ def run_spline_memory_case(case: BenchCase) -> dict:
 _CASE_RUNNERS = {"system": run_system_case, "batched": run_batched_case,
                  "nlpp": run_nlpp_case, "streaming": run_streaming_case,
                  "backend": run_backend_case,
-                 "spline_memory": run_spline_memory_case}
+                 "spline_memory": run_spline_memory_case,
+                 "sweep": run_sweep_case}
 
 
 def run_suite(suite_name: str, tag: str,

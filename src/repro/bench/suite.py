@@ -36,6 +36,15 @@ Two kinds of cases:
   aggregate; on hosts without jax the leg lands in ``skipped`` (the
   same pattern as the parallel CPU guard) and only the floors entry is
   committed, to be enforced by the CI jax leg that can measure it.
+* ``sweep`` — the dispatch-amortization pair of the fused per-electron
+  move pipeline (docs/sweep_fusion.md): the retained pre-fusion loop
+  oracle (``loop``, ~14 backend dispatches per electron) vs the fused
+  ``sweep_run`` pipeline kernel (``fused``, one dispatch per sweep) on
+  the identical batched workload, energies and accept streams asserted
+  bitwise equal in-runner; a ``jax`` leg runs the whole-sweep jit when
+  importable (skipped otherwise, like the backend kind).  Reports the
+  measured backend dispatches per electron for every leg and gates
+  ``fused_over_loop`` with ``floor``.
 * ``spline_memory`` — the shared-slab + tiled-vgh pair
   (docs/spline_memory.md): the flat per-channel 3D vgh evaluation
   (``flat``) vs the tile-blocked kernel (``tiled``) on one fitted
@@ -92,7 +101,8 @@ class BenchCase:
 
     def __post_init__(self):
         if self.kind not in ("system", "batched", "parallel", "nlpp",
-                             "streaming", "backend", "spline_memory"):
+                             "streaming", "backend", "spline_memory",
+                             "sweep"):
             raise ValueError(f"unknown bench kind {self.kind!r}")
 
 
@@ -125,6 +135,9 @@ QUICK_SUITE = (
               versions=("flat", "tiled"),
               n=256, nwalkers=32, grid=16, tile=64, workers=(4,),
               steps=3, floor=1.2),
+    BenchCase(name="sweep-N24-W8", kind="sweep",
+              versions=("loop", "fused", "jax"),
+              n=24, nwalkers=8, steps=3, floor=1.15),
 )
 
 #: The fuller trajectory: two chemistries, all three versions, and a
@@ -165,6 +178,8 @@ SMOKE_SUITE = (
     BenchCase(name="spline-mem-M16-W8", kind="spline_memory",
               versions=("flat", "tiled"),
               n=16, nwalkers=8, grid=8, tile=4, workers=(2,), steps=1),
+    BenchCase(name="sweep-N10-W4", kind="sweep",
+              versions=("loop", "fused"), n=10, nwalkers=4, steps=1),
 )
 
 #: Multi-core crowd scaling (``make bench-parallel``): one sized

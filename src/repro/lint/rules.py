@@ -20,6 +20,11 @@ R011  direct ``np.``/``numpy.`` use inside a ``# repro: backend-pure``
       stay inside that backend's array namespace (``jnp``) so they
       remain jit/vmap-traceable; a host-NumPy call silently falls back
       to eager CPU execution mid-trace (docs/backends.md)
+R012  per-electron Python-loop backend dispatch in a hot scope — a
+      ``for k in range(n)`` loop calling registered backend kernels
+      pays the dispatch seam n times per sweep; the loop belongs
+      behind the seam (``sweep_run``) where dispatch is amortized to
+      once per sweep (docs/sweep_fusion.md)
 ===== =====================================================================
 
 The checks are deliberately heuristic: they key off the naming and idiom
@@ -415,12 +420,69 @@ class RuleR011(ScopedVisitor):
         self.generic_visit(node)
 
 
+class RuleR012(ScopedVisitor):
+    """Per-electron Python-loop backend kernel dispatch in a hot scope."""
+
+    rule = "R012"
+
+    #: call spellings that resolve to a KernelBackend at runtime
+    DISPATCH_GETTERS = {"active", "get_backend"}
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        #: calls already reported (nested loops walk the same subtree)
+        self._seen: Set[int] = set()
+
+    def _dispatch_spelling(self, node: ast.Call) -> Optional[str]:
+        """``backend.accept_mask(...)`` / ``active().det_ratio(...)`` ->
+        printable spelling, else None.  Keyed off the registered kernel
+        surface (repro.backend.base.KERNEL_NAMES) plus a backend-shaped
+        receiver, so ordinary methods sharing a kernel's name on other
+        objects don't fire."""
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in BACKEND_KERNEL_NAMES:
+            return None
+        recv = node.func.value
+        dotted = _dotted_name(recv)
+        if dotted is not None \
+                and "backend" in dotted.rsplit(".", 1)[-1].lower():
+            return f"{dotted}.{node.func.attr}"
+        if isinstance(recv, ast.Call) \
+                and _call_name(recv.func) in self.DISPATCH_GETTERS:
+            return f"{_call_name(recv.func)}().{node.func.attr}"
+        return None
+
+    def visit_For(self, node: ast.For):
+        if self.hot and isinstance(node.iter, ast.Call) \
+                and _call_name(node.iter.func) == "range":
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if not (isinstance(sub, ast.Call)
+                            and id(sub) not in self._seen):
+                        continue
+                    spelled = self._dispatch_spelling(sub)
+                    if spelled is not None:
+                        self._seen.add(id(sub))
+                        self.report(sub, (
+                            f"per-electron backend dispatch "
+                            f"{spelled}() inside a range() loop — the "
+                            f"seam is crossed once per iteration; move "
+                            f"the loop behind the backend (the "
+                            f"sweep_run pipeline kernel) so dispatch "
+                            f"is paid once per sweep "
+                            f"(docs/sweep_fusion.md)"))
+        self.generic_visit(node)
+
+
+from repro.backend.base import (  # noqa: E402 — after rule defs, like below
+    KERNEL_NAMES as BACKEND_KERNEL_NAMES,
+)
 from repro.lint.determinism import (  # noqa: E402 — avoids import cycle
-    DETERMINISM_CATALOG, DETERMINISM_RULES,
+    DETERMINISM_CATALOG, DETERMINISM_RULES, _dotted_name,
 )
 
 ALL_RULES = [RuleR001, RuleR002, RuleR003, RuleR004,
-             RuleR005, RuleR011] + DETERMINISM_RULES
+             RuleR005, RuleR011, RuleR012] + DETERMINISM_RULES
 
 #: short catalog for reporters and docs
 RULE_CATALOG = {
@@ -430,6 +492,7 @@ RULE_CATALOG = {
     "R004": "accumulation in value_dtype where accum_dtype is mandated",
     "R005": "per-step pickling or pipe-shipping of arrays in a hot kernel",
     "R011": "host NumPy call inside a backend-pure kernel scope",
+    "R012": "per-electron Python-loop backend dispatch in a hot scope",
     **DETERMINISM_CATALOG,
     "W001": "bare '# repro: noqa' — suppressions must be rule-scoped",
     "W002": "stale suppression — named rule no longer fires on the line",

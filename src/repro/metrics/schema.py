@@ -75,10 +75,10 @@ def _check_workload(entry: Any, index: int, errors: List[str]) -> None:
             _err(errors, f"{path}.{key}", f"missing or not a {typ.__name__}")
     if entry.get("kind") not in (None, "system", "batched", "parallel",
                                  "nlpp", "streaming", "backend",
-                                 "spline_memory"):
+                                 "spline_memory", "sweep"):
         _err(errors, f"{path}.kind",
              "must be 'system', 'batched', 'parallel', 'nlpp', "
-             "'streaming', 'backend' or 'spline_memory'")
+             "'streaming', 'backend', 'spline_memory' or 'sweep'")
     versions = entry.get("versions")
     if isinstance(versions, dict):
         if not versions:

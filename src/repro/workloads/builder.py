@@ -104,11 +104,17 @@ def build_system(
     spo_grid: Optional[Tuple[int, int, int]] = None,
     with_nlpp: bool = True,
     coulomb: str = "mic",
+    delay: int = 1,
 ) -> SystemParts:
     """Synthesize a runnable system from a workload at the given scale.
 
     The flavor/layout/dtype knobs are what
-    :class:`repro.core.CodeVersion` presets bundle.
+    :class:`repro.core.CodeVersion` presets bundle.  ``delay`` > 1
+    swaps both spin determinants to
+    :class:`~repro.determinant.dirac_delayed.DiracDeterminantDelayed`,
+    grouping that many accepted rows per Woodbury (BLAS3) inverse fold
+    instead of eager per-move Sherman-Morrison rank-1 updates
+    (Sec. 8.4); ``delay=1`` keeps the eager path.
     """
     rng = np.random.default_rng(seed)
     tiling = wl.scaled_tiling(scale)
@@ -167,8 +173,15 @@ def build_system(
                                     dtype=spline_dtype)
     spo_up = BsplineSPOSet(spline, norb, layout=spo_layout)
     spo_dn = BsplineSPOSet(spline, norb, layout=spo_layout)
-    det_up = DiracDeterminant(spo_up, 0, norb, dtype=value_dtype)
-    det_dn = DiracDeterminant(spo_dn, norb, n, dtype=value_dtype)
+    if delay > 1:
+        from repro.determinant.dirac_delayed import DiracDeterminantDelayed
+        det_up = DiracDeterminantDelayed(spo_up, 0, norb, delay=delay,
+                                         dtype=value_dtype)
+        det_dn = DiracDeterminantDelayed(spo_dn, norb, n, delay=delay,
+                                         dtype=value_dtype)
+    else:
+        det_up = DiracDeterminant(spo_up, 0, norb, dtype=value_dtype)
+        det_dn = DiracDeterminant(spo_dn, norb, n, dtype=value_dtype)
 
     twf = TrialWaveFunction([j1, j2, det_up, det_dn])
 

@@ -32,6 +32,21 @@ def _functor(rng):
     return BsplineFunctor.from_shape(rcut=2.5, cusp=-0.25, npts=12)
 
 
+def _sweep_plan(rng, W, n):
+    """A filled SweepPlan on a small real driver (for the pipeline
+    kernels).  Imported lazily: the driver layer must not load at
+    kernel_cases import time."""
+    from repro.batched.driver import BatchedCrowdDriver
+    from repro.batched.system import JastrowSystemSpec
+
+    seed = int(rng.integers(2 ** 31 - 1))
+    spec = JastrowSystemSpec(n=n, seed=seed)
+    drv = BatchedCrowdDriver(spec, W, master_seed=seed + 1, use_drift=True)
+    plan = drv._plan
+    plan.workspace.fill(drv.rngs, plan.sqrt_tau)
+    return plan
+
+
 def _spline3d(rng, value_dtype):
     grid = (6, 6, 6)
     vals = rng.normal(size=grid + (4,))
@@ -114,6 +129,16 @@ def build_case(name, rng, value_dtype, lattice, W=3, n=6, ns=4):
         log_t = rng.normal(scale=0.2, size=W)
         uniforms = rng.uniform(size=W)
         return (rho, log_t, uniforms), [((W,), BOOL)]
+    if name in ("sweep_step", "sweep_run"):
+        # Pipeline kernels take a host-side SweepPlan, not plain arrays.
+        # value_dtype is deliberately ignored: the plan carries the
+        # driver's own full-precision state, so both dtype legs of the
+        # property suite see identical plans and the non-bool outputs
+        # (the (W,) int64 accept counts) must agree exactly.
+        plan = _sweep_plan(rng, W, n)
+        if name == "sweep_step":
+            return (plan, 0), [((W,), BOOL)]
+        return (plan,), [((W,), None), ((), None)]
     raise KeyError(f"no input factory for kernel {name!r}")
 
 

@@ -26,6 +26,8 @@ _EXACT_ONLY = {
     "TestDifferentialDriver",
     "TestFullPrecisionIsBitwise",
     "TestSanitized",
+    "TestFusedSweepBitwise",
+    "TestFusedCrowdSplit",
 }
 
 

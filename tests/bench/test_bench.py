@@ -77,7 +77,8 @@ def test_suites_are_well_formed():
         assert cases, name
         for case in cases:
             assert case.kind in ("system", "batched", "parallel", "nlpp",
-                                 "streaming", "backend", "spline_memory")
+                                 "streaming", "backend", "spline_memory",
+                                 "sweep")
             assert case.versions
             if case.kind in ("parallel", "spline_memory"):
                 assert case.workers
@@ -109,6 +110,18 @@ def test_spline_memory_case_in_smoke_doc(smoke_doc):
         1.0 / mem["n_processes"])
     assert mem["per_worker_shared_bytes"] < mem["per_worker_copy_bytes"]
     assert isinstance(mem["rss_measured"], bool)
+
+
+def test_sweep_case_in_smoke_doc(smoke_doc):
+    by_name = {wl["name"]: wl for wl in smoke_doc["workloads"]}
+    wl = by_name["sweep-N10-W4"]
+    assert wl["kind"] == "sweep"
+    # the runner itself raises on a fused-vs-loop bitwise mismatch; the
+    # artifact must carry the dispatch amortization evidence
+    assert set(wl["versions"]) == {"loop", "fused"}
+    assert wl["versions"]["fused"]["dispatches_per_sweep"] == 1
+    assert wl["versions"]["loop"]["dispatches_per_electron"] >= 10
+    assert wl["speedups"]["fused_over_loop"] > 0
 
 
 def test_streaming_case_in_smoke_doc(smoke_doc):

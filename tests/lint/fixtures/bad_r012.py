@@ -1,0 +1,13 @@
+"""Bad fixture: per-electron backend dispatch loops in a hot scope (R012)."""
+
+# repro: hot
+
+from repro.backend import active
+
+
+def sweep(backend, rho, log_t, uniforms, n):
+    for k in range(n):
+        acc = backend.accept_mask(rho, log_t, uniforms[:, k])
+    for k in range(n):
+        r = active().det_ratio(rho, log_t, k)
+    return acc, r

@@ -1,0 +1,11 @@
+"""Good fixture: dispatch amortized to one backend call per sweep (R012)."""
+
+# repro: hot
+
+
+def sweep(backend, plan, table, n):
+    accepts, total = backend.sweep_run(plan)
+    for k in range(n):
+        row = table.aa_row(k)  # kernel-named method, non-backend receiver
+        total += int(row is not None)
+    return accepts, total

@@ -89,6 +89,20 @@ class TestGoldenFixtures:
         hits = [(v.rule, v.line) for v in lint_source(src, "x.py", ALL_RULES)]
         assert hits == [("R011", 4)]
 
+    def test_r012_exact_lines(self):
+        assert lint_fixture("bad_r012.py") == [("R012", 10), ("R012", 12)]
+
+    def test_r012_clean(self):
+        assert lint_fixture("good_r012.py") == []
+
+    def test_r012_cold_scope_quiet(self):
+        src = (
+            "def bench(backend, xs, n):\n"
+            "    for k in range(n):\n"
+            "        backend.det_ratio(xs, xs, k)\n"
+        )
+        assert lint_source(src, "x.py", ALL_RULES) == []
+
     def test_w002_flags_stale_suppression(self):
         assert lint_fixture("stale_noqa.py") == [("W002", 9)]
 
